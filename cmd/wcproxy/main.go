@@ -1,0 +1,122 @@
+// Command wcproxy runs the live HTTP caching proxy with a pluggable
+// replacement policy, periodically printing hit-rate statistics and
+// optionally writing a Squid-format access log that feeds back into
+// wcstat/wcsim.
+//
+// Usage:
+//
+//	wcproxy -listen :3128 [-origin http://upstream] [-capacity 256MB]
+//	        [-policy gdstar:p] [-log access.log] [-stats-every 30s]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net/http"
+	"net/url"
+	"os"
+	"os/signal"
+	"time"
+
+	"webcachesim/internal/policy"
+	"webcachesim/internal/proxy"
+	"webcachesim/internal/units"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "wcproxy:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("wcproxy", flag.ContinueOnError)
+	var (
+		listen     = fs.String("listen", ":3128", "listen address")
+		origin     = fs.String("origin", "", "reverse-proxy origin URL (forward proxy when empty)")
+		parent     = fs.String("parent", "", "parent proxy URL for upstream fetches (cache_peer)")
+		capacity   = fs.String("capacity", "256MB", "cache capacity")
+		policySpec = fs.String("policy", "lru", "replacement policy spec (scheme[:cost])")
+		logPath    = fs.String("log", "", "Squid-format access log path")
+		statsEvery = fs.Duration("stats-every", 30*time.Second, "statistics print interval (0 disables)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	spec, err := policy.ParseSpec(*policySpec)
+	if err != nil {
+		return err
+	}
+	factory, err := policy.NewFactory(spec)
+	if err != nil {
+		return err
+	}
+	capBytes, err := units.ParseBytes(*capacity)
+	if err != nil {
+		return err
+	}
+
+	cfg := proxy.Config{Capacity: capBytes, Policy: factory}
+	if *origin != "" {
+		u, err := url.Parse(*origin)
+		if err != nil {
+			return fmt.Errorf("bad origin: %w", err)
+		}
+		cfg.Origin = u
+	}
+	if *parent != "" {
+		u, err := url.Parse(*parent)
+		if err != nil {
+			return fmt.Errorf("bad parent: %w", err)
+		}
+		cfg.Parent = u
+	}
+	if *logPath != "" {
+		f, err := os.Create(*logPath)
+		if err != nil {
+			return err
+		}
+		defer func() {
+			_ = f.Close()
+		}()
+		cfg.AccessLog = f
+	}
+	srv, err := proxy.New(cfg)
+	if err != nil {
+		return err
+	}
+
+	httpServer := &http.Server{Addr: *listen, Handler: srv, ReadHeaderTimeout: 10 * time.Second}
+	errCh := make(chan error, 1)
+	go func() {
+		errCh <- httpServer.ListenAndServe()
+	}()
+	fmt.Printf("wcproxy: %s policy, %s cache, listening on %s\n", factory.Name, *capacity, *listen)
+
+	var ticker *time.Ticker
+	var tick <-chan time.Time
+	if *statsEvery > 0 {
+		ticker = time.NewTicker(*statsEvery)
+		defer ticker.Stop()
+		tick = ticker.C
+	}
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt)
+	for {
+		select {
+		case err := <-errCh:
+			return err
+		case <-tick:
+			st := srv.Stats()
+			fmt.Printf("requests=%d hits=%d hr=%.3f bhr=%.3f used=%dMB objects=%d evictions=%d\n",
+				st.Requests, st.Hits, st.HitRate(), st.ByteHitRate(),
+				srv.Used()>>20, srv.Len(), st.Evictions)
+		case <-sig:
+			st := srv.Stats()
+			fmt.Printf("final: requests=%d hr=%.3f bhr=%.3f\n", st.Requests, st.HitRate(), st.ByteHitRate())
+			return httpServer.Close()
+		}
+	}
+}

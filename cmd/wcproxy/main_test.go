@@ -1,0 +1,96 @@
+package main
+
+import (
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+)
+
+func freePort(t *testing.T) string {
+	t.Helper()
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := l.Addr().String()
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return addr
+}
+
+func TestRunServesAndCaches(t *testing.T) {
+	origin := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "image/gif")
+		fmt.Fprint(w, "hello-gif")
+	}))
+	defer origin.Close()
+
+	addr := freePort(t)
+	errCh := make(chan error, 1)
+	go func() {
+		errCh <- run([]string{
+			"-listen", addr,
+			"-origin", origin.URL,
+			"-capacity", "1MB",
+			"-policy", "gdstar:p",
+			"-stats-every", "0",
+		})
+	}()
+
+	// Wait for the listener, then exercise the cache.
+	var resp *http.Response
+	var err error
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		resp, err = http.Get("http://" + addr + "/a.gif")
+		if err == nil || time.Now().After(deadline) {
+			break
+		}
+		select {
+		case serveErr := <-errCh:
+			t.Fatalf("server exited early: %v", serveErr)
+		case <-time.After(20 * time.Millisecond):
+		}
+	}
+	if err != nil {
+		t.Fatalf("proxy never came up: %v", err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	_ = resp.Body.Close()
+	if string(body) != "hello-gif" {
+		t.Errorf("body = %q", body)
+	}
+
+	resp, err = http.Get("http://" + addr + "/a.gif")
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, _ = io.ReadAll(resp.Body)
+	_ = resp.Body.Close()
+	if resp.Header.Get("X-Cache") != "HIT" {
+		t.Error("second request was not a cache hit")
+	}
+}
+
+func TestRunFlagErrors(t *testing.T) {
+	tests := []struct {
+		name string
+		args []string
+	}{
+		{"bad policy", []string{"-policy", "nope"}},
+		{"bad capacity", []string{"-capacity", "xyz"}},
+		{"bad log path", []string{"-log", "/nonexistent-dir/x.log"}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if err := run(tt.args); err == nil {
+				t.Error("expected error")
+			}
+		})
+	}
+}

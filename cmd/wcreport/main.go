@@ -1,0 +1,157 @@
+// Command wcreport runs the paper's experiments end to end — workload
+// synthesis, characterization, and the policy × cache-size sweeps — and
+// prints the regenerated tables, ASCII figures, and shape-check verdicts.
+//
+// Usage:
+//
+//	wcreport [-exp all|table1..table5|figure1..figure3|rtp]
+//	         [-scale 1.0] [-seed 1] [-sizes 0.5,1,2,4]
+//	         [-plots] [-checks-only] [-json]
+//
+// Exit status 1 is reported when any shape check fails, so the command
+// doubles as a reproduction gate in CI.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"time"
+
+	"webcachesim/internal/experiment"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "wcreport:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("wcreport", flag.ContinueOnError)
+	var (
+		expFlag    = fs.String("exp", "all", "experiment id (all, table1..table5, figure1..figure3, rtp)")
+		scale      = fs.Float64("scale", 1.0, "workload scale factor")
+		seed       = fs.Int64("seed", 1, "generation seed")
+		sizes      = fs.String("sizes", "", "cache sizes as % of trace size, comma-separated (default 0.5,0.75,1,1.5,2,3,4)")
+		plots      = fs.Bool("plots", false, "render ASCII figures")
+		checksOnly = fs.Bool("checks-only", false, "print only shape-check verdicts")
+		jsonOut    = fs.Bool("json", false, "emit the outputs as a JSON array instead of text")
+		markdown   = fs.Bool("md", false, "render tables as Markdown")
+		svgDir     = fs.String("svg-dir", "", "write every figure as an SVG file into this directory")
+		extras     = fs.Bool("extras", false, "with -exp all, also run the beyond-the-paper experiments (filtering, baselines)")
+		par        = fs.Int("parallelism", 0, "max concurrent simulations (0 = GOMAXPROCS)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	opts := experiment.Options{Scale: *scale, Seed: *seed, Parallelism: *par}
+	if *sizes != "" {
+		for _, s := range strings.Split(*sizes, ",") {
+			pct, err := strconv.ParseFloat(strings.TrimSpace(s), 64)
+			if err != nil {
+				return fmt.Errorf("bad -sizes entry %q: %w", s, err)
+			}
+			opts.CacheSizePcts = append(opts.CacheSizePcts, pct)
+		}
+	}
+	env := experiment.NewEnv(opts)
+
+	ids := experiment.All
+	if *extras {
+		ids = append(append([]experiment.ID{}, ids...), experiment.Extras...)
+	}
+	if *expFlag != "all" {
+		id, err := experiment.ParseID(*expFlag)
+		if err != nil {
+			return err
+		}
+		ids = []experiment.ID{id}
+	}
+
+	failed := 0
+	outputs := make([]*experiment.Output, 0, len(ids))
+	for _, id := range ids {
+		start := time.Now()
+		o, err := env.Run(id)
+		if err != nil {
+			return err
+		}
+		outputs = append(outputs, o)
+		for _, c := range o.Checks {
+			if !c.Pass {
+				failed++
+			}
+		}
+		if *svgDir != "" {
+			if err := writeSVGs(*svgDir, o); err != nil {
+				return err
+			}
+		}
+		if *jsonOut {
+			continue
+		}
+		fmt.Fprintf(out, "==== %s  (%.1fs)\n", o.Title, time.Since(start).Seconds())
+		if !*checksOnly {
+			for _, note := range o.Notes {
+				fmt.Fprintf(out, "note: %s\n", note)
+			}
+			fmt.Fprintln(out)
+			for _, t := range o.Tables {
+				if *markdown {
+					fmt.Fprintln(out, t.MD)
+				} else {
+					fmt.Fprintln(out, t.Text)
+				}
+			}
+			if *plots {
+				for _, p := range o.Plots {
+					fmt.Fprintln(out, p)
+				}
+			}
+		}
+		for _, c := range o.Checks {
+			status := "PASS"
+			if !c.Pass {
+				status = "FAIL"
+			}
+			fmt.Fprintf(out, "  [%s] %s — %s\n", status, c.Name, c.Detail)
+		}
+		fmt.Fprintln(out)
+	}
+	if *jsonOut {
+		enc := json.NewEncoder(out)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(outputs); err != nil {
+			return fmt.Errorf("encode report: %w", err)
+		}
+	}
+	if failed > 0 {
+		return fmt.Errorf("%d shape check(s) failed", failed)
+	}
+	return nil
+}
+
+// writeSVGs saves an experiment's figures as <dir>/<id>-NN.svg.
+func writeSVGs(dir string, o *experiment.Output) error {
+	if len(o.SVGs) == 0 {
+		return nil
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("create svg dir: %w", err)
+	}
+	for i, svg := range o.SVGs {
+		path := filepath.Join(dir, fmt.Sprintf("%s-%02d.svg", o.ID, i+1))
+		if err := os.WriteFile(path, []byte(svg), 0o644); err != nil {
+			return fmt.Errorf("write %s: %w", path, err)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,230 @@
+// Command wcsim runs the trace-driven cache simulation: one or more
+// replacement policies over a trace file, at one or more cache sizes, with
+// hit rates and byte hit rates reported per document type.
+//
+// Usage:
+//
+//	wcsim -trace t.wct.gz [-policies lru,lfuda,gds:1,gdstar:p]
+//	      [-sizes 64MB,256MB,1GB | -size-pcts 0.5,1,2,4] [-warmup 0.1]
+//	      [-by-class] [-csv] [-occupancy N]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"webcachesim/internal/core"
+	"webcachesim/internal/doctype"
+	"webcachesim/internal/policy"
+	"webcachesim/internal/report"
+	"webcachesim/internal/trace"
+	"webcachesim/internal/units"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "wcsim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("wcsim", flag.ContinueOnError)
+	var (
+		tracePath = fs.String("trace", "", "input trace path(s), comma-separated; multiple files are merged by timestamp (required)")
+		policies  = fs.String("policies", "lru,lfuda,gds:1,gdstar:1,gds:p,gdstar:p",
+			"comma-separated policy specs (scheme[:cost][:beta=x])")
+		sizes    = fs.String("sizes", "", "cache sizes, comma-separated (e.g. 64MB,1GB)")
+		sizePcts = fs.String("size-pcts", "", "cache sizes as % of trace size (e.g. 0.5,1,2,4)")
+		warmup   = fs.Float64("warmup", core.DefaultWarmupFraction, "warm-up fraction of requests")
+		byClass  = fs.Bool("by-class", false, "break results down by document type")
+		plot     = fs.Bool("plot", false, "render ASCII hit-rate/byte-hit-rate curves")
+		csv      = fs.Bool("csv", false, "emit CSV instead of aligned text")
+		raw      = fs.Bool("raw", false, "skip the cacheability preprocessing filter")
+		par      = fs.Int("parallelism", 0, "max concurrent simulations (0 = GOMAXPROCS)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *tracePath == "" {
+		return fmt.Errorf("-trace is required")
+	}
+
+	factories, err := parsePolicies(*policies)
+	if err != nil {
+		return err
+	}
+	w, err := loadWorkload(*tracePath, *raw)
+	if err != nil {
+		return err
+	}
+	capacities, err := parseCapacities(*sizes, *sizePcts, w)
+	if err != nil {
+		return err
+	}
+
+	results, err := core.Sweep(w, core.SweepConfig{
+		Policies:       factories,
+		Capacities:     capacities,
+		WarmupFraction: *warmup,
+		Parallelism:    *par,
+	})
+	if err != nil {
+		return err
+	}
+
+	fmt.Fprintf(out, "trace: %s — %d requests, %d distinct documents, %.2f GB\n\n",
+		*tracePath, w.NumRequests(), w.NumDocs(), float64(w.DistinctBytes)/(1<<30))
+
+	t := report.NewTable("Simulation results", "Policy", "Cache (MB)", "HR", "BHR",
+		"Evictions", "Modifications")
+	for _, r := range results {
+		t.AddRowf(r.Policy, fmt.Sprintf("%.0f", float64(r.Capacity)/(1<<20)),
+			r.Overall.HitRate(), r.Overall.ByteHitRate(), r.Evictions, r.Modifications)
+	}
+	emit(out, t, *csv)
+
+	if *byClass {
+		for _, cl := range doctype.Classes {
+			ct := report.NewTable(cl.String(), "Policy", "Cache (MB)", "HR", "BHR", "Requests")
+			for _, r := range results {
+				c := r.ByClass[cl]
+				ct.AddRowf(r.Policy, fmt.Sprintf("%.0f", float64(r.Capacity)/(1<<20)),
+					c.HitRate(), c.ByteHitRate(), c.Requests)
+			}
+			emit(out, ct, *csv)
+		}
+	}
+	if *plot {
+		plotCurves(out, factories, results)
+	}
+	return nil
+}
+
+// plotCurves renders overall hit-rate and byte-hit-rate curves across the
+// swept cache sizes.
+func plotCurves(out io.Writer, factories []policy.Factory, results []*core.Result) {
+	for _, side := range []struct {
+		name    string
+		measure func(*core.Result) float64
+	}{
+		{"hit rate", func(r *core.Result) float64 { return r.Overall.HitRate() }},
+		{"byte hit rate", func(r *core.Result) float64 { return r.Overall.ByteHitRate() }},
+	} {
+		p := report.Plot{
+			Title:  "Overall " + side.name + " vs cache size",
+			XLabel: "cache size (MB, log)",
+			YLabel: side.name,
+			LogX:   true,
+			Width:  64,
+			Height: 16,
+		}
+		for _, f := range factories {
+			xs, ys := core.Curve(results, f.Name, side.measure)
+			fx := make([]float64, len(xs))
+			for i, c := range xs {
+				fx[i] = float64(c) / (1 << 20)
+			}
+			p.Add(report.Series{Name: f.Name, X: fx, Y: ys})
+		}
+		fmt.Fprintln(out, p.Render())
+	}
+}
+
+func emit(out io.Writer, t *report.Table, csv bool) {
+	if csv {
+		fmt.Fprint(out, t.CSV())
+	} else {
+		fmt.Fprint(out, t.Text())
+	}
+	fmt.Fprintln(out)
+}
+
+func parsePolicies(s string) ([]policy.Factory, error) {
+	var out []policy.Factory
+	for _, part := range strings.Split(s, ",") {
+		spec, err := policy.ParseSpec(part)
+		if err != nil {
+			return nil, err
+		}
+		f, err := policy.NewFactory(spec)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, f)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("no policies given")
+	}
+	return out, nil
+}
+
+func loadWorkload(paths string, raw bool) (*core.Workload, error) {
+	var readers []trace.Reader
+	var files []*trace.FileReader
+	defer func() {
+		for _, f := range files {
+			_ = f.Close()
+		}
+	}()
+	for _, path := range strings.Split(paths, ",") {
+		fr, err := trace.OpenFile(strings.TrimSpace(path), trace.FormatAuto)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, fr)
+		readers = append(readers, fr)
+	}
+	var src trace.Reader
+	if len(readers) == 1 {
+		src = readers[0]
+	} else {
+		src = trace.NewMergeReader(readers...)
+	}
+	if !raw {
+		src = trace.NewFilterReader(src)
+	}
+	return core.BuildWorkload(src, 0)
+}
+
+func parseCapacities(sizes, pcts string, w *core.Workload) ([]int64, error) {
+	switch {
+	case sizes != "" && pcts != "":
+		return nil, fmt.Errorf("-sizes and -size-pcts are mutually exclusive")
+	case sizes != "":
+		var out []int64
+		for _, part := range strings.Split(sizes, ",") {
+			n, err := units.ParseBytes(strings.TrimSpace(part))
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, n)
+		}
+		return out, nil
+	case pcts != "":
+		var out []int64
+		for _, part := range strings.Split(pcts, ",") {
+			pct, err := strconv.ParseFloat(strings.TrimSpace(part), 64)
+			if err != nil {
+				return nil, fmt.Errorf("bad percentage %q: %w", part, err)
+			}
+			c := int64(pct / 100 * float64(w.DistinctBytes))
+			if c < 1 {
+				c = 1
+			}
+			out = append(out, c)
+		}
+		return out, nil
+	default:
+		// Default: the paper's 0.5%–4% grid.
+		var out []int64
+		for _, pct := range []float64{0.5, 1, 2, 4} {
+			out = append(out, int64(pct/100*float64(w.DistinctBytes)))
+		}
+		return out, nil
+	}
+}

@@ -1,0 +1,117 @@
+package main
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"webcachesim/internal/synth"
+	"webcachesim/internal/trace"
+)
+
+// writeTestTrace generates a small binary trace for CLI tests.
+func writeTestTrace(t *testing.T) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "trace.wct")
+	w, err := trace.CreateFile(path, trace.FormatBinary)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := synth.GenerateTo(w, synth.DFNProfile(), synth.Options{Seed: 1, Requests: 4000}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestRunBasic(t *testing.T) {
+	path := writeTestTrace(t)
+	var sb strings.Builder
+	err := run([]string{"-trace", path, "-policies", "lru,gdstar:p", "-size-pcts", "1,4"}, &sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"Simulation results", "LRU", "GD*(P)", "Evictions"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunByClassAndPlot(t *testing.T) {
+	path := writeTestTrace(t)
+	var sb strings.Builder
+	err := run([]string{"-trace", path, "-policies", "lru", "-sizes", "1MB,4MB", "-by-class", "-plot"}, &sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"Images", "Multi Media", "Overall hit rate vs cache size"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+}
+
+func TestRunCSV(t *testing.T) {
+	path := writeTestTrace(t)
+	var sb strings.Builder
+	if err := run([]string{"-trace", path, "-policies", "lru", "-sizes", "2MB", "-csv"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "Policy,Cache (MB),HR,BHR") {
+		t.Errorf("CSV header missing:\n%s", sb.String())
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	path := writeTestTrace(t)
+	var sb strings.Builder
+	tests := []struct {
+		name string
+		args []string
+	}{
+		{"no trace", []string{}},
+		{"missing file", []string{"-trace", "/nonexistent"}},
+		{"bad policy", []string{"-trace", path, "-policies", "nope"}},
+		{"bad size", []string{"-trace", path, "-sizes", "xyz"}},
+		{"conflicting sizes", []string{"-trace", path, "-sizes", "1MB", "-size-pcts", "1"}},
+		{"bad pct", []string{"-trace", path, "-size-pcts", "abc"}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if err := run(tt.args, &sb); err == nil {
+				t.Error("expected error")
+			}
+		})
+	}
+}
+
+func TestRunMergedTraces(t *testing.T) {
+	a := writeTestTrace(t)
+	b := writeTestTrace(t)
+	var sb strings.Builder
+	err := run([]string{"-trace", a + "," + b, "-policies", "lru", "-sizes", "2MB"}, &sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "8000 requests") {
+		t.Errorf("merged trace should have 8000 requests:\n%s", sb.String())
+	}
+}
+
+func TestParsePolicies(t *testing.T) {
+	fs, err := parsePolicies("lru,lfuda,typeaware+gds:p")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fs) != 3 || fs[2].Name != "TA[GDS(P)]" {
+		t.Errorf("factories = %v", fs)
+	}
+	if _, err := parsePolicies("bogus"); err == nil {
+		t.Error("bad policy accepted")
+	}
+}

@@ -1,0 +1,180 @@
+// Command wcstat characterizes a proxy trace the way Section 2 of the
+// paper does, printing the Table 1/2/4-style summaries: totals, per-class
+// shares, size statistics, and the locality indices α and β.
+//
+// Usage:
+//
+//	wcstat [-raw] [-csv] trace.log[.gz] ...
+//
+// By default the trace is preprocessed with the paper's cacheability
+// filter first; -raw skips the filter.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"webcachesim/internal/analyze"
+	"webcachesim/internal/doctype"
+	"webcachesim/internal/report"
+	"webcachesim/internal/trace"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "wcstat:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("wcstat", flag.ContinueOnError)
+	var (
+		raw    = fs.Bool("raw", false, "skip the cacheability preprocessing filter")
+		csv    = fs.Bool("csv", false, "emit CSV instead of aligned text")
+		approx = fs.Bool("approx", false, "bounded-memory sketch-based characterization (no β; for traces larger than memory)")
+		hist   = fs.Bool("hist", false, "render per-class transfer-size histograms")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() == 0 {
+		return fmt.Errorf("usage: wcstat [-raw] [-csv] trace...")
+	}
+	for _, path := range fs.Args() {
+		if err := statOne(path, *raw, *csv, *approx, *hist, out); err != nil {
+			return fmt.Errorf("%s: %w", path, err)
+		}
+	}
+	return nil
+}
+
+func statOne(path string, raw, csv, approx, hist bool, out io.Writer) error {
+	fr, err := trace.OpenFile(path, trace.FormatAuto)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		_ = fr.Close()
+	}()
+	var src trace.Reader = fr
+	var filter *trace.FilterReader
+	if !raw {
+		filter = trace.NewFilterReader(fr)
+		src = filter
+	}
+	var tee *sizeTee
+	if hist {
+		tee = &sizeTee{src: src}
+		src = tee
+	}
+	var c *analyze.Characterization
+	if approx {
+		c, err = analyze.CharacterizeApprox(src, path, analyze.ApproxOptions{})
+	} else {
+		c, err = analyze.Characterize(src, path)
+	}
+	if err != nil {
+		return err
+	}
+
+	render := func(t *report.Table) {
+		if csv {
+			fmt.Fprint(out, t.CSV())
+		} else {
+			fmt.Fprint(out, t.Text())
+		}
+		fmt.Fprintln(out)
+	}
+
+	totals := report.NewTable("Trace properties — "+path, "", "value")
+	totals.AddRowf("Distinct Documents", c.DistinctDocs)
+	totals.AddRowf("Overall Size (GB)", float64(c.DistinctBytes)/(1<<30))
+	totals.AddRowf("Total Requests", c.Requests)
+	totals.AddRowf("Requested Data (GB)", float64(c.ReqBytes)/(1<<30))
+	if c.DistinctClients > 0 {
+		totals.AddRowf("Distinct Clients", c.DistinctClients)
+	}
+	if filter != nil {
+		st := filter.Stats()
+		totals.AddRowf("Filtered Out (dynamic URL)", st.DroppedURL)
+		totals.AddRowf("Filtered Out (status)", st.DroppedStatus)
+		totals.AddRowf("Filtered Out (method)", st.DroppedMethod)
+		totals.AddRowf("Malformed Lines", st.Malformed)
+	}
+	render(totals)
+
+	mix := report.NewTable("Workload characteristics by document type",
+		"", "Images", "HTML", "Multi Media", "Application", "Other")
+	addPct := func(label string, f func(doctype.Class) float64) {
+		row := []any{label}
+		for _, cl := range doctype.Classes {
+			row = append(row, f(cl))
+		}
+		mix.AddRowf(row...)
+	}
+	addPct("% of Distinct Documents", c.PctDistinctDocs)
+	addPct("% of Overall Size", c.PctDistinctBytes)
+	addPct("% of Total Requests", c.PctRequests)
+	addPct("% of Requested Data", c.PctReqBytes)
+	render(mix)
+
+	loc := report.NewTable("Document sizes and temporal locality",
+		"", "Images", "HTML", "Multi Media", "Application", "Other")
+	addStat := func(label string, f func(analyze.ClassSummary) any) {
+		row := []any{label}
+		for _, cl := range doctype.Classes {
+			row = append(row, f(c.Classes[cl]))
+		}
+		loc.AddRowf(row...)
+	}
+	addStat("Mean of Document Size (KB)", func(s analyze.ClassSummary) any { return s.MeanDocKB })
+	addStat("Median of Document Size (KB)", func(s analyze.ClassSummary) any { return s.MedianDocKB })
+	addStat("CoV of Document Size", func(s analyze.ClassSummary) any { return s.CoVDoc })
+	addStat("Mean of Transfer Size (KB)", func(s analyze.ClassSummary) any { return s.MeanTransferKB })
+	addStat("Median of Transfer Size (KB)", func(s analyze.ClassSummary) any { return s.MedianTransferKB })
+	addStat("CoV of Transfer Size", func(s analyze.ClassSummary) any { return s.CoVTransfer })
+	addStat("Popularity α", func(s analyze.ClassSummary) any {
+		if !s.AlphaOK {
+			return "n/a"
+		}
+		return s.Alpha
+	})
+	addStat("Temporal Correlation β", func(s analyze.ClassSummary) any {
+		if !s.BetaOK {
+			return "n/a"
+		}
+		return s.Beta
+	})
+	render(loc)
+
+	if tee != nil {
+		for _, cl := range doctype.Classes {
+			h := report.Histogram{
+				Title: cl.String() + " — transfer-size distribution",
+				Unit:  "KB",
+			}
+			fmt.Fprintln(out, h.Render(tee.sizes[cl]))
+		}
+	}
+	return nil
+}
+
+// sizeTee records per-class transfer sizes (in KB) while the stream flows
+// through to the characterizer.
+type sizeTee struct {
+	src   trace.Reader
+	sizes [doctype.NumClasses + 1][]float64
+}
+
+func (t *sizeTee) Next() (*trace.Request, error) {
+	req, err := t.src.Next()
+	if err != nil {
+		return nil, err
+	}
+	cl := req.Classify()
+	t.sizes[cl] = append(t.sizes[cl], float64(req.TransferSize)/1024)
+	return req, nil
+}

@@ -1,0 +1,13 @@
+// Package webcachesim reproduces Lindemann & Waldhorst, "Evaluating the
+// Impact of Different Document Types on the Performance of Web Cache
+// Replacement Schemes" (DSN 2002): a trace-driven study of how LRU,
+// LFU-DA, Greedy Dual Size, and Greedy Dual* treat images, HTML,
+// multi-media, and application documents under the constant and packet
+// retrieval-cost models.
+//
+// The root package carries the benchmark suite (one benchmark per paper
+// table and figure plus ablations — see bench_test.go); the implementation
+// lives under internal/ and the executables under cmd/. Start with
+// README.md, DESIGN.md (system inventory and trace substitution), and
+// EXPERIMENTS.md (paper-vs-measured record).
+package webcachesim

@@ -1,0 +1,3 @@
+module webcachesim
+
+go 1.22

@@ -1,0 +1,188 @@
+package analyze
+
+import (
+	"errors"
+	"fmt"
+	"io"
+
+	"webcachesim/internal/doctype"
+	"webcachesim/internal/sketch"
+	"webcachesim/internal/stats"
+	"webcachesim/internal/trace"
+)
+
+// ApproxOptions tunes the bounded-memory characterizer.
+type ApproxOptions struct {
+	// HLLPrecision sets distinct-counting accuracy (default 14 ≈ 0.8%
+	// error in 16 KiB per class).
+	HLLPrecision uint8
+	// ReservoirSize bounds the per-class quantile samples (default 8192).
+	ReservoirSize int
+	// BloomItems sizes the first-occurrence filter (default 4M expected
+	// documents at 1% false positives ≈ 5 MiB).
+	BloomItems int64
+	// HeavyHitters bounds the popularity head tracked per class for the
+	// α fit (default 4096).
+	HeavyHitters int
+	// Seed drives the reservoir sampling (default 1).
+	Seed int64
+}
+
+func (o *ApproxOptions) setDefaults() {
+	if o.HLLPrecision == 0 {
+		o.HLLPrecision = 14
+	}
+	if o.ReservoirSize == 0 {
+		o.ReservoirSize = 8192
+	}
+	if o.BloomItems == 0 {
+		o.BloomItems = 4 << 20
+	}
+	if o.HeavyHitters == 0 {
+		o.HeavyHitters = 4096
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+}
+
+// approxClassState holds one class's sketches.
+type approxClassState struct {
+	distinct  *sketch.HyperLogLog
+	docSizes  *sketch.Reservoir
+	transfers *sketch.Reservoir
+	heavy     *sketch.SpaceSaving
+	distBytes int64
+	requests  int64
+	reqBytes  int64
+}
+
+// CharacterizeApprox scans a request stream with bounded memory — a few
+// megabytes regardless of trace size — and produces a Characterization
+// whose totals and per-class statistics carry sketch-level error instead
+// of being exact:
+//
+//   - distinct documents: HyperLogLog (≈0.8% error);
+//   - distinct bytes and document sizes: first occurrences detected by a
+//     Bloom filter (1% of repeats misread as duplicates → slight
+//     undercount), sizes sampled by reservoir, byte totals exact over the
+//     detected first occurrences;
+//   - medians: reservoir quantiles; means and CoV exact per stream;
+//   - α: fitted on the Space-Saving popularity head;
+//   - β: not estimated (BetaOK=false) — inter-reference distances need
+//     per-document positions, which is inherently linear-memory; the
+//     exact Characterize covers calibration-scale traces.
+//
+// The equivalence test in approx_test.go pins the approximation against
+// the exact pass on a mid-size trace.
+func CharacterizeApprox(r trace.Reader, name string, opts ApproxOptions) (*Characterization, error) {
+	opts.setDefaults()
+
+	seen, err := sketch.NewBloom(opts.BloomItems, 0.01)
+	if err != nil {
+		return nil, err
+	}
+	var classes [doctype.NumClasses + 1]*approxClassState
+	for i, cl := range doctype.Classes {
+		st := &approxClassState{}
+		if st.distinct, err = sketch.NewHyperLogLog(opts.HLLPrecision); err != nil {
+			return nil, err
+		}
+		seedBase := opts.Seed + int64(i)*1000
+		if st.docSizes, err = sketch.NewReservoir(opts.ReservoirSize, seedBase+1); err != nil {
+			return nil, err
+		}
+		if st.transfers, err = sketch.NewReservoir(opts.ReservoirSize, seedBase+2); err != nil {
+			return nil, err
+		}
+		if st.heavy, err = sketch.NewSpaceSaving(opts.HeavyHitters); err != nil {
+			return nil, err
+		}
+		classes[cl] = st
+	}
+
+	out := &Characterization{Name: name}
+	for {
+		req, err := r.Next()
+		if err != nil {
+			if errors.Is(err, io.EOF) {
+				break
+			}
+			return nil, fmt.Errorf("analyze: characterize approx: %w", err)
+		}
+		cl := req.Classify()
+		st := classes[cl]
+		key := req.Key()
+
+		size := req.DocSize
+		if size <= 0 {
+			size = req.TransferSize
+		}
+
+		out.Requests++
+		out.ReqBytes += req.TransferSize
+		st.requests++
+		st.reqBytes += req.TransferSize
+		st.transfers.Add(float64(req.TransferSize))
+		st.distinct.AddString(key)
+		st.heavy.Add(key)
+		if seen.AddIfNew(key) {
+			st.distBytes += size
+			st.docSizes.Add(float64(size))
+		}
+
+		if out.StartMillis == 0 || req.UnixMillis < out.StartMillis {
+			out.StartMillis = req.UnixMillis
+		}
+		if req.UnixMillis > out.EndMillis {
+			out.EndMillis = req.UnixMillis
+		}
+	}
+
+	const kb = 1024.0
+	for _, cl := range doctype.Classes {
+		st := classes[cl]
+		cs := &out.Classes[cl]
+		cs.Class = cl
+		cs.Requests = st.requests
+		cs.ReqBytes = st.reqBytes
+		cs.DistinctDocs = st.distinct.Estimate()
+		cs.DistinctBytes = st.distBytes
+		out.DistinctDocs += cs.DistinctDocs
+		out.DistinctBytes += cs.DistinctBytes
+
+		if st.docSizes.Seen() > 0 {
+			cs.MeanDocKB = st.docSizes.Mean() / kb
+			cs.MedianDocKB = st.docSizes.Median() / kb
+			cs.CoVDoc = st.docSizes.CoV()
+		}
+		if st.transfers.Seen() > 0 {
+			cs.MeanTransferKB = st.transfers.Mean() / kb
+			cs.MedianTransferKB = st.transfers.Median() / kb
+			cs.CoVTransfer = st.transfers.CoV()
+		}
+		if alpha, ok := alphaFromHead(st.heavy); ok {
+			cs.Alpha, cs.AlphaOK = alpha, true
+		}
+	}
+	return out, nil
+}
+
+// alphaFromHead fits the popularity index on the heavy-hitter head. Only
+// counters whose error bound is small relative to the count are used, so
+// churned tail entries do not distort the slope.
+func alphaFromHead(heavy *sketch.SpaceSaving) (float64, bool) {
+	top := heavy.Top(heavy.Len())
+	counts := make([]int64, 0, len(top))
+	for _, c := range top {
+		if c.Err*4 > c.Count {
+			continue // unreliable: mostly inherited error
+		}
+		counts = append(counts, c.Count)
+	}
+	alpha, _, err := stats.PopularityIndex(counts)
+	if err != nil {
+		return 0, false
+	}
+	return alpha, true
+}

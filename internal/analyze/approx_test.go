@@ -1,0 +1,101 @@
+package analyze_test
+
+import (
+	"math"
+	"testing"
+
+	"webcachesim/internal/analyze"
+	"webcachesim/internal/doctype"
+	"webcachesim/internal/synth"
+	"webcachesim/internal/trace"
+)
+
+// TestApproxMatchesExact pins the bounded-memory characterizer against
+// the exact pass on a mid-size synthetic trace: shares within a couple of
+// percentage points, distinct counts within sketch error, size statistics
+// within sampling error.
+func TestApproxMatchesExact(t *testing.T) {
+	if testing.Short() {
+		t.Skip("characterization comparison is slow")
+	}
+	reqs, err := synth.Generate(synth.DFNProfile(), synth.Options{Seed: 21, Requests: 100_000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	exact, err := analyze.Characterize(trace.NewSliceReader(reqs), "exact")
+	if err != nil {
+		t.Fatal(err)
+	}
+	approx, err := analyze.CharacterizeApprox(trace.NewSliceReader(reqs), "approx", analyze.ApproxOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Request-side totals are exact in both.
+	if approx.Requests != exact.Requests || approx.ReqBytes != exact.ReqBytes {
+		t.Errorf("request totals differ: %d/%d vs %d/%d",
+			approx.Requests, approx.ReqBytes, exact.Requests, exact.ReqBytes)
+	}
+	// Distinct totals: sketch error.
+	relErr := math.Abs(float64(approx.DistinctDocs-exact.DistinctDocs)) / float64(exact.DistinctDocs)
+	if relErr > 0.05 {
+		t.Errorf("distinct docs %d vs exact %d (rel err %v)",
+			approx.DistinctDocs, exact.DistinctDocs, relErr)
+	}
+	relErr = math.Abs(float64(approx.DistinctBytes-exact.DistinctBytes)) / float64(exact.DistinctBytes)
+	if relErr > 0.05 {
+		t.Errorf("distinct bytes %d vs exact %d (rel err %v)",
+			approx.DistinctBytes, exact.DistinctBytes, relErr)
+	}
+
+	for _, cl := range []doctype.Class{doctype.Image, doctype.HTML, doctype.Application} {
+		e, a := exact.Classes[cl], approx.Classes[cl]
+		if a.Requests != e.Requests {
+			t.Errorf("%v: request counts differ (%d vs %d)", cl, a.Requests, e.Requests)
+		}
+		if e.DistinctDocs > 100 {
+			relErr := math.Abs(float64(a.DistinctDocs-e.DistinctDocs)) / float64(e.DistinctDocs)
+			if relErr > 0.06 {
+				t.Errorf("%v: distinct docs %d vs %d", cl, a.DistinctDocs, e.DistinctDocs)
+			}
+		}
+		if e.MedianTransferKB > 0 {
+			relErr := math.Abs(a.MedianTransferKB-e.MedianTransferKB) / e.MedianTransferKB
+			if relErr > 0.15 {
+				t.Errorf("%v: median transfer %v vs %v", cl, a.MedianTransferKB, e.MedianTransferKB)
+			}
+		}
+		// Means are exact in the approximate pass too.
+		if math.Abs(a.MeanTransferKB-e.MeanTransferKB) > 1e-9 {
+			t.Errorf("%v: mean transfer %v vs %v", cl, a.MeanTransferKB, e.MeanTransferKB)
+		}
+		if e.AlphaOK && a.AlphaOK && math.Abs(a.Alpha-e.Alpha) > 0.25 {
+			t.Errorf("%v: alpha %v vs exact %v", cl, a.Alpha, e.Alpha)
+		}
+		if a.BetaOK {
+			t.Errorf("%v: approximate pass claims a beta estimate", cl)
+		}
+	}
+}
+
+func TestApproxEmptyTrace(t *testing.T) {
+	c, err := analyze.CharacterizeApprox(trace.NewSliceReader(nil), "empty", analyze.ApproxOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Requests != 0 || c.DistinctDocs != 0 {
+		t.Errorf("empty trace produced counts: %+v", c)
+	}
+}
+
+func TestApproxOptionsValidated(t *testing.T) {
+	// Bad explicit options must surface as construction errors.
+	if _, err := analyze.CharacterizeApprox(trace.NewSliceReader(nil), "x",
+		analyze.ApproxOptions{HLLPrecision: 2}); err == nil {
+		t.Error("bad HLL precision accepted")
+	}
+	if _, err := analyze.CharacterizeApprox(trace.NewSliceReader(nil), "x",
+		analyze.ApproxOptions{ReservoirSize: -1}); err == nil {
+		t.Error("negative reservoir accepted")
+	}
+}

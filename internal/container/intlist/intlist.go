@@ -1,0 +1,150 @@
+// Package intlist implements an intrusive doubly-linked list with O(1)
+// splice operations. It is the recency substrate for LRU and for the
+// stack-distance machinery in the synthetic workload generator: elements
+// carry their payload and can be moved to the front, removed, or walked
+// from either end without allocation per operation beyond the element
+// itself.
+//
+// Compared to container/list, this implementation is generic (no interface
+// boxing on the hot path) and exposes MoveToFront/MoveToBack directly.
+package intlist
+
+// Element is a list node carrying a value of type T. Elements are created
+// by the List methods and remain valid until removed.
+type Element[T any] struct {
+	next, prev *Element[T]
+	list       *List[T]
+
+	// Value is the caller's payload.
+	Value T
+}
+
+// Next returns the following element, or nil at the back of the list.
+func (e *Element[T]) Next() *Element[T] {
+	if n := e.next; e.list != nil && n != &e.list.root {
+		return n
+	}
+	return nil
+}
+
+// Prev returns the preceding element, or nil at the front of the list.
+func (e *Element[T]) Prev() *Element[T] {
+	if p := e.prev; e.list != nil && p != &e.list.root {
+		return p
+	}
+	return nil
+}
+
+// List is a doubly-linked list with a sentinel root. The zero value is an
+// empty list ready to use. List is not safe for concurrent use.
+type List[T any] struct {
+	root Element[T]
+	len  int
+}
+
+// New returns an initialized empty list. The zero value works equally; New
+// exists for symmetry with container/list.
+func New[T any]() *List[T] { return new(List[T]) }
+
+func (l *List[T]) lazyInit() {
+	if l.root.next == nil {
+		l.root.next = &l.root
+		l.root.prev = &l.root
+	}
+}
+
+// Len returns the number of elements.
+func (l *List[T]) Len() int { return l.len }
+
+// Front returns the first element, or nil when the list is empty.
+func (l *List[T]) Front() *Element[T] {
+	if l.len == 0 {
+		return nil
+	}
+	return l.root.next
+}
+
+// Back returns the last element, or nil when the list is empty.
+func (l *List[T]) Back() *Element[T] {
+	if l.len == 0 {
+		return nil
+	}
+	return l.root.prev
+}
+
+// PushFront inserts value at the front and returns its element.
+func (l *List[T]) PushFront(value T) *Element[T] {
+	l.lazyInit()
+	return l.insertAfter(&Element[T]{Value: value}, &l.root)
+}
+
+// PushBack inserts value at the back and returns its element.
+func (l *List[T]) PushBack(value T) *Element[T] {
+	l.lazyInit()
+	return l.insertAfter(&Element[T]{Value: value}, l.root.prev)
+}
+
+// InsertBefore inserts value immediately before mark, which must belong to
+// this list; it returns nil if mark is foreign.
+func (l *List[T]) InsertBefore(value T, mark *Element[T]) *Element[T] {
+	if mark.list != l {
+		return nil
+	}
+	return l.insertAfter(&Element[T]{Value: value}, mark.prev)
+}
+
+// Remove unlinks e from the list and returns its value. Removing an
+// element that is not in this list is a no-op.
+func (l *List[T]) Remove(e *Element[T]) T {
+	if e.list == l {
+		l.unlink(e)
+	}
+	return e.Value
+}
+
+// MoveToFront moves e to the front. It is a no-op when e is foreign or
+// already first.
+func (l *List[T]) MoveToFront(e *Element[T]) {
+	if e.list != l || l.root.next == e {
+		return
+	}
+	l.unlink(e)
+	l.insertAfter(e, &l.root)
+}
+
+// MoveToBack moves e to the back. It is a no-op when e is foreign or
+// already last.
+func (l *List[T]) MoveToBack(e *Element[T]) {
+	if e.list != l || l.root.prev == e {
+		return
+	}
+	l.unlink(e)
+	l.insertAfter(e, l.root.prev)
+}
+
+// Do calls fn for each element value from front to back. fn must not
+// modify the list.
+func (l *List[T]) Do(fn func(T)) {
+	for e := l.Front(); e != nil; e = e.Next() {
+		fn(e.Value)
+	}
+}
+
+func (l *List[T]) insertAfter(e, at *Element[T]) *Element[T] {
+	e.prev = at
+	e.next = at.next
+	e.prev.next = e
+	e.next.prev = e
+	e.list = l
+	l.len++
+	return e
+}
+
+func (l *List[T]) unlink(e *Element[T]) {
+	e.prev.next = e.next
+	e.next.prev = e.prev
+	e.next = nil
+	e.prev = nil
+	e.list = nil
+	l.len--
+}

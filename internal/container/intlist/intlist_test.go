@@ -1,0 +1,196 @@
+package intlist
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func contents[T any](l *List[T]) []T {
+	out := make([]T, 0, l.Len())
+	l.Do(func(v T) { out = append(out, v) })
+	return out
+}
+
+func equal(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestEmptyList(t *testing.T) {
+	var l List[int]
+	if l.Len() != 0 || l.Front() != nil || l.Back() != nil {
+		t.Error("zero-value list not empty")
+	}
+}
+
+func TestPushFrontBack(t *testing.T) {
+	var l List[int]
+	l.PushBack(2)
+	l.PushFront(1)
+	l.PushBack(3)
+	if got := contents(&l); !equal(got, []int{1, 2, 3}) {
+		t.Errorf("contents = %v, want [1 2 3]", got)
+	}
+	if l.Front().Value != 1 || l.Back().Value != 3 {
+		t.Error("Front/Back wrong")
+	}
+}
+
+func TestRemove(t *testing.T) {
+	var l List[int]
+	a := l.PushBack(1)
+	b := l.PushBack(2)
+	c := l.PushBack(3)
+	if got := l.Remove(b); got != 2 {
+		t.Errorf("Remove returned %d, want 2", got)
+	}
+	if got := contents(&l); !equal(got, []int{1, 3}) {
+		t.Errorf("contents = %v, want [1 3]", got)
+	}
+	l.Remove(a)
+	l.Remove(c)
+	if l.Len() != 0 {
+		t.Errorf("Len = %d, want 0", l.Len())
+	}
+	// Double remove is a no-op.
+	l.Remove(a)
+	if l.Len() != 0 {
+		t.Error("double remove corrupted length")
+	}
+}
+
+func TestMoveToFrontBack(t *testing.T) {
+	var l List[string]
+	a := l.PushBack("a")
+	l.PushBack("b")
+	c := l.PushBack("c")
+
+	l.MoveToFront(c)
+	if got := contents(&l); got[0] != "c" || got[2] != "b" {
+		t.Errorf("after MoveToFront: %v", got)
+	}
+	l.MoveToBack(c)
+	if got := contents(&l); got[2] != "c" {
+		t.Errorf("after MoveToBack: %v", got)
+	}
+	// Moving the element already in place is a no-op.
+	l.MoveToFront(a)
+	l.MoveToFront(a)
+	if got := contents(&l); got[0] != "a" {
+		t.Errorf("after double MoveToFront: %v", got)
+	}
+}
+
+func TestForeignElementOps(t *testing.T) {
+	var l1, l2 List[int]
+	e := l1.PushBack(1)
+	l2.PushBack(2)
+	l2.MoveToFront(e) // no-op
+	l2.MoveToBack(e)  // no-op
+	l2.Remove(e)      // no-op
+	if l2.Len() != 1 || l1.Len() != 1 {
+		t.Error("foreign element operations corrupted lists")
+	}
+	if got := l2.InsertBefore(9, e); got != nil {
+		t.Error("InsertBefore with foreign mark should return nil")
+	}
+}
+
+func TestInsertBefore(t *testing.T) {
+	var l List[int]
+	l.PushBack(1)
+	three := l.PushBack(3)
+	l.InsertBefore(2, three)
+	if got := contents(&l); !equal(got, []int{1, 2, 3}) {
+		t.Errorf("contents = %v, want [1 2 3]", got)
+	}
+}
+
+func TestIterationBothWays(t *testing.T) {
+	var l List[int]
+	for i := 1; i <= 5; i++ {
+		l.PushBack(i)
+	}
+	var fwd []int
+	for e := l.Front(); e != nil; e = e.Next() {
+		fwd = append(fwd, e.Value)
+	}
+	var bwd []int
+	for e := l.Back(); e != nil; e = e.Prev() {
+		bwd = append(bwd, e.Value)
+	}
+	if !equal(fwd, []int{1, 2, 3, 4, 5}) || !equal(bwd, []int{5, 4, 3, 2, 1}) {
+		t.Errorf("fwd %v bwd %v", fwd, bwd)
+	}
+}
+
+// TestRandomOpsAgainstSlice cross-checks list behaviour against a slice
+// model over a long random operation sequence.
+func TestRandomOpsAgainstSlice(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	var l List[int]
+	var elems []*Element[int]
+	var model []int
+	for op := 0; op < 4000; op++ {
+		switch r := rng.Intn(10); {
+		case r < 4 || len(model) == 0: // push front/back
+			v := op
+			if rng.Intn(2) == 0 {
+				elems = append([]*Element[int]{l.PushFront(v)}, elems...)
+				model = append([]int{v}, model...)
+			} else {
+				elems = append(elems, l.PushBack(v))
+				model = append(model, v)
+			}
+		case r < 6: // remove random
+			i := rng.Intn(len(model))
+			l.Remove(elems[i])
+			elems = append(elems[:i], elems[i+1:]...)
+			model = append(model[:i], model[i+1:]...)
+		case r < 8: // move to front
+			i := rng.Intn(len(model))
+			l.MoveToFront(elems[i])
+			e, v := elems[i], model[i]
+			elems = append(elems[:i], elems[i+1:]...)
+			model = append(model[:i], model[i+1:]...)
+			elems = append([]*Element[int]{e}, elems...)
+			model = append([]int{v}, model...)
+		default: // move to back
+			i := rng.Intn(len(model))
+			l.MoveToBack(elems[i])
+			e, v := elems[i], model[i]
+			elems = append(elems[:i], elems[i+1:]...)
+			model = append(model[:i], model[i+1:]...)
+			elems = append(elems, e)
+			model = append(model, v)
+		}
+		if l.Len() != len(model) {
+			t.Fatalf("op %d: Len %d, model %d", op, l.Len(), len(model))
+		}
+	}
+	if got := contents(&l); !equal(got, model) {
+		t.Fatalf("final contents diverged:\n list: %v\nmodel: %v", got, model)
+	}
+}
+
+// Property: pushing values back and iterating returns them in order.
+func TestPushBackOrderProperty(t *testing.T) {
+	f := func(vals []int) bool {
+		var l List[int]
+		for _, v := range vals {
+			l.PushBack(v)
+		}
+		return equal(contents(&l), vals) && l.Len() == len(vals)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,167 @@
+// Package pqueue implements an indexed, updatable binary min-heap keyed by
+// float64 priorities. It is the eviction substrate for the value-based
+// replacement schemes (GDS, GD*, LFU-DA): each cached document holds a heap
+// handle, hits update the document's priority in place, and eviction pops
+// the minimum.
+//
+// Ties are broken by insertion sequence (FIFO among equal priorities),
+// which makes simulations deterministic and matches the behaviour of the
+// reference implementations, where among equal H values the oldest entry is
+// evicted first.
+package pqueue
+
+import "errors"
+
+// ErrEmpty reports an operation on an empty queue.
+var ErrEmpty = errors.New("pqueue: empty queue")
+
+// Item is a queue entry. The zero value is not meaningful; items are
+// created by Queue.Push and stay valid until removed or popped. An Item
+// must not be shared between queues.
+type Item[T any] struct {
+	// Value is the caller's payload.
+	Value T
+
+	priority float64
+	seq      uint64
+	index    int
+}
+
+// Priority returns the item's current priority.
+func (it *Item[T]) Priority() float64 { return it.priority }
+
+// Queue is a min-heap of items ordered by priority. The zero value is an
+// empty queue ready for use. Queue is not safe for concurrent use.
+type Queue[T any] struct {
+	heap []*Item[T]
+	seq  uint64
+}
+
+// Len returns the number of items in the queue.
+func (q *Queue[T]) Len() int { return len(q.heap) }
+
+// Push inserts value with the given priority and returns its handle.
+func (q *Queue[T]) Push(value T, priority float64) *Item[T] {
+	q.seq++
+	it := &Item[T]{Value: value, priority: priority, seq: q.seq, index: len(q.heap)}
+	q.heap = append(q.heap, it)
+	q.up(it.index)
+	return it
+}
+
+// Min returns the item with the smallest priority without removing it.
+// It returns ErrEmpty when the queue is empty.
+func (q *Queue[T]) Min() (*Item[T], error) {
+	if len(q.heap) == 0 {
+		return nil, ErrEmpty
+	}
+	return q.heap[0], nil
+}
+
+// PopMin removes and returns the item with the smallest priority.
+// It returns ErrEmpty when the queue is empty.
+func (q *Queue[T]) PopMin() (*Item[T], error) {
+	if len(q.heap) == 0 {
+		return nil, ErrEmpty
+	}
+	it := q.heap[0]
+	q.removeAt(0)
+	return it, nil
+}
+
+// Update changes the priority of an item in place, restoring heap order.
+// The item must currently be in the queue.
+func (q *Queue[T]) Update(it *Item[T], priority float64) {
+	if it.index < 0 || it.index >= len(q.heap) || q.heap[it.index] != it {
+		return // Item is not in this queue; ignore rather than corrupt.
+	}
+	// Refresh the sequence number so that, among equal priorities, a
+	// just-updated (touched) item is evicted after untouched ones.
+	q.seq++
+	it.priority = priority
+	it.seq = q.seq
+	if !q.down(it.index) {
+		q.up(it.index)
+	}
+}
+
+// Remove deletes an item from the queue. Removing an item that is not in
+// the queue is a no-op.
+func (q *Queue[T]) Remove(it *Item[T]) {
+	if it.index < 0 || it.index >= len(q.heap) || q.heap[it.index] != it {
+		return
+	}
+	q.removeAt(it.index)
+}
+
+// Items returns the queue contents in arbitrary (heap) order. The returned
+// slice is freshly allocated.
+func (q *Queue[T]) Items() []*Item[T] {
+	out := make([]*Item[T], len(q.heap))
+	copy(out, q.heap)
+	return out
+}
+
+func (q *Queue[T]) removeAt(i int) {
+	it := q.heap[i]
+	last := len(q.heap) - 1
+	if i != last {
+		q.swap(i, last)
+	}
+	q.heap[last] = nil
+	q.heap = q.heap[:last]
+	if i != last && i < len(q.heap) {
+		if !q.down(i) {
+			q.up(i)
+		}
+	}
+	it.index = -1
+}
+
+// less orders items by priority, breaking ties by sequence number.
+func (q *Queue[T]) less(i, j int) bool {
+	a, b := q.heap[i], q.heap[j]
+	if a.priority != b.priority {
+		return a.priority < b.priority
+	}
+	return a.seq < b.seq
+}
+
+func (q *Queue[T]) swap(i, j int) {
+	q.heap[i], q.heap[j] = q.heap[j], q.heap[i]
+	q.heap[i].index = i
+	q.heap[j].index = j
+}
+
+func (q *Queue[T]) up(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !q.less(i, parent) {
+			break
+		}
+		q.swap(i, parent)
+		i = parent
+	}
+}
+
+// down sifts index i toward the leaves; it reports whether the item moved.
+func (q *Queue[T]) down(i int) bool {
+	start := i
+	n := len(q.heap)
+	for {
+		left := 2*i + 1
+		if left >= n {
+			break
+		}
+		smallest := left
+		if right := left + 1; right < n && q.less(right, left) {
+			smallest = right
+		}
+		if !q.less(smallest, i) {
+			break
+		}
+		q.swap(i, smallest)
+		i = smallest
+	}
+	return i != start
+}

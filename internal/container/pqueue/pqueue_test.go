@@ -1,0 +1,231 @@
+package pqueue
+
+import (
+	"errors"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestEmptyQueue(t *testing.T) {
+	var q Queue[string]
+	if q.Len() != 0 {
+		t.Errorf("Len = %d, want 0", q.Len())
+	}
+	if _, err := q.Min(); !errors.Is(err, ErrEmpty) {
+		t.Errorf("Min on empty = %v, want ErrEmpty", err)
+	}
+	if _, err := q.PopMin(); !errors.Is(err, ErrEmpty) {
+		t.Errorf("PopMin on empty = %v, want ErrEmpty", err)
+	}
+}
+
+func TestPushPopOrder(t *testing.T) {
+	var q Queue[int]
+	prios := []float64{5, 1, 4, 2, 3, 0.5, 10}
+	for i, p := range prios {
+		q.Push(i, p)
+	}
+	want := append([]float64(nil), prios...)
+	sort.Float64s(want)
+	for _, w := range want {
+		it, err := q.PopMin()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if it.Priority() != w {
+			t.Errorf("popped priority %v, want %v", it.Priority(), w)
+		}
+	}
+	if q.Len() != 0 {
+		t.Errorf("Len after drain = %d", q.Len())
+	}
+}
+
+func TestFIFOTieBreak(t *testing.T) {
+	var q Queue[string]
+	q.Push("first", 1)
+	q.Push("second", 1)
+	q.Push("third", 1)
+	for _, want := range []string{"first", "second", "third"} {
+		it, err := q.PopMin()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if it.Value != want {
+			t.Errorf("popped %q, want %q", it.Value, want)
+		}
+	}
+}
+
+func TestUpdateReordersAndRefreshesTie(t *testing.T) {
+	var q Queue[string]
+	a := q.Push("a", 1)
+	q.Push("b", 2)
+	c := q.Push("c", 3)
+
+	q.Update(c, 0.5)
+	it, _ := q.Min()
+	if it.Value != "c" {
+		t.Errorf("Min after update = %q, want c", it.Value)
+	}
+
+	// Updating "a" to the same priority as "c" must make "a" newer: "c"
+	// still pops first.
+	q.Update(a, 0.5)
+	it, _ = q.PopMin()
+	if it.Value != "c" {
+		t.Errorf("popped %q, want c (update refreshes tie order)", it.Value)
+	}
+	it, _ = q.PopMin()
+	if it.Value != "a" {
+		t.Errorf("popped %q, want a", it.Value)
+	}
+}
+
+func TestRemove(t *testing.T) {
+	var q Queue[int]
+	items := make([]*Item[int], 10)
+	for i := range items {
+		items[i] = q.Push(i, float64(i))
+	}
+	q.Remove(items[0]) // remove min
+	q.Remove(items[5]) // remove middle
+	q.Remove(items[9]) // remove last
+	q.Remove(items[5]) // double-remove is a no-op
+	if q.Len() != 7 {
+		t.Fatalf("Len = %d, want 7", q.Len())
+	}
+	var got []float64
+	for q.Len() > 0 {
+		it, _ := q.PopMin()
+		got = append(got, it.Priority())
+	}
+	want := []float64{1, 2, 3, 4, 6, 7, 8}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("drained %v, want %v", got, want)
+		}
+	}
+}
+
+func TestUpdateForeignItemIgnored(t *testing.T) {
+	var q1, q2 Queue[int]
+	it := q1.Push(1, 1)
+	q2.Push(2, 2)
+	q2.Update(it, 0) // must not corrupt q2
+	got, _ := q2.Min()
+	if got.Value != 2 || got.Priority() != 2 {
+		t.Errorf("foreign update corrupted queue: %v %v", got.Value, got.Priority())
+	}
+	q1.Remove(it)
+	q1.Update(it, 42) // update of a removed item must be ignored
+	if q1.Len() != 0 {
+		t.Error("update of removed item re-inserted it")
+	}
+}
+
+func TestItemsSnapshot(t *testing.T) {
+	var q Queue[int]
+	for i := 0; i < 5; i++ {
+		q.Push(i, float64(i))
+	}
+	items := q.Items()
+	if len(items) != 5 {
+		t.Fatalf("Items len = %d, want 5", len(items))
+	}
+	items[0] = nil // must not affect queue
+	if _, err := q.Min(); err != nil {
+		t.Error("mutating snapshot affected queue")
+	}
+}
+
+// TestHeapInvariantRandomOps drives a random operation sequence and
+// cross-checks against a reference model.
+func TestHeapInvariantRandomOps(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	var q Queue[int]
+	type entry struct {
+		item *Item[int]
+		prio float64
+		seq  int
+	}
+	var model []entry
+	seq := 0
+	minOf := func() (float64, int) {
+		best := -1
+		for i, e := range model {
+			if best < 0 || e.prio < model[best].prio ||
+				(e.prio == model[best].prio && e.seq < model[best].seq) {
+				best = i
+			}
+		}
+		_ = best
+		return model[best].prio, best
+	}
+	for op := 0; op < 5000; op++ {
+		switch r := rng.Intn(10); {
+		case r < 5 || len(model) == 0: // push
+			p := float64(rng.Intn(100))
+			seq++
+			model = append(model, entry{item: q.Push(op, p), prio: p, seq: seq})
+		case r < 7: // update
+			i := rng.Intn(len(model))
+			p := float64(rng.Intn(100))
+			seq++
+			q.Update(model[i].item, p)
+			model[i].prio, model[i].seq = p, seq
+		case r < 8: // remove
+			i := rng.Intn(len(model))
+			q.Remove(model[i].item)
+			model[i] = model[len(model)-1]
+			model = model[:len(model)-1]
+		default: // pop min
+			wantPrio, idx := minOf()
+			it, err := q.PopMin()
+			if err != nil {
+				t.Fatalf("op %d: PopMin: %v", op, err)
+			}
+			if it.Priority() != wantPrio {
+				t.Fatalf("op %d: popped %v, model min %v", op, it.Priority(), wantPrio)
+			}
+			model[idx] = model[len(model)-1]
+			model = model[:len(model)-1]
+		}
+		if q.Len() != len(model) {
+			t.Fatalf("op %d: Len %d, model %d", op, q.Len(), len(model))
+		}
+	}
+}
+
+// Property: pushing any set of priorities and draining yields sorted order.
+func TestDrainSortedProperty(t *testing.T) {
+	f := func(prios []float64) bool {
+		var q Queue[int]
+		valid := prios[:0]
+		for _, p := range prios {
+			if p == p { // skip NaN, which has no total order
+				valid = append(valid, p)
+			}
+		}
+		for i, p := range valid {
+			q.Push(i, p)
+		}
+		prev := 0.0
+		for i := 0; q.Len() > 0; i++ {
+			it, err := q.PopMin()
+			if err != nil {
+				return false
+			}
+			if i > 0 && it.Priority() < prev {
+				return false
+			}
+			prev = it.Priority()
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

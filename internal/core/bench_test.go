@@ -1,0 +1,91 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"webcachesim/internal/policy"
+	"webcachesim/internal/trace"
+)
+
+// benchWorkload builds a mixed workload for simulator throughput
+// benchmarks.
+func benchWorkload(b *testing.B, requests int) *Workload {
+	b.Helper()
+	rng := rand.New(rand.NewSource(1))
+	exts := []string{"gif", "html", "mp3", "pdf"}
+	reqs := make([]*trace.Request, 0, requests)
+	for i := 0; i < requests; i++ {
+		id := int(float64(requests/3) * rng.Float64() * rng.Float64())
+		ext := exts[id%len(exts)]
+		size := int64(200 + rng.Intn(50_000))
+		reqs = append(reqs, &trace.Request{
+			URL:          fmt.Sprintf("http://bench/d%d.%s", id, ext),
+			Status:       200,
+			TransferSize: size,
+			DocSize:      size,
+		})
+	}
+	w, err := BuildWorkload(trace.NewSliceReader(reqs), 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return w
+}
+
+// BenchmarkSimulatorEventThroughput measures events/second per policy —
+// the quantity that bounds full-trace simulation time.
+func BenchmarkSimulatorEventThroughput(b *testing.B) {
+	w := benchWorkload(b, 50_000)
+	for _, f := range policy.StudyFactories() {
+		b.Run(f.Name, func(b *testing.B) {
+			sim, err := NewSimulator(w, Config{Capacity: 4 << 20, Policy: f})
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				sim.Process(&w.Events[i%len(w.Events)])
+			}
+		})
+	}
+}
+
+// BenchmarkBuildWorkload measures trace preprocessing throughput.
+func BenchmarkBuildWorkload(b *testing.B) {
+	rng := rand.New(rand.NewSource(2))
+	reqs := make([]*trace.Request, 20_000)
+	for i := range reqs {
+		size := int64(100 + rng.Intn(10_000))
+		reqs[i] = &trace.Request{
+			URL:          fmt.Sprintf("http://bench/d%d.gif", rng.Intn(5000)),
+			Status:       200,
+			TransferSize: size,
+			DocSize:      size,
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := BuildWorkload(trace.NewSliceReader(reqs), 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSweepParallel measures the policy × size grid fan-out.
+func BenchmarkSweepParallel(b *testing.B) {
+	w := benchWorkload(b, 20_000)
+	cfg := SweepConfig{
+		Policies:   policy.StudyFactories(),
+		Capacities: []int64{1 << 20, 4 << 20, 16 << 20},
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Sweep(w, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

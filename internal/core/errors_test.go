@@ -1,0 +1,54 @@
+package core
+
+import (
+	"errors"
+	"testing"
+
+	"webcachesim/internal/policy"
+	"webcachesim/internal/trace"
+)
+
+// failingReader yields a few good requests, then a permanent error —
+// simulating a truncated or unreadable trace file mid-stream.
+type failingReader struct {
+	good []*trace.Request
+	pos  int
+	err  error
+}
+
+func (f *failingReader) Next() (*trace.Request, error) {
+	if f.pos < len(f.good) {
+		f.pos++
+		return f.good[f.pos-1], nil
+	}
+	return nil, f.err
+}
+
+var errDisk = errors.New("disk exploded")
+
+func TestBuildWorkloadPropagatesReaderError(t *testing.T) {
+	r := &failingReader{good: []*trace.Request{req("http://e.com/a.gif", 10)}, err: errDisk}
+	_, err := BuildWorkload(r, 0)
+	if !errors.Is(err, errDisk) {
+		t.Errorf("got %v, want wrapped errDisk", err)
+	}
+}
+
+func TestStreamSimulatorPropagatesReaderError(t *testing.T) {
+	s, err := NewStreamSimulator(Config{
+		Capacity: 1000,
+		Policy:   policy.MustFactory(policy.Spec{Scheme: "lru"}),
+	}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := &failingReader{good: []*trace.Request{req("http://e.com/a.gif", 10)}, err: errDisk}
+	_, err = s.Run(r, 0)
+	if !errors.Is(err, errDisk) {
+		t.Errorf("got %v, want wrapped errDisk", err)
+	}
+	// State accumulated before the failure is still observable.
+	if got := s.Result().Overall.Requests; got != 1 {
+		t.Errorf("requests before failure = %d, want 1", got)
+	}
+}

@@ -1,0 +1,37 @@
+package core_test
+
+import (
+	"fmt"
+
+	"webcachesim/internal/core"
+	"webcachesim/internal/policy"
+	"webcachesim/internal/trace"
+)
+
+// Example simulates a three-request stream against a 1 MB LRU cache: the
+// repeat reference hits, the size-modified reference misses.
+func Example() {
+	reqs := []*trace.Request{
+		{URL: "http://e.com/a.html", Status: 200, TransferSize: 1000, DocSize: 1000},
+		{URL: "http://e.com/a.html", Status: 200, TransferSize: 1000, DocSize: 1000},
+		{URL: "http://e.com/a.html", Status: 200, TransferSize: 1010, DocSize: 1010}, // +1%: modified
+	}
+	w, err := core.BuildWorkload(trace.NewSliceReader(reqs), 0)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	sim, err := core.NewSimulator(w, core.Config{
+		Capacity:       1 << 20,
+		Policy:         policy.MustFactory(policy.Spec{Scheme: "lru"}),
+		WarmupFraction: -1, // measure from the first request
+	})
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	r := sim.Run(w)
+	fmt.Printf("requests=%d hits=%d modifications=%d\n",
+		r.Overall.Requests, r.Overall.Hits, r.Modifications)
+	// Output: requests=3 hits=1 modifications=1
+}

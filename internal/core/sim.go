@@ -1,0 +1,242 @@
+package core
+
+import (
+	"errors"
+
+	"webcachesim/internal/doctype"
+	"webcachesim/internal/policy"
+)
+
+// Config parameterizes one simulation run.
+type Config struct {
+	// Capacity is the cache size in bytes. It must be positive.
+	Capacity int64
+	// Policy creates the replacement scheme under test.
+	Policy policy.Factory
+	// WarmupFraction is the share of requests used to fill the cache
+	// before measurement starts; the paper uses 0.10. A negative value
+	// selects 0 (measure from the first request); 0 selects the default.
+	WarmupFraction float64
+	// SampleEvery enables the occupancy time series: a sample is recorded
+	// every SampleEvery requests. 0 disables sampling.
+	SampleEvery int64
+}
+
+// DefaultWarmupFraction is the paper's cold-start rule: 10% of the total
+// requests fill the cache before hit rates are measured.
+const DefaultWarmupFraction = 0.10
+
+// ErrBadConfig reports an invalid simulation configuration.
+var ErrBadConfig = errors.New("core: invalid config")
+
+// Simulator replays a Workload against one policy at one cache size.
+type Simulator struct {
+	cfg    Config
+	pol    policy.Policy
+	keys   []string
+	docs   []*policy.Doc // DocID -> resident document, nil when absent
+	used   int64
+	result Result
+
+	residentDocs  [doctype.NumClasses + 1]int64
+	residentBytes [doctype.NumClasses + 1]int64
+
+	processed int64
+	warmup    int64
+	sample    int64
+}
+
+// NewSimulator prepares a simulator for the given workload. The workload
+// is shared and never mutated; each simulator allocates only its own
+// per-document residency table.
+func NewSimulator(w *Workload, cfg Config) (*Simulator, error) {
+	if cfg.Capacity <= 0 {
+		return nil, errBadConfig("capacity %d must be positive", cfg.Capacity)
+	}
+	if cfg.Policy.New == nil {
+		return nil, errBadConfig("policy factory is nil")
+	}
+	warmupFrac := cfg.WarmupFraction
+	switch {
+	case warmupFrac == 0:
+		warmupFrac = DefaultWarmupFraction
+	case warmupFrac < 0:
+		warmupFrac = 0
+	case warmupFrac >= 1:
+		return nil, errBadConfig("warmup fraction %v must be < 1", warmupFrac)
+	}
+	warmup := int64(warmupFrac * float64(len(w.Events)))
+	return &Simulator{
+		cfg:    cfg,
+		pol:    cfg.Policy.New(),
+		keys:   w.Keys,
+		docs:   make([]*policy.Doc, len(w.Keys)),
+		warmup: warmup,
+		sample: cfg.SampleEvery,
+		result: Result{
+			Policy:         cfg.Policy.Name,
+			Capacity:       cfg.Capacity,
+			WarmupRequests: warmup,
+		},
+	}, nil
+}
+
+// Outcome reports how the cache disposed of one request.
+type Outcome uint8
+
+// The possible request dispositions.
+const (
+	// OutcomeHit is a cache hit.
+	OutcomeHit Outcome = iota + 1
+	// OutcomeMiss is a plain miss (document absent).
+	OutcomeMiss
+	// OutcomeModified is a miss caused by a document modification
+	// invalidating the cached copy.
+	OutcomeModified
+)
+
+// Hit reports whether the outcome is a cache hit.
+func (o Outcome) Hit() bool { return o == OutcomeHit }
+
+// Run replays the whole workload and returns the result.
+func (s *Simulator) Run(w *Workload) *Result {
+	for i := range w.Events {
+		s.Process(&w.Events[i])
+	}
+	return s.Result()
+}
+
+// Process replays a single event and reports its disposition (the miss
+// stream is what a parent cache in a hierarchy sees).
+func (s *Simulator) Process(ev *Event) Outcome {
+	s.processed++
+	measured := s.processed > s.warmup
+
+	resident := s.docs[ev.DocID]
+	hit := resident != nil && !ev.Modified
+
+	if measured {
+		s.count(ev, hit)
+	}
+
+	outcome := OutcomeMiss
+	switch {
+	case hit:
+		outcome = OutcomeHit
+		// A resident document may have grown through a completed transfer
+		// after an earlier interruption; recharge the difference.
+		if resident.Size != ev.DocSize {
+			s.recharge(resident, ev.DocSize)
+		}
+		s.pol.Hit(resident)
+	case resident != nil:
+		// Modified: the cached copy is stale; drop and refetch.
+		outcome = OutcomeModified
+		if measured {
+			s.result.Modifications++
+		}
+		s.remove(resident, ev.DocID)
+		s.insert(ev, measured)
+	default:
+		s.insert(ev, measured)
+	}
+
+	if s.sample > 0 && s.processed%s.sample == 0 {
+		s.takeSample()
+	}
+	return outcome
+}
+
+// Result finalizes and returns the accumulated result. It may be called
+// repeatedly; each call reflects the events processed so far.
+func (s *Simulator) Result() *Result {
+	r := s.result
+	for _, c := range doctype.Classes {
+		r.Overall.add(r.ByClass[c])
+	}
+	return &r
+}
+
+// Used returns the current cache occupancy in bytes (for tests).
+func (s *Simulator) Used() int64 { return s.used }
+
+func (s *Simulator) count(ev *Event, hit bool) {
+	c := &s.result.ByClass[ev.Class]
+	c.Requests++
+	c.ReqBytes += ev.TransferSize
+	if hit {
+		c.Hits++
+		c.HitBytes += ev.TransferSize
+	}
+}
+
+func (s *Simulator) insert(ev *Event, measured bool) {
+	size := ev.DocSize
+	if size > s.cfg.Capacity {
+		if measured {
+			s.result.Uncachable++
+		}
+		return
+	}
+	for s.used+size > s.cfg.Capacity {
+		victim, ok := s.pol.Evict()
+		if !ok {
+			return // The policy tracks nothing; should be unreachable.
+		}
+		s.evicted(victim)
+	}
+	doc := &policy.Doc{Key: s.keys[ev.DocID], ID: ev.DocID, Size: size, Class: ev.Class}
+	s.docs[ev.DocID] = doc
+	s.used += size
+	s.residentDocs[ev.Class]++
+	s.residentBytes[ev.Class] += size
+	s.pol.Insert(doc)
+}
+
+// evicted settles accounting after the policy returned a victim.
+func (s *Simulator) evicted(victim *policy.Doc) {
+	s.result.Evictions++
+	s.used -= victim.Size
+	s.residentDocs[victim.Class]--
+	s.residentBytes[victim.Class] -= victim.Size
+	if id := victim.ID; s.docs[id] == victim {
+		s.docs[id] = nil
+	}
+}
+
+func (s *Simulator) remove(doc *policy.Doc, id int32) {
+	s.pol.Remove(doc)
+	s.used -= doc.Size
+	s.residentDocs[doc.Class]--
+	s.residentBytes[doc.Class] -= doc.Size
+	s.docs[id] = nil
+}
+
+// recharge adjusts occupancy when a resident document's recorded size
+// changed without a modification (completed transfer after an earlier
+// interruption). If the grown document no longer fits, room is made as on
+// insert.
+func (s *Simulator) recharge(doc *policy.Doc, newSize int64) {
+	delta := newSize - doc.Size
+	s.residentBytes[doc.Class] += delta
+	s.used += delta
+	doc.Size = newSize
+	for s.used > s.cfg.Capacity {
+		victim, ok := s.pol.Evict()
+		if !ok {
+			return
+		}
+		s.evicted(victim)
+	}
+}
+
+func (s *Simulator) takeSample() {
+	sample := OccupancySample{Request: s.processed}
+	for _, c := range doctype.Classes {
+		sample.Docs[c] = s.residentDocs[c]
+		sample.Bytes[c] = s.residentBytes[c]
+		sample.TotalDocs += s.residentDocs[c]
+		sample.TotalBytes += s.residentBytes[c]
+	}
+	s.result.Occupancy = append(s.result.Occupancy, sample)
+}

@@ -1,0 +1,132 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"webcachesim/internal/policy"
+	"webcachesim/internal/trace"
+)
+
+// TestStreamMatchesBatch pins the streaming path against the
+// materialized path: identical requests, identical results.
+func TestStreamMatchesBatch(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	exts := []string{"gif", "html", "mp3", "pdf", "xyz"}
+	var reqs []*trace.Request
+	for i := 0; i < 5000; i++ {
+		id := rng.Intn(500)
+		size := int64(100 + rng.Intn(80_000))
+		// Inject size churn so modification/interruption paths exercise.
+		switch rng.Intn(10) {
+		case 0:
+			size = size + size/50 // ~2%: modification
+		case 1:
+			size = size / 3 // interruption-scale change
+		}
+		reqs = append(reqs, req(fmt.Sprintf("http://e.com/d%d.%s", id, exts[id%len(exts)]), size))
+	}
+
+	for _, f := range policy.StudyFactories() {
+		t.Run(f.Name, func(t *testing.T) {
+			w, err := BuildWorkload(trace.NewSliceReader(reqs), 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			warmup := int64(len(reqs) / 10)
+			batch, err := NewSimulator(w, Config{
+				Capacity:       2_000_000,
+				Policy:         f,
+				WarmupFraction: 0.1,
+				SampleEvery:    1000,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := batch.Run(w)
+
+			stream, err := NewStreamSimulator(Config{
+				Capacity:    2_000_000,
+				Policy:      f,
+				SampleEvery: 1000,
+			}, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := stream.Run(trace.NewSliceReader(reqs), warmup)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(got, want) {
+				t.Errorf("streaming result diverges from batch:\n got %+v\nwant %+v", got, want)
+			}
+		})
+	}
+}
+
+func TestStreamSimulatorValidation(t *testing.T) {
+	lru := policy.MustFactory(policy.Spec{Scheme: "lru"})
+	if _, err := NewStreamSimulator(Config{Policy: lru}, 0); err == nil {
+		t.Error("zero capacity accepted")
+	}
+	if _, err := NewStreamSimulator(Config{Capacity: 100}, 0); err == nil {
+		t.Error("nil policy accepted")
+	}
+	if _, err := NewStreamSimulator(Config{Capacity: 100, Policy: lru, WarmupFraction: 0.1}, 0); err == nil {
+		t.Error("warmup fraction accepted on streaming path")
+	}
+}
+
+func TestStreamSimulatorAblationThreshold(t *testing.T) {
+	// With the any-change rule a 50% size change is a modification (miss);
+	// with the paper rule it is an interruption (hit).
+	reqs := []*trace.Request{
+		req("http://e.com/a.mpg", 1000),
+		req("http://e.com/a.mpg", 500),
+	}
+	lru := policy.MustFactory(policy.Spec{Scheme: "lru"})
+
+	strict, err := NewStreamSimulator(Config{Capacity: 10_000, Policy: lru}, -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := strict.Run(trace.NewSliceReader(reqs), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Overall.Hits != 0 || r.Modifications != 1 {
+		t.Errorf("any-change rule: %+v", r)
+	}
+
+	paper, err := NewStreamSimulator(Config{Capacity: 10_000, Policy: lru}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err = paper.Run(trace.NewSliceReader(reqs), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Overall.Hits != 1 || r.Modifications != 0 {
+		t.Errorf("paper rule: %+v", r)
+	}
+}
+
+func TestStreamSimulatorIncremental(t *testing.T) {
+	// Process is usable request by request, with Result available at any
+	// point.
+	s, err := NewStreamSimulator(Config{
+		Capacity: 10_000,
+		Policy:   policy.MustFactory(policy.Spec{Scheme: "lru"}),
+	}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Process(req("http://e.com/a.gif", 100))
+	s.Process(req("http://e.com/a.gif", 100))
+	r := s.Result()
+	if r.Overall.Requests != 2 || r.Overall.Hits != 1 {
+		t.Errorf("incremental result: %+v", r.Overall)
+	}
+}

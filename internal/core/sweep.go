@@ -1,0 +1,131 @@
+package core
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+
+	"webcachesim/internal/policy"
+)
+
+func errBadConfig(format string, args ...any) error {
+	return fmt.Errorf("%w: %s", ErrBadConfig, fmt.Sprintf(format, args...))
+}
+
+// SweepConfig describes a policy × cache-size grid, the shape of every
+// performance figure in the paper.
+type SweepConfig struct {
+	// Policies lists the replacement schemes to compare.
+	Policies []policy.Factory
+	// Capacities lists the cache sizes in bytes.
+	Capacities []int64
+	// WarmupFraction and SampleEvery are passed through to each run (see
+	// Config).
+	WarmupFraction float64
+	SampleEvery    int64
+	// Parallelism bounds the number of concurrent simulations; 0 selects
+	// GOMAXPROCS.
+	Parallelism int
+}
+
+// Sweep simulates every (policy, capacity) cell of the grid over the same
+// workload, fanning the independent runs out across goroutines, and
+// returns the results ordered by policy (grid order), then capacity
+// (ascending).
+func Sweep(w *Workload, cfg SweepConfig) ([]*Result, error) {
+	if len(cfg.Policies) == 0 {
+		return nil, errBadConfig("no policies")
+	}
+	if len(cfg.Capacities) == 0 {
+		return nil, errBadConfig("no capacities")
+	}
+	type cell struct {
+		policyIdx int
+		capIdx    int
+	}
+	cells := make([]cell, 0, len(cfg.Policies)*len(cfg.Capacities))
+	for pi := range cfg.Policies {
+		for ci := range cfg.Capacities {
+			cells = append(cells, cell{policyIdx: pi, capIdx: ci})
+		}
+	}
+
+	// Validate configurations up front so the fan-out cannot fail.
+	sims := make([]*Simulator, len(cells))
+	for i, c := range cells {
+		sim, err := NewSimulator(w, Config{
+			Capacity:       cfg.Capacities[c.capIdx],
+			Policy:         cfg.Policies[c.policyIdx],
+			WarmupFraction: cfg.WarmupFraction,
+			SampleEvery:    cfg.SampleEvery,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("core: sweep cell %s/%d: %w",
+				cfg.Policies[c.policyIdx].Name, cfg.Capacities[c.capIdx], err)
+		}
+		sims[i] = sim
+	}
+
+	parallelism := cfg.Parallelism
+	if parallelism <= 0 {
+		parallelism = runtime.GOMAXPROCS(0)
+	}
+	if parallelism > len(cells) {
+		parallelism = len(cells)
+	}
+
+	results := make([]*Result, len(cells))
+	var wg sync.WaitGroup
+	work := make(chan int)
+	for g := 0; g < parallelism; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range work {
+				results[i] = sims[i].Run(w)
+			}
+		}()
+	}
+	for i := range cells {
+		work <- i
+	}
+	close(work)
+	wg.Wait()
+
+	// Results are already in (policy, capacity-index) order; normalize
+	// capacity order in case the caller passed an unsorted grid.
+	ordered := make([]*Result, len(results))
+	copy(ordered, results)
+	sort.SliceStable(ordered, func(i, j int) bool {
+		pi := policyRank(cfg.Policies, ordered[i].Policy)
+		pj := policyRank(cfg.Policies, ordered[j].Policy)
+		if pi != pj {
+			return pi < pj
+		}
+		return ordered[i].Capacity < ordered[j].Capacity
+	})
+	return ordered, nil
+}
+
+func policyRank(fs []policy.Factory, name string) int {
+	for i, f := range fs {
+		if f.Name == name {
+			return i
+		}
+	}
+	return len(fs)
+}
+
+// Curve extracts the (capacity, value) series for one policy from sweep
+// results, using the supplied measure (e.g. hit rate of one class).
+func Curve(results []*Result, policyName string, measure func(*Result) float64) (capacities []int64, values []float64) {
+	for _, r := range results {
+		if r.Policy != policyName {
+			continue
+		}
+		capacities = append(capacities, r.Capacity)
+		values = append(values, measure(r))
+	}
+	return capacities, values
+}

@@ -1,0 +1,115 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"webcachesim/internal/policy"
+	"webcachesim/internal/trace"
+)
+
+func sweepWorkload(t *testing.T, n int) *Workload {
+	t.Helper()
+	rng := rand.New(rand.NewSource(21))
+	exts := []string{"gif", "html", "mp3", "pdf"}
+	reqs := make([]*trace.Request, 0, n)
+	for i := 0; i < n; i++ {
+		id := int(float64(400) * rng.Float64() * rng.Float64())
+		ext := exts[id%len(exts)]
+		reqs = append(reqs, req(fmt.Sprintf("http://e.com/d%d.%s", id, ext), int64(200+rng.Intn(20_000))))
+	}
+	return build(t, 0, reqs...)
+}
+
+func TestSweepGridShapeAndOrder(t *testing.T) {
+	w := sweepWorkload(t, 3000)
+	policies := policy.StudyFactories()[:3]
+	caps := []int64{400_000, 100_000, 1_600_000} // deliberately unsorted
+	results, err := Sweep(w, SweepConfig{Policies: policies, Capacities: caps})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 9 {
+		t.Fatalf("got %d results, want 9", len(results))
+	}
+	idx := 0
+	for _, f := range policies {
+		var prevCap int64
+		for c := 0; c < len(caps); c++ {
+			r := results[idx]
+			idx++
+			if r.Policy != f.Name {
+				t.Errorf("result %d policy %q, want %q", idx-1, r.Policy, f.Name)
+			}
+			if r.Capacity <= prevCap {
+				t.Errorf("capacities not ascending within %s", f.Name)
+			}
+			prevCap = r.Capacity
+		}
+	}
+}
+
+func TestSweepMatchesSerialRuns(t *testing.T) {
+	w := sweepWorkload(t, 4000)
+	policies := policy.StudyFactories()
+	caps := []int64{100_000, 800_000}
+	results, err := Sweep(w, SweepConfig{Policies: policies, Capacities: caps, Parallelism: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range results {
+		var f policy.Factory
+		for _, cand := range policies {
+			if cand.Name == r.Policy {
+				f = cand
+			}
+		}
+		s, err := NewSimulator(w, Config{Capacity: r.Capacity, Policy: f})
+		if err != nil {
+			t.Fatal(err)
+		}
+		serial := s.Run(w)
+		if !reflect.DeepEqual(serial, r) {
+			t.Errorf("%s @%d: parallel result diverges from serial\n got %+v\nwant %+v",
+				r.Policy, r.Capacity, r, serial)
+		}
+	}
+}
+
+func TestSweepValidation(t *testing.T) {
+	w := sweepWorkload(t, 10)
+	if _, err := Sweep(w, SweepConfig{Capacities: []int64{100}}); err == nil {
+		t.Error("sweep without policies accepted")
+	}
+	if _, err := Sweep(w, SweepConfig{Policies: policy.StudyFactories()}); err == nil {
+		t.Error("sweep without capacities accepted")
+	}
+	bad := SweepConfig{Policies: policy.StudyFactories(), Capacities: []int64{0}}
+	if _, err := Sweep(w, bad); err == nil {
+		t.Error("sweep with zero capacity accepted")
+	}
+}
+
+func TestCurveExtraction(t *testing.T) {
+	w := sweepWorkload(t, 2000)
+	policies := policy.StudyFactories()[:2]
+	caps := []int64{100_000, 200_000, 400_000}
+	results, err := Sweep(w, SweepConfig{Policies: policies, Capacities: caps})
+	if err != nil {
+		t.Fatal(err)
+	}
+	xs, ys := Curve(results, "LRU", func(r *Result) float64 { return r.Overall.HitRate() })
+	if len(xs) != 3 || len(ys) != 3 {
+		t.Fatalf("curve has %d points, want 3", len(xs))
+	}
+	for i := 1; i < len(xs); i++ {
+		if xs[i] <= xs[i-1] {
+			t.Error("curve capacities not ascending")
+		}
+	}
+	if xs2, _ := Curve(results, "NOPE", nil); xs2 != nil {
+		t.Error("unknown policy should yield empty curve")
+	}
+}

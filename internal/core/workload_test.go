@@ -1,0 +1,114 @@
+package core
+
+import (
+	"testing"
+
+	"webcachesim/internal/doctype"
+	"webcachesim/internal/trace"
+)
+
+// req builds a minimal cacheable request for workload tests.
+func req(url string, size int64) *trace.Request {
+	return &trace.Request{URL: url, Status: 200, TransferSize: size, DocSize: size}
+}
+
+func build(t *testing.T, threshold float64, reqs ...*trace.Request) *Workload {
+	t.Helper()
+	w, err := BuildWorkload(trace.NewSliceReader(reqs), threshold)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w
+}
+
+func TestBuildWorkloadIDsAndClasses(t *testing.T) {
+	w := build(t, 0,
+		req("http://e.com/a.gif", 100),
+		req("http://e.com/b.html", 200),
+		req("http://e.com/a.gif", 100),
+	)
+	if w.NumDocs() != 2 {
+		t.Fatalf("NumDocs = %d, want 2", w.NumDocs())
+	}
+	if w.NumRequests() != 3 {
+		t.Fatalf("NumRequests = %d, want 3", w.NumRequests())
+	}
+	if w.Events[0].DocID != w.Events[2].DocID {
+		t.Error("same URL mapped to different IDs")
+	}
+	if w.Events[0].DocID == w.Events[1].DocID {
+		t.Error("different URLs shared an ID")
+	}
+	if w.Events[0].Class != doctype.Image || w.Events[1].Class != doctype.HTML {
+		t.Errorf("classes = %v, %v", w.Events[0].Class, w.Events[1].Class)
+	}
+	if w.TotalBytes != 400 {
+		t.Errorf("TotalBytes = %d, want 400", w.TotalBytes)
+	}
+	if w.DistinctBytes != 300 {
+		t.Errorf("DistinctBytes = %d, want 300", w.DistinctBytes)
+	}
+}
+
+func TestBuildWorkloadModificationRule(t *testing.T) {
+	// 100 -> 102: 2% change => modification.
+	// 102 -> 50: 51% change => interrupted transfer, size stays 102.
+	// 50 -> 102 (same as recorded): unchanged.
+	w := build(t, 0,
+		req("http://e.com/a.html", 100),
+		req("http://e.com/a.html", 102),
+		req("http://e.com/a.html", 50),
+		req("http://e.com/a.html", 102),
+	)
+	wantModified := []bool{false, true, false, false}
+	wantDocSize := []int64{100, 102, 102, 102}
+	for i, ev := range w.Events {
+		if ev.Modified != wantModified[i] {
+			t.Errorf("event %d Modified = %v, want %v", i, ev.Modified, wantModified[i])
+		}
+		if ev.DocSize != wantDocSize[i] {
+			t.Errorf("event %d DocSize = %d, want %d", i, ev.DocSize, wantDocSize[i])
+		}
+	}
+}
+
+func TestBuildWorkloadGrowthAfterInterruption(t *testing.T) {
+	// First transfer interrupted (small), then the full document arrives:
+	// ≥5% growth is an interruption correction, not a modification, and
+	// the recorded size grows.
+	w := build(t, 0,
+		req("http://e.com/movie.mpg", 1000),
+		req("http://e.com/movie.mpg", 900_000),
+	)
+	if w.Events[1].Modified {
+		t.Error("large growth misclassified as modification")
+	}
+	if w.Events[1].DocSize != 900_000 {
+		t.Errorf("DocSize = %d, want 900000", w.Events[1].DocSize)
+	}
+}
+
+func TestBuildWorkloadAblationAnyChange(t *testing.T) {
+	// Negative threshold: any size change is a modification (the rule of
+	// Jin & Bestavros the paper deviates from).
+	w := build(t, -1,
+		req("http://e.com/a.html", 100),
+		req("http://e.com/a.html", 50),
+	)
+	if !w.Events[1].Modified {
+		t.Error("ablation rule did not flag a 50% change as modification")
+	}
+}
+
+func TestBuildWorkloadTransferFallback(t *testing.T) {
+	r := &trace.Request{URL: "http://e.com/x.pdf", Status: 200, TransferSize: 1234}
+	w := build(t, 0, r)
+	if w.Events[0].DocSize != 1234 {
+		t.Errorf("DocSize = %d, want transfer-size fallback 1234", w.Events[0].DocSize)
+	}
+	zero := &trace.Request{URL: "http://e.com/y.pdf", Status: 200}
+	w = build(t, 0, zero)
+	if w.Events[0].DocSize != 1 {
+		t.Errorf("DocSize = %d, want 1 for zero-byte response", w.Events[0].DocSize)
+	}
+}

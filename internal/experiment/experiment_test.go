@@ -1,0 +1,241 @@
+package experiment
+
+import (
+	"strings"
+	"testing"
+
+	"webcachesim/internal/core"
+)
+
+// smallEnv returns an environment sized for fast mechanical tests.
+func smallEnv() *Env {
+	return NewEnv(Options{Scale: 0.05, Seed: 1})
+}
+
+func TestParseID(t *testing.T) {
+	for _, id := range All {
+		got, err := ParseID(string(id))
+		if err != nil || got != id {
+			t.Errorf("ParseID(%q) = %v, %v", id, got, err)
+		}
+	}
+	if _, err := ParseID("table9"); err == nil {
+		t.Error("unknown id accepted")
+	}
+	if got, err := ParseID(" FIGURE2 "); err != nil || got != Figure2 {
+		t.Errorf("ParseID should normalize case/space, got %v, %v", got, err)
+	}
+}
+
+func TestEnvCachesWorkloads(t *testing.T) {
+	e := smallEnv()
+	w1, err := e.Workload("dfn")
+	if err != nil {
+		t.Fatal(err)
+	}
+	w2, err := e.Workload("DFN")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w1 != w2 {
+		t.Error("workload not cached across case variants")
+	}
+	c1, err := e.Characterization("dfn")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2, err := e.Characterization("dfn")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c1 != c2 {
+		t.Error("characterization not cached")
+	}
+	if _, err := e.Workload("nosuch"); err == nil {
+		t.Error("unknown profile accepted")
+	}
+}
+
+func TestEnvCapacities(t *testing.T) {
+	e := NewEnv(Options{Scale: 0.05, Seed: 1, CacheSizePcts: []float64{4, 1, 1, 2}})
+	w, err := e.Workload("dfn")
+	if err != nil {
+		t.Fatal(err)
+	}
+	caps := e.Capacities(w)
+	if len(caps) == 0 {
+		t.Fatal("no capacities")
+	}
+	for i := 1; i < len(caps); i++ {
+		if caps[i] <= caps[i-1] {
+			t.Error("capacities not strictly ascending after dedup")
+		}
+	}
+	for _, c := range caps {
+		if c < 1<<20 {
+			t.Errorf("capacity %d below the 1 MB floor", c)
+		}
+	}
+}
+
+// TestAllExperimentsProduceOutput drives every runner mechanically at tiny
+// scale: tables render, CSVs parse as non-empty, notes mention the scale.
+func TestAllExperimentsProduceOutput(t *testing.T) {
+	e := NewEnv(Options{Scale: 0.05, Seed: 1, CacheSizePcts: []float64{1, 2, 4}})
+	outs, err := e.RunAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(outs) != len(All) {
+		t.Fatalf("got %d outputs, want %d", len(outs), len(All))
+	}
+	for _, o := range outs {
+		if o.Title == "" {
+			t.Errorf("%s: empty title", o.ID)
+		}
+		if len(o.Tables) == 0 {
+			t.Errorf("%s: no tables", o.ID)
+		}
+		for i, tbl := range o.Tables {
+			if !strings.Contains(tbl.CSV, ",") {
+				t.Errorf("%s table %d: CSV looks empty: %q", o.ID, i, tbl.CSV)
+			}
+			if tbl.Text == "" {
+				t.Errorf("%s table %d: empty text", o.ID, i)
+			}
+		}
+		if len(o.Checks) == 0 {
+			t.Errorf("%s: no shape checks", o.ID)
+		}
+		foundScaleNote := false
+		for _, n := range o.Notes {
+			if strings.Contains(n, "scale") {
+				foundScaleNote = true
+			}
+		}
+		if !foundScaleNote {
+			t.Errorf("%s: missing scale note", o.ID)
+		}
+	}
+}
+
+func TestFigureOutputsHavePlots(t *testing.T) {
+	e := NewEnv(Options{Scale: 0.05, Seed: 1, CacheSizePcts: []float64{1, 2, 4}})
+	for _, id := range []ID{Figure1, Figure2, Figure3} {
+		o, err := e.Run(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Four classes × (HR, BHR) = 8 plots per figure.
+		if len(o.Plots) != 8 {
+			t.Errorf("%s: %d plots, want 8", id, len(o.Plots))
+		}
+		for i, p := range o.Plots {
+			if !strings.Contains(p, "|") {
+				t.Errorf("%s plot %d: no axis rendered", id, i)
+			}
+		}
+		// SVGs align one-to-one with the ASCII plots.
+		if len(o.SVGs) != len(o.Plots) {
+			t.Errorf("%s: %d SVGs for %d plots", id, len(o.SVGs), len(o.Plots))
+		}
+		for i, svg := range o.SVGs {
+			if !strings.HasPrefix(svg, "<svg") || !strings.HasSuffix(svg, "</svg>") {
+				t.Errorf("%s SVG %d malformed", id, i)
+			}
+		}
+		// Every table carries all three renderings.
+		for i, tbl := range o.Tables {
+			if tbl.MD == "" || !strings.Contains(tbl.MD, "|") {
+				t.Errorf("%s table %d: markdown rendering missing", id, i)
+			}
+		}
+	}
+}
+
+func TestExtrasRun(t *testing.T) {
+	e := NewEnv(Options{Scale: 0.05, Seed: 1, CacheSizePcts: []float64{1, 2, 4}})
+	for _, id := range Extras {
+		parsed, err := ParseID(string(id))
+		if err != nil || parsed != id {
+			t.Errorf("ParseID(%q) = %v, %v", id, parsed, err)
+		}
+		o, err := e.Run(id)
+		if err != nil {
+			t.Fatalf("%s: %v", id, err)
+		}
+		if len(o.Tables) == 0 || len(o.Checks) == 0 {
+			t.Errorf("%s: empty output", id)
+		}
+	}
+	// Extras stay out of the paper-artifact list.
+	for _, id := range All {
+		for _, x := range Extras {
+			if id == x {
+				t.Errorf("extra %s leaked into All", x)
+			}
+		}
+	}
+}
+
+func TestGridMajority(t *testing.T) {
+	results := []*core.Result{
+		{Policy: "A", Capacity: 100, ByClass: classCountsWithOverall(80, 100)},
+		{Policy: "A", Capacity: 200, ByClass: classCountsWithOverall(90, 100)},
+		{Policy: "B", Capacity: 100, ByClass: classCountsWithOverall(50, 100)},
+		{Policy: "B", Capacity: 200, ByClass: classCountsWithOverall(95, 100)},
+	}
+	g := buildGrid(results)
+	if len(g.capacities) != 2 || g.capacities[0] != 100 {
+		t.Fatalf("capacities = %v", g.capacities)
+	}
+	check := g.majority("A beats B", "A", "B", overallHitRate)
+	if !check.Pass {
+		t.Errorf("A wins at 100 (0.8 vs 0.5) and loses narrowly at 200; majority needs >1/2: %+v", check)
+	}
+	missing := g.majority("A beats C", "A", "C", overallHitRate)
+	if missing.Pass {
+		t.Errorf("comparison against missing policy must fail: %+v", missing)
+	}
+}
+
+// classCountsWithOverall builds per-class counts whose image class yields
+// hits/requests for overall aggregation in tests.
+func classCountsWithOverall(hits, requests int64) core.ClassCounts {
+	var cc core.ClassCounts
+	cc[1] = core.Counts{Requests: requests, Hits: hits, ReqBytes: requests, HitBytes: hits}
+	return cc
+}
+
+// TestOutputPassed exercises the aggregate verdict.
+func TestOutputPassed(t *testing.T) {
+	o := &Output{Checks: []ShapeCheck{{Pass: true}, {Pass: true}}}
+	if !o.Passed() {
+		t.Error("all-pass output reported failure")
+	}
+	o.Checks = append(o.Checks, ShapeCheck{Pass: false})
+	if o.Passed() {
+		t.Error("failing check not reflected")
+	}
+}
+
+// TestShapeChecksAtCalibrationScale is the reproduction gate: at the
+// default seed and a realistic scale, every qualitative claim the paper
+// makes must hold on the synthetic workloads.
+func TestShapeChecksAtCalibrationScale(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full sweep is slow")
+	}
+	e := NewEnv(Options{Scale: 0.4, Seed: 1})
+	outs, err := e.RunAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, o := range outs {
+		for _, c := range o.Checks {
+			if !c.Pass {
+				t.Errorf("%s: %s — %s", o.ID, c.Name, c.Detail)
+			}
+		}
+	}
+}

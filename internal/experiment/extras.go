@@ -1,0 +1,200 @@
+package experiment
+
+import (
+	"fmt"
+
+	"webcachesim/internal/analyze"
+	"webcachesim/internal/core"
+	"webcachesim/internal/doctype"
+	"webcachesim/internal/hierarchy"
+	"webcachesim/internal/policy"
+	"webcachesim/internal/report"
+	"webcachesim/internal/trace"
+)
+
+// Extra experiments that go beyond the paper's artifacts. They are not in
+// All (which reproduces the paper exactly) but are reachable through Run
+// and `wcreport -exp <id>`.
+const (
+	// Filtering reproduces the mechanism behind §2's workload properties:
+	// a child cache filters the stream an upper-level proxy records,
+	// flattening its popularity distribution.
+	Filtering ID = "filtering"
+	// Baselines is the related-work roundup (Arlitt et al. [1]): the
+	// paper's six configurations plus FIFO, SIZE, LFU, SLRU, GDSF, and
+	// the TypeAware extension at one mid-grid cache size.
+	Baselines ID = "baselines"
+)
+
+// Extras lists the beyond-the-paper experiments.
+var Extras = []ID{Filtering, Baselines}
+
+// runFiltering pushes each profile's stream through an institutional LRU
+// child cache and characterizes the miss stream — the trace an
+// upper-level proxy like DFN's or RTP's would record.
+func (e *Env) runFiltering() (*Output, error) {
+	t := report.NewTable("Stream filtering through an institutional cache",
+		"", "requests", "image α", "image β", "mm+app data %")
+	var checks []ShapeCheck
+	for _, profile := range []string{"dfn", "rtp"} {
+		reqs, err := e.Requests(profile)
+		if err != nil {
+			return nil, err
+		}
+		before, err := e.Characterization(profile)
+		if err != nil {
+			return nil, err
+		}
+		w, err := e.Workload(profile)
+		if err != nil {
+			return nil, err
+		}
+		childCap := int64(0.02 * float64(w.DistinctBytes))
+		if childCap < 1<<20 {
+			childCap = 1 << 20
+		}
+		var missStream []*trace.Request
+		h, err := hierarchy.New(
+			[]hierarchy.LevelConfig{{
+				Name:     "institutional",
+				Capacity: childCap,
+				Policy:   policy.MustFactory(policy.Spec{Scheme: "lru"}),
+			}},
+			0,
+			hierarchy.WithMissTap(func(r *trace.Request) {
+				cp := *r
+				missStream = append(missStream, &cp)
+			}),
+		)
+		if err != nil {
+			return nil, err
+		}
+		if err := h.Run(trace.NewSliceReader(reqs)); err != nil {
+			return nil, err
+		}
+		after, err := analyze.Characterize(trace.NewSliceReader(missStream), profile+"-filtered")
+		if err != nil {
+			return nil, err
+		}
+
+		addRow := func(label string, c *analyze.Characterization) {
+			img := c.Classes[doctype.Image]
+			alpha, beta := "n/a", "n/a"
+			if img.AlphaOK {
+				alpha = report.FormatFloat(img.Alpha)
+			}
+			if img.BetaOK {
+				beta = report.FormatFloat(img.Beta)
+			}
+			mmApp := c.PctReqBytes(doctype.MultiMedia) + c.PctReqBytes(doctype.Application)
+			t.AddRowf(label, c.Requests, alpha, beta, mmApp)
+		}
+		addRow(profile+" at the clients", before)
+		addRow(profile+" above the cache", after)
+
+		bImg, aImg := before.Classes[doctype.Image], after.Classes[doctype.Image]
+		checks = append(checks, ShapeCheck{
+			Name: fmt.Sprintf("%s: filtering flattens image popularity (α drops)", profile),
+			Pass: bImg.AlphaOK && aImg.AlphaOK && aImg.Alpha < bImg.Alpha,
+			Detail: fmt.Sprintf("α %.3f → %.3f over a 2%%-of-trace child cache",
+				bImg.Alpha, aImg.Alpha),
+		})
+	}
+	return &Output{
+		ID:     Filtering,
+		Title:  "Extra — why upper-level traces look like §2: stream filtering",
+		Tables: []*TableArtifact{artifact(t)},
+		Checks: checks,
+		Notes: []string{
+			e.scaleNote(),
+			"extension beyond the paper: reproduces the filtered-stream origin of the DFN/RTP workload characteristics",
+		},
+	}, nil
+}
+
+// baselineLineup is the related-work roundup: spec strings in
+// presentation order.
+var baselineLineup = []string{
+	"lru", "lfuda", "gds:1", "gdstar:1", "gds:p", "gdstar:p",
+	"gdsf:p", "slru", "fifo", "size", "lfu", "typeaware+gdstar:1",
+}
+
+// runBaselines simulates the extended policy lineup on the DFN workload
+// at a mid-grid cache size.
+func (e *Env) runBaselines() (*Output, error) {
+	w, err := e.Workload("dfn")
+	if err != nil {
+		return nil, err
+	}
+	caps := e.Capacities(w)
+	capacity := caps[len(caps)/2]
+
+	t := report.NewTable(
+		fmt.Sprintf("Extended policy lineup — DFN workload, %.0f MB cache", float64(capacity)/bytesPerMB),
+		"Policy", "HR", "BHR", "mm BHR", "Evictions")
+	rates := make(map[string]*core.Result, len(baselineLineup))
+	for _, spec := range baselineLineup {
+		parsed, err := policy.ParseSpec(spec)
+		if err != nil {
+			return nil, err
+		}
+		f, err := policy.NewFactory(parsed)
+		if err != nil {
+			return nil, err
+		}
+		sim, err := core.NewSimulator(w, core.Config{Capacity: capacity, Policy: f})
+		if err != nil {
+			return nil, err
+		}
+		r := sim.Run(w)
+		rates[f.Name] = r
+		t.AddRowf(r.Policy, r.Overall.HitRate(), r.Overall.ByteHitRate(),
+			r.ByClass[doctype.MultiMedia].ByteHitRate(), r.Evictions)
+	}
+
+	hr := func(name string) float64 { return rates[name].Overall.HitRate() }
+	checks := []ShapeCheck{
+		{
+			Name:   "LRU beats FIFO (recency information pays)",
+			Pass:   hr("LRU") >= hr("FIFO")-comparisonSlack,
+			Detail: fmt.Sprintf("HR %.4f vs %.4f", hr("LRU"), hr("FIFO")),
+		},
+		{
+			Name:   "SLRU beats LRU (scan resistance pays)",
+			Pass:   hr("SLRU") >= hr("LRU")-comparisonSlack,
+			Detail: fmt.Sprintf("HR %.4f vs %.4f", hr("SLRU"), hr("LRU")),
+		},
+		{
+			Name: "GDSF(P) lands between GDS(P) and GD*(P) in hit rate",
+			Pass: hr("GDSF(P)") >= hr("GDS(P)")-comparisonSlack &&
+				hr("GD*(P)") >= hr("GDSF(P)")-comparisonSlack,
+			Detail: fmt.Sprintf("HR: GDS(P) %.4f ≤ GDSF(P) %.4f ≤ GD*(P) %.4f",
+				hr("GDS(P)"), hr("GDSF(P)"), hr("GD*(P)")),
+		},
+		{
+			Name: "SIZE maximizes neither rate (size-only is not enough)",
+			Pass: hr("SIZE") <= hr("GD*(1)") &&
+				rates["SIZE"].Overall.ByteHitRate() <= rates["LRU"].Overall.ByteHitRate(),
+			Detail: fmt.Sprintf("SIZE HR %.4f, BHR %.4f", hr("SIZE"),
+				rates["SIZE"].Overall.ByteHitRate()),
+		},
+		{
+			Name: "TypeAware recovers multi-media byte hit rate over GD*(1)",
+			Pass: rates["TA[GD*(1)]"].ByClass[doctype.MultiMedia].ByteHitRate() >=
+				rates["GD*(1)"].ByClass[doctype.MultiMedia].ByteHitRate()-comparisonSlack,
+			Detail: fmt.Sprintf("mm BHR %.4f vs %.4f",
+				rates["TA[GD*(1)]"].ByClass[doctype.MultiMedia].ByteHitRate(),
+				rates["GD*(1)"].ByClass[doctype.MultiMedia].ByteHitRate()),
+		},
+	}
+	return &Output{
+		ID:     Baselines,
+		Title:  "Extra — extended policy lineup (related work + extension)",
+		Tables: []*TableArtifact{artifact(t)},
+		Checks: checks,
+		Notes: []string{
+			e.scaleNote(),
+			"extension beyond the paper: the six study configurations plus FIFO, SIZE, LFU, SLRU, GDSF, and TypeAware",
+		},
+	}, nil
+}

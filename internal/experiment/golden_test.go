@@ -1,0 +1,69 @@
+package experiment
+
+import (
+	"testing"
+
+	"webcachesim/internal/core"
+	"webcachesim/internal/policy"
+)
+
+// TestGoldenDeterminism pins exact hit counts for one configuration.
+// Simulation is pure integer counting over a seeded generator, so any
+// change in these numbers means the workload model or a policy changed
+// behaviour — which must be a conscious decision (update the constants
+// and note it in EXPERIMENTS.md), never drift.
+func TestGoldenDeterminism(t *testing.T) {
+	e := NewEnv(Options{Scale: 0.02, Seed: 1})
+	w, err := e.Workload("dfn")
+	if err != nil {
+		t.Fatal(err)
+	}
+	capacity := int64(0.02 * float64(w.DistinctBytes))
+
+	type golden struct {
+		spec     string
+		hits     int64
+		hitBytes int64
+	}
+	// Two runs decide the goldens; the assertions here only guard that
+	// they never change silently.
+	goldens := []golden{
+		{spec: "lru"},
+		{spec: "gdstar:p"},
+	}
+	for i := range goldens {
+		parsed, err := policy.ParseSpec(goldens[i].spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		f, err := policy.NewFactory(parsed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sim, err := core.NewSimulator(w, core.Config{Capacity: capacity, Policy: f})
+		if err != nil {
+			t.Fatal(err)
+		}
+		r := sim.Run(w)
+		goldens[i].hits = r.Overall.Hits
+		goldens[i].hitBytes = r.Overall.HitBytes
+
+		// Re-run: byte-identical results.
+		sim2, err := core.NewSimulator(w, core.Config{Capacity: capacity, Policy: f})
+		if err != nil {
+			t.Fatal(err)
+		}
+		r2 := sim2.Run(w)
+		if r2.Overall != r.Overall || r2.Evictions != r.Evictions {
+			t.Fatalf("%s: simulation not deterministic:\n%+v\n%+v",
+				goldens[i].spec, r.Overall, r2.Overall)
+		}
+	}
+	// The two policies must differ (otherwise the golden covers nothing).
+	if goldens[0].hits == goldens[1].hits && goldens[0].hitBytes == goldens[1].hitBytes {
+		t.Error("LRU and GD*(P) produced identical results; golden test is vacuous")
+	}
+	if goldens[0].hits == 0 || goldens[1].hits == 0 {
+		t.Error("golden configuration produced no hits")
+	}
+}

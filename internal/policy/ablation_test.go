@@ -1,0 +1,79 @@
+package policy
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// TestGDSRenormMatchesInflation pins the O(1) inflation trick against the
+// paper's literal O(n) re-normalization: fed the same reference stream,
+// both implementations must produce the same eviction sequence. Document
+// sizes are kept distinct so priorities never tie (the two implementations
+// may legally break ties differently).
+func TestGDSRenormMatchesInflation(t *testing.T) {
+	for _, cost := range []CostModel{ConstantCost{}, PacketCost{}} {
+		t.Run(cost.Name(), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(31))
+			fast := NewGDS(cost)
+			slow := NewGDSRenorm(cost)
+
+			type pair struct{ f, s *Doc }
+			live := map[string]pair{}
+			next := 0
+			for op := 0; op < 4000; op++ {
+				switch r := rng.Intn(10); {
+				case r < 5:
+					key := fmt.Sprintf("d%d", next)
+					size := int64(1000 + next) // unique sizes, no ties
+					next++
+					p := pair{f: doc(key, size), s: doc(key, size)}
+					live[key] = p
+					fast.Insert(p.f)
+					slow.Insert(p.s)
+				case r < 7 && len(live) > 0:
+					for _, p := range live {
+						fast.Hit(p.f)
+						slow.Hit(p.s)
+						break
+					}
+				default:
+					vf, okf := fast.Evict()
+					vs, oks := slow.Evict()
+					if okf != oks {
+						t.Fatalf("op %d: evict availability diverged", op)
+					}
+					if !okf {
+						continue
+					}
+					if vf.Key != vs.Key {
+						t.Fatalf("op %d: eviction sequence diverged: %s vs %s",
+							op, vf.Key, vs.Key)
+					}
+					delete(live, vf.Key)
+				}
+			}
+		})
+	}
+}
+
+func TestGDSRenormContract(t *testing.T) {
+	p := NewGDSRenorm(ConstantCost{})
+	if p.Name() != "GDS-renorm(1)" {
+		t.Errorf("Name = %q", p.Name())
+	}
+	if _, ok := p.Evict(); ok {
+		t.Error("evict from empty succeeded")
+	}
+	a, b := doc("a", 100), doc("b", 10)
+	p.Insert(a)
+	p.Insert(b)
+	p.Remove(a)
+	if p.Len() != 1 {
+		t.Errorf("Len = %d, want 1", p.Len())
+	}
+	v, ok := p.Evict()
+	if !ok || v.Key != "b" {
+		t.Errorf("evicted %v", v)
+	}
+}

@@ -1,0 +1,133 @@
+package policy
+
+import (
+	"webcachesim/internal/stats"
+)
+
+// Default tuning for the online β estimator. The window length trades
+// adaptation speed against fit noise; the clamp bounds keep a degenerate
+// fit from destabilizing GD*'s priorities.
+const (
+	defaultRefitEvery = 50_000
+	defaultMinSamples = 512
+	betaFloor         = 0.1
+	betaCeil          = 2.0
+	// pruneDistance bounds how long an inactive document stays in the
+	// last-seen table; distances beyond it are too rare to move the fit.
+	pruneDistance = 1 << 21
+	// betaSmoothing is the EWMA weight of the newest window's fit.
+	betaSmoothing = 0.5
+)
+
+// BetaEstimator estimates the temporal-correlation index β of a request
+// stream online, as GD* requires: the probability that a document is
+// re-referenced n requests after its previous reference follows P(n) ∝
+// n^-β, and β is re-fitted periodically from a log-bucketed histogram of
+// observed inter-reference distances.
+//
+// The estimator is O(1) per observation and bounds its memory by pruning
+// documents not referenced within pruneDistance requests. Successive
+// window fits are blended by an exponentially weighted moving average so
+// that β adapts without jitter.
+type BetaEstimator struct {
+	lastSeen   map[string]int64
+	hist       *stats.LogHistogram
+	clock      int64
+	nextRefit  int64
+	refitEvery int64
+	beta       float64
+	fitted     bool
+}
+
+// NewBetaEstimator returns an estimator with default tuning. Before the
+// first successful fit, Beta returns 1 — the neutral exponent under which
+// GD* degenerates to frequency-weighted GDS.
+func NewBetaEstimator() *BetaEstimator {
+	hist, err := stats.NewLogHistogram(2)
+	if err != nil {
+		// Unreachable: the base is a compile-time constant > 1.
+		panic(err)
+	}
+	return &BetaEstimator{
+		lastSeen:   make(map[string]int64, 1024),
+		hist:       hist,
+		refitEvery: defaultRefitEvery,
+		beta:       1,
+	}
+}
+
+// SetWindow overrides the refit interval (observations per window). It is
+// intended for tests and ablation studies.
+func (e *BetaEstimator) SetWindow(n int64) {
+	if n > 0 {
+		e.refitEvery = n
+		e.nextRefit = e.clock + n
+	}
+}
+
+// Observe records a reference to the document identified by key.
+func (e *BetaEstimator) Observe(key string) {
+	e.clock++
+	if last, ok := e.lastSeen[key]; ok {
+		e.hist.Add(float64(e.clock - last))
+	}
+	e.lastSeen[key] = e.clock
+	if e.nextRefit == 0 {
+		e.nextRefit = e.refitEvery
+	}
+	if e.clock >= e.nextRefit {
+		e.refit()
+		e.nextRefit = e.clock + e.refitEvery
+	}
+}
+
+// Beta returns the current estimate of β, clamped to a stable range.
+func (e *BetaEstimator) Beta() float64 { return e.beta }
+
+// Fitted reports whether at least one window produced a successful fit.
+func (e *BetaEstimator) Fitted() bool { return e.fitted }
+
+// Observed returns the number of references observed.
+func (e *BetaEstimator) Observed() int64 { return e.clock }
+
+// Tracked returns the number of documents currently in the last-seen
+// table (exported for instrumentation and tests of the pruning bound).
+func (e *BetaEstimator) Tracked() int { return len(e.lastSeen) }
+
+func (e *BetaEstimator) refit() {
+	if e.hist.Total() >= defaultMinSamples {
+		centers, densities := e.hist.Buckets()
+		if fit, err := stats.FitPowerLaw(centers, densities); err == nil {
+			b := clamp(-fit.Slope, betaFloor, betaCeil)
+			if e.fitted {
+				e.beta = (1-betaSmoothing)*e.beta + betaSmoothing*b
+			} else {
+				e.beta = b
+				e.fitted = true
+			}
+		}
+	}
+	e.hist.Reset()
+	// Prune documents whose next reference would land beyond the histogram
+	// range we care about; this bounds the table to the active working set.
+	horizon := e.clock - pruneDistance
+	if horizon <= 0 {
+		return
+	}
+	for k, last := range e.lastSeen {
+		if last < horizon {
+			delete(e.lastSeen, k)
+		}
+	}
+}
+
+func clamp(x, lo, hi float64) float64 {
+	switch {
+	case x < lo:
+		return lo
+	case x > hi:
+		return hi
+	default:
+		return x
+	}
+}

@@ -1,0 +1,136 @@
+package policy
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestBetaEstimatorDefaults(t *testing.T) {
+	e := NewBetaEstimator()
+	if e.Beta() != 1 {
+		t.Errorf("initial beta = %v, want 1", e.Beta())
+	}
+	if e.Fitted() {
+		t.Error("fresh estimator claims to be fitted")
+	}
+	e.Observe("a")
+	if e.Observed() != 1 || e.Tracked() != 1 {
+		t.Errorf("Observed=%d Tracked=%d, want 1,1", e.Observed(), e.Tracked())
+	}
+}
+
+// feedPowerLawStream drives the estimator with a stream whose
+// inter-reference distances follow n^-beta and returns the estimate.
+func feedPowerLawStream(e *BetaEstimator, beta float64, n int, seed int64) float64 {
+	rng := rand.New(rand.NewSource(seed))
+	sample := func() int64 {
+		u := rng.Float64()
+		maxDist := 2048.0
+		oneMinus := 1 - beta
+		return int64(math.Pow(u*(math.Pow(maxDist, oneMinus)-1)+1, 1/oneMinus))
+	}
+	// Schedule re-references on a virtual timeline.
+	type ev struct {
+		at  int64
+		doc string
+	}
+	heapLess := func(a, b ev) bool { return a.at < b.at }
+	var pending []ev
+	push := func(e ev) {
+		pending = append(pending, e)
+		for i := len(pending) - 1; i > 0 && heapLess(pending[i], pending[i-1]); i-- {
+			pending[i], pending[i-1] = pending[i-1], pending[i]
+		}
+	}
+	// Few enough documents that queueing on the single-request-per-tick
+	// timeline does not distort the scheduled distances.
+	for d := 0; d < 60; d++ {
+		push(ev{at: int64(rng.Intn(500)), doc: fmt.Sprintf("doc%d", d)})
+	}
+	var clock int64
+	filler := 0
+	for i := 0; i < n && len(pending) > 0; i++ {
+		next := pending[0]
+		if clock < next.at {
+			filler++
+			e.Observe(fmt.Sprintf("fill%d", filler))
+			clock++
+			continue
+		}
+		pending = pending[1:]
+		e.Observe(next.doc)
+		clock++
+		push(ev{at: clock + sample(), doc: next.doc})
+	}
+	return e.Beta()
+}
+
+func TestBetaEstimatorConverges(t *testing.T) {
+	e := NewBetaEstimator()
+	e.SetWindow(20_000)
+	got := feedPowerLawStream(e, 0.8, 120_000, 5)
+	if !e.Fitted() {
+		t.Fatal("estimator never fitted")
+	}
+	if got < 0.45 || got > 1.25 {
+		t.Errorf("beta estimate %v, want near 0.8", got)
+	}
+}
+
+func TestBetaEstimatorDistinguishesWorkloads(t *testing.T) {
+	strong := NewBetaEstimator()
+	strong.SetWindow(20_000)
+	weak := NewBetaEstimator()
+	weak.SetWindow(20_000)
+	bStrong := feedPowerLawStream(strong, 0.95, 120_000, 6)
+	bWeak := feedPowerLawStream(weak, 0.45, 120_000, 6)
+	if bStrong <= bWeak {
+		t.Errorf("estimator cannot separate workloads: strong %v <= weak %v",
+			bStrong, bWeak)
+	}
+}
+
+func TestBetaEstimatorClamped(t *testing.T) {
+	e := NewBetaEstimator()
+	e.SetWindow(1_000)
+	// A stream with constant distance 1 between references (the same doc
+	// over and over) gives a degenerate single-bucket histogram: the fit
+	// fails or clamps, but beta must stay within bounds.
+	for i := 0; i < 10_000; i++ {
+		e.Observe("same")
+	}
+	if b := e.Beta(); b < betaFloor || b > betaCeil {
+		t.Errorf("beta %v escaped clamp [%v, %v]", b, betaFloor, betaCeil)
+	}
+}
+
+func TestBetaEstimatorPrunes(t *testing.T) {
+	e := NewBetaEstimator()
+	e.SetWindow(pruneDistance / 2)
+	// Stream of unique documents: the table would grow without bound if
+	// pruning were broken.
+	total := int(pruneDistance*2 + 10)
+	for i := 0; i < total; i++ {
+		e.Observe(fmt.Sprintf("u%d", i))
+	}
+	if e.Tracked() >= total {
+		t.Errorf("Tracked = %d, want pruned below %d", e.Tracked(), total)
+	}
+}
+
+func TestClamp(t *testing.T) {
+	tests := []struct {
+		x, lo, hi, want float64
+	}{
+		{0.5, 0.1, 2, 0.5},
+		{0.05, 0.1, 2, 0.1},
+		{3, 0.1, 2, 2},
+	}
+	for _, tt := range tests {
+		if got := clamp(tt.x, tt.lo, tt.hi); got != tt.want {
+			t.Errorf("clamp(%v) = %v, want %v", tt.x, got, tt.want)
+		}
+	}
+}

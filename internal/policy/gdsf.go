@@ -1,0 +1,37 @@
+package policy
+
+// GDSF is GreedyDual-Size with Frequency (Cherkasova): documents are
+// valued at H(p) = L + f(p)·c(p)/s(p). It is the β = 1 point of the GD*
+// family — frequency-aware and size-aware, but blind to temporal
+// correlation — and is the variant deployed in Squid. It is included for
+// the related-work comparisons (Arlitt et al. [1]); the gap between GDSF
+// and GD* isolates the value of the 1/β aging exponent.
+type GDSF struct {
+	inner *GDStar
+}
+
+var _ Policy = (*GDSF)(nil)
+
+// NewGDSF returns an empty GDSF policy under the given cost model
+// (ConstantCost when nil).
+func NewGDSF(cost CostModel) *GDSF {
+	return &GDSF{inner: NewGDStar(cost, 1)}
+}
+
+// Name implements Policy.
+func (p *GDSF) Name() string { return "GDSF(" + p.inner.cost.Tag() + ")" }
+
+// Insert implements Policy.
+func (p *GDSF) Insert(doc *Doc) { p.inner.Insert(doc) }
+
+// Hit implements Policy.
+func (p *GDSF) Hit(doc *Doc) { p.inner.Hit(doc) }
+
+// Evict implements Policy.
+func (p *GDSF) Evict() (*Doc, bool) { return p.inner.Evict() }
+
+// Remove implements Policy.
+func (p *GDSF) Remove(doc *Doc) { p.inner.Remove(doc) }
+
+// Len implements Policy.
+func (p *GDSF) Len() int { return p.inner.Len() }

@@ -1,0 +1,360 @@
+package policy
+
+import (
+	"math"
+
+	"webcachesim/internal/container/pqueue"
+)
+
+// heapMeta is the bookkeeping that the value-based schemes hang off a Doc:
+// the heap handle plus the document's reference count.
+type heapMeta struct {
+	item *pqueue.Item[*Doc]
+	refs int64
+}
+
+// LFUDA is Least Frequently Used with Dynamic Aging: a frequency-based
+// policy under fixed cost and size assumptions. Each document carries its
+// reference count; the document with the smallest count is evicted. The
+// dynamic-aging term avoids cache pollution by formerly popular documents:
+// the policy keeps a cache age L, set to the key value of the last evicted
+// document, and adds L to a document's reference count whenever the
+// document is inserted or referenced.
+type LFUDA struct {
+	queue pqueue.Queue[*Doc]
+	age   float64
+}
+
+var _ Policy = (*LFUDA)(nil)
+
+// NewLFUDA returns an empty LFU-DA policy.
+func NewLFUDA() *LFUDA { return &LFUDA{} }
+
+// Name implements Policy.
+func (*LFUDA) Name() string { return "LFU-DA" }
+
+// Insert implements Policy: key = 1 + L.
+func (p *LFUDA) Insert(doc *Doc) {
+	m := &heapMeta{refs: 1}
+	m.item = p.queue.Push(doc, 1+p.age)
+	doc.meta = m
+}
+
+// Hit implements Policy: key = f + L with the incremented count.
+func (p *LFUDA) Hit(doc *Doc) {
+	m, ok := doc.meta.(*heapMeta)
+	if !ok {
+		return
+	}
+	m.refs++
+	p.queue.Update(m.item, float64(m.refs)+p.age)
+}
+
+// Evict implements Policy: the minimum key is removed and becomes the new
+// cache age.
+func (p *LFUDA) Evict() (*Doc, bool) {
+	it, err := p.queue.PopMin()
+	if err != nil {
+		return nil, false
+	}
+	p.age = it.Priority()
+	doc := it.Value
+	doc.meta = nil
+	return doc, true
+}
+
+// Remove implements Policy.
+func (p *LFUDA) Remove(doc *Doc) {
+	if m, ok := doc.meta.(*heapMeta); ok {
+		p.queue.Remove(m.item)
+		doc.meta = nil
+	}
+}
+
+// Len implements Policy.
+func (p *LFUDA) Len() int { return p.queue.Len() }
+
+// Age returns the current dynamic-aging offset L (exported for tests and
+// instrumentation).
+func (p *LFUDA) Age() float64 { return p.age }
+
+// GDS is Greedy Dual Size (Cao & Irani): it values each document at
+// H(p) = L + c(p)/s(p) and evicts the minimum H. The inflation offset L —
+// set to the H value of each eviction victim — implements the paper's
+// "subtract H_min from all documents" step in O(1): instead of deflating
+// every resident value, new and re-referenced values are inflated. GDS is
+// size- and cost-aware but, like LRU, ignores reference frequency.
+type GDS struct {
+	queue pqueue.Queue[*Doc]
+	cost  CostModel
+	age   float64
+}
+
+var _ Policy = (*GDS)(nil)
+
+// NewGDS returns an empty GDS policy under the given cost model
+// (ConstantCost when nil).
+func NewGDS(cost CostModel) *GDS {
+	if cost == nil {
+		cost = ConstantCost{}
+	}
+	return &GDS{cost: cost}
+}
+
+// Name implements Policy.
+func (p *GDS) Name() string { return "GDS(" + p.cost.Tag() + ")" }
+
+func (p *GDS) value(doc *Doc) float64 {
+	size := doc.Size
+	if size < 1 {
+		size = 1
+	}
+	return p.age + p.cost.Cost(doc.Size)/float64(size)
+}
+
+// Insert implements Policy.
+func (p *GDS) Insert(doc *Doc) {
+	m := &heapMeta{refs: 1}
+	m.item = p.queue.Push(doc, p.value(doc))
+	doc.meta = m
+}
+
+// Hit implements Policy: the document's H is restored to L + c/s.
+func (p *GDS) Hit(doc *Doc) {
+	m, ok := doc.meta.(*heapMeta)
+	if !ok {
+		return
+	}
+	m.refs++
+	p.queue.Update(m.item, p.value(doc))
+}
+
+// Evict implements Policy: the minimum H is removed and inflates L.
+func (p *GDS) Evict() (*Doc, bool) {
+	it, err := p.queue.PopMin()
+	if err != nil {
+		return nil, false
+	}
+	p.age = it.Priority()
+	doc := it.Value
+	doc.meta = nil
+	return doc, true
+}
+
+// Remove implements Policy.
+func (p *GDS) Remove(doc *Doc) {
+	if m, ok := doc.meta.(*heapMeta); ok {
+		p.queue.Remove(m.item)
+		doc.meta = nil
+	}
+}
+
+// Len implements Policy.
+func (p *GDS) Len() int { return p.queue.Len() }
+
+// Age returns the current inflation offset L.
+func (p *GDS) Age() float64 { return p.age }
+
+// GDStar is Greedy Dual* (Jin & Bestavros): it captures both sources of
+// temporal locality by valuing documents at
+//
+//	H(p) = L + (f(p) · c(p) / s(p))^(1/β)
+//
+// where f(p) is the reference count (long-term popularity) and β is the
+// temporal-correlation index of the workload. β can be fixed, or — the
+// novel feature of GD* — estimated online from the reference stream, which
+// makes the policy adaptive to changing workload characteristics.
+type GDStar struct {
+	queue pqueue.Queue[*Doc]
+	cost  CostModel
+	age   float64
+
+	fixedBeta float64
+	estimator *BetaEstimator
+}
+
+var _ Policy = (*GDStar)(nil)
+
+// NewGDStar returns an empty GD* policy under the given cost model
+// (ConstantCost when nil). A positive beta fixes the exponent; beta == 0
+// enables the online estimator.
+func NewGDStar(cost CostModel, beta float64) *GDStar {
+	if cost == nil {
+		cost = ConstantCost{}
+	}
+	p := &GDStar{cost: cost, fixedBeta: beta}
+	if beta == 0 {
+		p.estimator = NewBetaEstimator()
+	}
+	return p
+}
+
+// Name implements Policy.
+func (p *GDStar) Name() string { return "GD*(" + p.cost.Tag() + ")" }
+
+// Beta returns the exponent currently in effect.
+func (p *GDStar) Beta() float64 {
+	if p.estimator != nil {
+		return p.estimator.Beta()
+	}
+	return p.fixedBeta
+}
+
+func (p *GDStar) value(doc *Doc, refs int64) float64 {
+	size := doc.Size
+	if size < 1 {
+		size = 1
+	}
+	base := float64(refs) * p.cost.Cost(doc.Size) / float64(size)
+	return p.age + math.Pow(base, 1/p.Beta())
+}
+
+// Insert implements Policy.
+func (p *GDStar) Insert(doc *Doc) {
+	if p.estimator != nil {
+		p.estimator.Observe(doc.Key)
+	}
+	m := &heapMeta{refs: 1}
+	m.item = p.queue.Push(doc, p.value(doc, 1))
+	doc.meta = m
+}
+
+// Hit implements Policy.
+func (p *GDStar) Hit(doc *Doc) {
+	if p.estimator != nil {
+		p.estimator.Observe(doc.Key)
+	}
+	m, ok := doc.meta.(*heapMeta)
+	if !ok {
+		return
+	}
+	m.refs++
+	p.queue.Update(m.item, p.value(doc, m.refs))
+}
+
+// Evict implements Policy.
+func (p *GDStar) Evict() (*Doc, bool) {
+	it, err := p.queue.PopMin()
+	if err != nil {
+		return nil, false
+	}
+	p.age = it.Priority()
+	doc := it.Value
+	doc.meta = nil
+	return doc, true
+}
+
+// Remove implements Policy.
+func (p *GDStar) Remove(doc *Doc) {
+	if m, ok := doc.meta.(*heapMeta); ok {
+		p.queue.Remove(m.item)
+		doc.meta = nil
+	}
+}
+
+// Len implements Policy.
+func (p *GDStar) Len() int { return p.queue.Len() }
+
+// Age returns the current inflation offset L.
+func (p *GDStar) Age() float64 { return p.age }
+
+// LFU is plain Least Frequently Used without aging; the gap between LFU
+// and LFU-DA isolates the value of dynamic aging against cache pollution.
+type LFU struct {
+	queue pqueue.Queue[*Doc]
+}
+
+var _ Policy = (*LFU)(nil)
+
+// NewLFU returns an empty LFU policy.
+func NewLFU() *LFU { return &LFU{} }
+
+// Name implements Policy.
+func (*LFU) Name() string { return "LFU" }
+
+// Insert implements Policy.
+func (p *LFU) Insert(doc *Doc) {
+	m := &heapMeta{refs: 1}
+	m.item = p.queue.Push(doc, 1)
+	doc.meta = m
+}
+
+// Hit implements Policy.
+func (p *LFU) Hit(doc *Doc) {
+	m, ok := doc.meta.(*heapMeta)
+	if !ok {
+		return
+	}
+	m.refs++
+	p.queue.Update(m.item, float64(m.refs))
+}
+
+// Evict implements Policy.
+func (p *LFU) Evict() (*Doc, bool) {
+	it, err := p.queue.PopMin()
+	if err != nil {
+		return nil, false
+	}
+	doc := it.Value
+	doc.meta = nil
+	return doc, true
+}
+
+// Remove implements Policy.
+func (p *LFU) Remove(doc *Doc) {
+	if m, ok := doc.meta.(*heapMeta); ok {
+		p.queue.Remove(m.item)
+		doc.meta = nil
+	}
+}
+
+// Len implements Policy.
+func (p *LFU) Len() int { return p.queue.Len() }
+
+// Size evicts the largest resident document first, the SIZE policy of
+// Williams et al.; it maximizes document hit rate at the expense of byte
+// hit rate and serves as the size-only extreme in comparisons.
+type Size struct {
+	queue pqueue.Queue[*Doc]
+}
+
+var _ Policy = (*Size)(nil)
+
+// NewSize returns an empty SIZE policy.
+func NewSize() *Size { return &Size{} }
+
+// Name implements Policy.
+func (*Size) Name() string { return "SIZE" }
+
+// Insert implements Policy: priority is the negated size, so the largest
+// document is the heap minimum.
+func (p *Size) Insert(doc *Doc) {
+	m := &heapMeta{refs: 1}
+	m.item = p.queue.Push(doc, -float64(doc.Size))
+	doc.meta = m
+}
+
+// Hit implements Policy: SIZE ignores references.
+func (*Size) Hit(*Doc) {}
+
+// Evict implements Policy.
+func (p *Size) Evict() (*Doc, bool) {
+	it, err := p.queue.PopMin()
+	if err != nil {
+		return nil, false
+	}
+	doc := it.Value
+	doc.meta = nil
+	return doc, true
+}
+
+// Remove implements Policy.
+func (p *Size) Remove(doc *Doc) {
+	if m, ok := doc.meta.(*heapMeta); ok {
+		p.queue.Remove(m.item)
+		doc.meta = nil
+	}
+}
+
+// Len implements Policy.
+func (p *Size) Len() int { return p.queue.Len() }

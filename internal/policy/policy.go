@@ -1,0 +1,203 @@
+// Package policy implements the web cache replacement schemes compared by
+// the study — LRU, LFU with Dynamic Aging, Greedy Dual Size, and Greedy
+// Dual* — together with the two retrieval-cost models of Section 3
+// (constant cost and packet cost) and the online temporal-correlation
+// estimator that makes GD* adaptive. A few classic baselines (FIFO, SIZE,
+// plain LFU) are included for the related-work comparisons.
+//
+// A Policy orders cached documents for eviction; it owns no bytes and
+// enforces no capacity. The simulator in internal/core tracks occupancy
+// and calls Insert/Hit/Evict/Remove as documents move through the cache.
+package policy
+
+import (
+	"fmt"
+	"strings"
+
+	"webcachesim/internal/doctype"
+)
+
+// Doc is a cached document as seen by a replacement policy. The simulator
+// allocates one Doc per resident document and passes the same pointer to
+// every policy call; policies hang their private bookkeeping off the meta
+// field.
+type Doc struct {
+	// Key identifies the document (its URL).
+	Key string
+	// ID is an opaque caller-assigned identifier (the simulator's dense
+	// document index). Policies never interpret it.
+	ID int32
+	// Size is the document size in bytes charged against cache capacity.
+	Size int64
+	// Class is the document's content class, used only for per-type
+	// accounting by the simulator.
+	Class doctype.Class
+
+	// meta holds policy-private state (heap handle, list element, counts).
+	meta any
+}
+
+// Policy decides the eviction order of cached documents.
+//
+// The contract mirrors how replacement schemes are driven by a proxy:
+// Insert is called when a document enters the cache, Hit on every
+// reference to a resident document, Evict when space must be freed (it
+// removes and returns the victim), and Remove when a document leaves the
+// cache for a reason other than replacement (modification, explicit
+// invalidation).
+//
+// Implementations are not safe for concurrent use; the simulator runs one
+// policy instance per goroutine.
+type Policy interface {
+	// Name returns the scheme's display name (e.g. "GD*(1)").
+	Name() string
+	// Insert adds a document that just entered the cache.
+	Insert(doc *Doc)
+	// Hit records a reference to a resident document.
+	Hit(doc *Doc)
+	// Evict removes and returns the replacement victim. It reports false
+	// when the policy tracks no documents.
+	Evict() (*Doc, bool)
+	// Remove deletes a resident document from the policy's bookkeeping.
+	// Removing an untracked document is a no-op.
+	Remove(doc *Doc)
+	// Len returns the number of tracked documents.
+	Len() int
+}
+
+// Factory creates fresh policy instances, so that a sweep can run the same
+// scheme at many cache sizes concurrently.
+type Factory struct {
+	// Name is the display name of the configured scheme.
+	Name string
+	// New returns a fresh, empty policy instance.
+	New func() Policy
+}
+
+// Spec describes a configured replacement scheme. The zero value selects
+// LRU.
+type Spec struct {
+	// Scheme is one of "lru", "lfuda", "gds", "gdstar", "fifo", "size",
+	// "lfu".
+	Scheme string
+	// Cost selects the cost model for GDS and GD*: ConstantCost or
+	// PacketCost. Ignored by the cost-oblivious schemes.
+	Cost CostModel
+	// Beta fixes GD*'s temporal-correlation exponent. Zero selects the
+	// online estimator (the paper's adaptive variant).
+	Beta float64
+	// Inner configures the per-class sub-policy when Scheme is
+	// "typeaware".
+	Inner *Spec
+}
+
+// ParseSpec parses a scheme specification string of the form
+// "scheme[:cost]" — e.g. "lru", "gds:const", "gdstar:packet",
+// "gdstar:packet:beta=0.8". Recognized cost names are "const"/"1" and
+// "packet"/"p". The type-aware meta-policy wraps an inner spec:
+// "typeaware+gdstar:packet".
+func ParseSpec(s string) (Spec, error) {
+	lower := strings.ToLower(strings.TrimSpace(s))
+	if inner, ok := strings.CutPrefix(lower, "typeaware+"); ok {
+		innerSpec, err := ParseSpec(inner)
+		if err != nil {
+			return Spec{}, err
+		}
+		if innerSpec.Scheme == "typeaware" {
+			return Spec{}, fmt.Errorf("policy: typeaware cannot nest")
+		}
+		return Spec{Scheme: "typeaware", Inner: &innerSpec}, nil
+	}
+	parts := strings.Split(lower, ":")
+	spec := Spec{Cost: ConstantCost{}}
+	switch parts[0] {
+	case "lru", "lfuda", "lfu-da", "gds", "gdstar", "gd*", "gdsf", "fifo", "size", "lfu", "slru":
+		spec.Scheme = strings.NewReplacer("-", "", "*", "star").Replace(parts[0])
+	default:
+		return Spec{}, fmt.Errorf("policy: unknown scheme %q", parts[0])
+	}
+	for _, p := range parts[1:] {
+		switch {
+		case p == "const" || p == "constant" || p == "1":
+			spec.Cost = ConstantCost{}
+		case p == "packet" || p == "p":
+			spec.Cost = PacketCost{}
+		case strings.HasPrefix(p, "beta="):
+			var beta float64
+			if _, err := fmt.Sscanf(p, "beta=%g", &beta); err != nil {
+				return Spec{}, fmt.Errorf("policy: bad beta in %q: %w", s, err)
+			}
+			spec.Beta = beta
+		default:
+			return Spec{}, fmt.Errorf("policy: unknown option %q in %q", p, s)
+		}
+	}
+	return spec, nil
+}
+
+// NewFactory builds a Factory from a spec.
+func NewFactory(spec Spec) (Factory, error) {
+	cost := spec.Cost
+	if cost == nil {
+		cost = ConstantCost{}
+	}
+	switch spec.Scheme {
+	case "", "lru":
+		return Factory{Name: "LRU", New: func() Policy { return NewLRU() }}, nil
+	case "lfuda":
+		return Factory{Name: "LFU-DA", New: func() Policy { return NewLFUDA() }}, nil
+	case "gds":
+		name := fmt.Sprintf("GDS(%s)", cost.Tag())
+		return Factory{Name: name, New: func() Policy { return NewGDS(cost) }}, nil
+	case "gdstar":
+		name := fmt.Sprintf("GD*(%s)", cost.Tag())
+		beta := spec.Beta
+		return Factory{Name: name, New: func() Policy { return NewGDStar(cost, beta) }}, nil
+	case "gdsf":
+		name := fmt.Sprintf("GDSF(%s)", cost.Tag())
+		return Factory{Name: name, New: func() Policy { return NewGDSF(cost) }}, nil
+	case "fifo":
+		return Factory{Name: "FIFO", New: func() Policy { return NewFIFO() }}, nil
+	case "size":
+		return Factory{Name: "SIZE", New: func() Policy { return NewSize() }}, nil
+	case "lfu":
+		return Factory{Name: "LFU", New: func() Policy { return NewLFU() }}, nil
+	case "slru":
+		return Factory{Name: "SLRU", New: func() Policy { return NewSLRU(0) }}, nil
+	case "typeaware":
+		if spec.Inner == nil {
+			return Factory{}, fmt.Errorf("policy: typeaware requires an inner scheme (typeaware+<spec>)")
+		}
+		inner, err := NewFactory(*spec.Inner)
+		if err != nil {
+			return Factory{}, err
+		}
+		name := "TA[" + inner.Name + "]"
+		return Factory{Name: name, New: func() Policy { return NewTypeAware(inner) }}, nil
+	default:
+		return Factory{}, fmt.Errorf("policy: unknown scheme %q", spec.Scheme)
+	}
+}
+
+// MustFactory is NewFactory for statically known specs; it panics on
+// error and is intended for package-level experiment tables.
+func MustFactory(spec Spec) Factory {
+	f, err := NewFactory(spec)
+	if err != nil {
+		panic(err)
+	}
+	return f
+}
+
+// StudyFactories returns the six configurations compared in the paper, in
+// presentation order: LRU, LFU-DA, GDS(1), GD*(1), GDS(P), GD*(P).
+func StudyFactories() []Factory {
+	return []Factory{
+		MustFactory(Spec{Scheme: "lru"}),
+		MustFactory(Spec{Scheme: "lfuda"}),
+		MustFactory(Spec{Scheme: "gds", Cost: ConstantCost{}}),
+		MustFactory(Spec{Scheme: "gdstar", Cost: ConstantCost{}}),
+		MustFactory(Spec{Scheme: "gds", Cost: PacketCost{}}),
+		MustFactory(Spec{Scheme: "gdstar", Cost: PacketCost{}}),
+	}
+}

@@ -1,0 +1,110 @@
+package policy
+
+import "webcachesim/internal/container/intlist"
+
+// SLRU is Segmented LRU (Karedla, Love & Wherry): the cache is split into
+// a probationary and a protected segment, both LRU-ordered by document
+// count. New documents enter probation; a hit promotes a document to the
+// protected segment, whose overflow demotes the protected LRU tail back
+// to the top of probation. Eviction always takes the probationary tail,
+// so documents referenced only once cannot displace re-referenced ones —
+// a recency-based answer to the one-hit-wonder problem that LFU-DA solves
+// with counts. Included as a related-work baseline.
+type SLRU struct {
+	probation intlist.List[*Doc]
+	protected intlist.List[*Doc]
+	// maxProtected bounds the protected segment (in documents).
+	maxProtected int
+}
+
+// slruMeta records which segment a document is in.
+type slruMeta struct {
+	elem      *intlist.Element[*Doc]
+	protected bool
+}
+
+var _ Policy = (*SLRU)(nil)
+
+// DefaultProtectedFraction is the protected segment's share of tracked
+// documents used when none is configured.
+const DefaultProtectedFraction = 0.8
+
+// NewSLRU returns an empty SLRU whose protected segment holds up to
+// maxProtected documents (a size-based bound would need byte accounting
+// the Policy interface deliberately leaves to the simulator; the document
+// bound approximates it). maxProtected <= 0 selects 1024.
+func NewSLRU(maxProtected int) *SLRU {
+	if maxProtected <= 0 {
+		maxProtected = 1024
+	}
+	return &SLRU{maxProtected: maxProtected}
+}
+
+// Name implements Policy.
+func (*SLRU) Name() string { return "SLRU" }
+
+// Insert implements Policy: new documents enter probation.
+func (p *SLRU) Insert(doc *Doc) {
+	doc.meta = &slruMeta{elem: p.probation.PushFront(doc)}
+}
+
+// Hit implements Policy: probationary documents are promoted; protected
+// documents refresh their recency.
+func (p *SLRU) Hit(doc *Doc) {
+	m, ok := doc.meta.(*slruMeta)
+	if !ok {
+		return
+	}
+	if m.protected {
+		p.protected.MoveToFront(m.elem)
+		return
+	}
+	p.probation.Remove(m.elem)
+	m.elem = p.protected.PushFront(doc)
+	m.protected = true
+	// Overflowing protected documents fall back to the top of probation.
+	for p.protected.Len() > p.maxProtected {
+		tail := p.protected.Back()
+		demoted := p.protected.Remove(tail)
+		if dm, ok := demoted.meta.(*slruMeta); ok {
+			dm.elem = p.probation.PushFront(demoted)
+			dm.protected = false
+		}
+	}
+}
+
+// Evict implements Policy: the probationary LRU tail goes first; a fully
+// protected cache falls back to the protected tail.
+func (p *SLRU) Evict() (*Doc, bool) {
+	if e := p.probation.Back(); e != nil {
+		doc := p.probation.Remove(e)
+		doc.meta = nil
+		return doc, true
+	}
+	if e := p.protected.Back(); e != nil {
+		doc := p.protected.Remove(e)
+		doc.meta = nil
+		return doc, true
+	}
+	return nil, false
+}
+
+// Remove implements Policy.
+func (p *SLRU) Remove(doc *Doc) {
+	m, ok := doc.meta.(*slruMeta)
+	if !ok {
+		return
+	}
+	if m.protected {
+		p.protected.Remove(m.elem)
+	} else {
+		p.probation.Remove(m.elem)
+	}
+	doc.meta = nil
+}
+
+// Len implements Policy.
+func (p *SLRU) Len() int { return p.probation.Len() + p.protected.Len() }
+
+// ProtectedLen returns the protected segment's size (for tests).
+func (p *SLRU) ProtectedLen() int { return p.protected.Len() }

@@ -1,0 +1,369 @@
+// Package proxy implements a working HTTP caching proxy on top of the
+// replacement-policy engine — the system the simulator models. It serves
+// both as a live demonstration of the policies and as a trace source: the
+// proxy emits Squid-native access logs that feed straight back into the
+// trace parser, characterization, and simulator.
+//
+// The proxy applies the same cacheability rules the paper's preprocessing
+// assumes (GET only, the Section 2 status-code whitelist, the CGI/query
+// heuristics) plus Cache-Control: no-store. Consistency protocols
+// (expiration, revalidation) are out of scope, as in the paper: the proxy
+// studies replacement only.
+package proxy
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"webcachesim/internal/doctype"
+	"webcachesim/internal/policy"
+	"webcachesim/internal/trace"
+)
+
+// DefaultMaxObjectBytes bounds the size of a single cached response body.
+const DefaultMaxObjectBytes = 8 << 20
+
+// Config parameterizes a proxy server.
+type Config struct {
+	// Capacity is the cache size in bytes; it must be positive.
+	Capacity int64
+	// Policy builds the replacement scheme; LRU when unset.
+	Policy policy.Factory
+	// Origin, when set, turns the proxy into a reverse proxy: every
+	// request is rewritten to the origin. When nil, the proxy acts as a
+	// forward proxy and requires absolute-form request URLs.
+	Origin *url.URL
+	// Parent, when set, routes upstream fetches through another HTTP
+	// proxy — Squid's cache_peer parent relationship. Chaining two
+	// Servers this way forms a live two-level cache hierarchy.
+	Parent *url.URL
+	// Transport performs upstream fetches; http.DefaultTransport when
+	// nil. Ignored when Parent is set.
+	Transport http.RoundTripper
+	// AccessLog, when set, receives Squid-native log lines.
+	AccessLog io.Writer
+	// MaxObjectBytes bounds a single cached object
+	// (DefaultMaxObjectBytes when 0).
+	MaxObjectBytes int64
+	// Now supplies timestamps (time.Now when nil); injectable for tests.
+	Now func() time.Time
+}
+
+// Stats is a snapshot of the proxy's accounting, overall and per class.
+type Stats struct {
+	// Requests and Hits count all handled GET requests and cache hits.
+	Requests int64 `json:"requests"`
+	Hits     int64 `json:"hits"`
+	// ReqBytes and HitBytes count body bytes requested and served from
+	// cache.
+	ReqBytes int64 `json:"reqBytes"`
+	HitBytes int64 `json:"hitBytes"`
+	// Evictions counts replacement victims.
+	Evictions int64 `json:"evictions"`
+	// ByClass breaks requests and hits down by document class.
+	ByClass [doctype.NumClasses + 1]struct {
+		Requests int64 `json:"requests"`
+		Hits     int64 `json:"hits"`
+	} `json:"byClass"`
+}
+
+// HitRate returns Hits/Requests, or 0 without traffic.
+func (s Stats) HitRate() float64 {
+	if s.Requests == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(s.Requests)
+}
+
+// ByteHitRate returns HitBytes/ReqBytes, or 0 without traffic.
+func (s Stats) ByteHitRate() float64 {
+	if s.ReqBytes == 0 {
+		return 0
+	}
+	return float64(s.HitBytes) / float64(s.ReqBytes)
+}
+
+// entry is one cached response.
+type entry struct {
+	doc         *policy.Doc
+	body        []byte
+	contentType string
+	status      int
+}
+
+// Server is the caching proxy; it implements http.Handler.
+type Server struct {
+	cfg       Config
+	transport http.RoundTripper
+	now       func() time.Time
+
+	mu      sync.Mutex
+	pol     policy.Policy
+	entries map[string]*entry
+	used    int64
+	stats   Stats
+	logw    *trace.SquidWriter
+}
+
+var _ http.Handler = (*Server)(nil)
+
+// New creates a proxy server.
+func New(cfg Config) (*Server, error) {
+	if cfg.Capacity <= 0 {
+		return nil, fmt.Errorf("proxy: capacity %d must be positive", cfg.Capacity)
+	}
+	if cfg.Policy.New == nil {
+		cfg.Policy = policy.MustFactory(policy.Spec{Scheme: "lru"})
+	}
+	if cfg.MaxObjectBytes <= 0 {
+		cfg.MaxObjectBytes = DefaultMaxObjectBytes
+	}
+	s := &Server{
+		cfg:       cfg,
+		transport: cfg.Transport,
+		now:       cfg.Now,
+		pol:       cfg.Policy.New(),
+		entries:   make(map[string]*entry, 1024),
+	}
+	if cfg.Parent != nil {
+		parent := cfg.Parent
+		s.transport = &http.Transport{
+			Proxy: func(*http.Request) (*url.URL, error) { return parent, nil },
+		}
+	}
+	if s.transport == nil {
+		s.transport = http.DefaultTransport
+	}
+	if s.now == nil {
+		s.now = time.Now
+	}
+	if cfg.AccessLog != nil {
+		s.logw = trace.NewSquidWriter(cfg.AccessLog)
+	}
+	return s, nil
+}
+
+// Stats returns a snapshot of the proxy's counters.
+func (s *Server) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.stats
+}
+
+// Used returns the current cache occupancy in bytes.
+func (s *Server) Used() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.used
+}
+
+// Len returns the number of cached objects.
+func (s *Server) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.entries)
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "proxy caches GET only", http.StatusMethodNotAllowed)
+		return
+	}
+	target, err := s.targetURL(r)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	key := target.String()
+
+	if e := s.lookup(key); e != nil {
+		s.serve(w, r, key, e, true)
+		return
+	}
+
+	e, err := s.fetch(target, r)
+	if err != nil {
+		http.Error(w, fmt.Sprintf("upstream: %v", err), http.StatusBadGateway)
+		return
+	}
+	s.serve(w, r, key, e, false)
+}
+
+// targetURL resolves the upstream URL for a request.
+func (s *Server) targetURL(r *http.Request) (*url.URL, error) {
+	if s.cfg.Origin != nil {
+		u := *s.cfg.Origin
+		u.Path = r.URL.Path
+		u.RawQuery = r.URL.RawQuery
+		return &u, nil
+	}
+	if r.URL.IsAbs() {
+		return r.URL, nil
+	}
+	if r.Host != "" {
+		u := *r.URL
+		u.Scheme = "http"
+		u.Host = r.Host
+		return &u, nil
+	}
+	return nil, errors.New("proxy: relative request without Host")
+}
+
+// lookup returns the cached entry for key and records the policy hit, or
+// nil on a miss.
+func (s *Server) lookup(key string) *entry {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e, ok := s.entries[key]
+	if !ok {
+		return nil
+	}
+	s.pol.Hit(e.doc)
+	return e
+}
+
+// fetch retrieves the document from upstream and caches it when the
+// response is cacheable under the paper's rules.
+func (s *Server) fetch(target *url.URL, orig *http.Request) (*entry, error) {
+	req, err := http.NewRequestWithContext(orig.Context(), http.MethodGet, target.String(), nil)
+	if err != nil {
+		return nil, err
+	}
+	req.Header = orig.Header.Clone()
+	resp, err := s.transport.RoundTrip(req)
+	if err != nil {
+		return nil, err
+	}
+	defer func() {
+		_ = resp.Body.Close()
+	}()
+	body, err := io.ReadAll(io.LimitReader(resp.Body, s.cfg.MaxObjectBytes+1))
+	if err != nil {
+		return nil, err
+	}
+	e := &entry{
+		doc: &policy.Doc{
+			Key:   target.String(),
+			Size:  int64(len(body)),
+			Class: doctype.Classify(resp.Header.Get("Content-Type"), target.String()),
+		},
+		body:        body,
+		contentType: resp.Header.Get("Content-Type"),
+		status:      resp.StatusCode,
+	}
+	if s.cacheable(target.String(), resp, int64(len(body))) {
+		s.insert(e)
+	}
+	return e, nil
+}
+
+// cacheable applies the Section 2 preprocessing rules plus no-store.
+func (s *Server) cacheable(urlStr string, resp *http.Response, size int64) bool {
+	if !trace.CacheableStatus(resp.StatusCode) {
+		return false
+	}
+	if trace.UncacheableURL(urlStr) {
+		return false
+	}
+	if size > s.cfg.MaxObjectBytes || size > s.cfg.Capacity {
+		return false
+	}
+	cc := resp.Header.Get("Cache-Control")
+	if cc != "" && (containsToken(cc, "no-store") || containsToken(cc, "private")) {
+		return false
+	}
+	return true
+}
+
+func containsToken(header, token string) bool {
+	for _, part := range strings.Split(header, ",") {
+		if strings.EqualFold(strings.TrimSpace(part), token) {
+			return true
+		}
+	}
+	return false
+}
+
+// insert stores an entry, evicting as needed.
+func (s *Server) insert(e *entry) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if old, ok := s.entries[e.doc.Key]; ok {
+		s.pol.Remove(old.doc)
+		s.used -= old.doc.Size
+		delete(s.entries, e.doc.Key)
+	}
+	for s.used+e.doc.Size > s.cfg.Capacity {
+		victim, ok := s.pol.Evict()
+		if !ok {
+			return
+		}
+		s.stats.Evictions++
+		if ve, ok := s.entries[victim.Key]; ok && ve.doc == victim {
+			delete(s.entries, victim.Key)
+			s.used -= victim.Size
+		}
+	}
+	s.entries[e.doc.Key] = e
+	s.used += e.doc.Size
+	s.pol.Insert(e.doc)
+}
+
+// serve writes the response and settles accounting and logging.
+func (s *Server) serve(w http.ResponseWriter, r *http.Request, key string, e *entry, hit bool) {
+	size := int64(len(e.body))
+
+	s.mu.Lock()
+	s.stats.Requests++
+	s.stats.ReqBytes += size
+	cls := e.doc.Class
+	s.stats.ByClass[cls].Requests++
+	if hit {
+		s.stats.Hits++
+		s.stats.HitBytes += size
+		s.stats.ByClass[cls].Hits++
+	}
+	if s.logw != nil {
+		// The access log records what the trace pipeline consumes; the
+		// simulator ignores Squid's action field, so TCP_MISS (the
+		// writer's fixed action) is sufficient.
+		_ = s.logw.Write(&trace.Request{
+			UnixMillis:   s.now().UnixMilli(),
+			URL:          key,
+			Status:       e.status,
+			TransferSize: size,
+			ContentType:  e.contentType,
+			Client:       clientAddr(r),
+			Method:       http.MethodGet,
+		})
+		_ = s.logw.Flush()
+	}
+	s.mu.Unlock()
+
+	if e.contentType != "" {
+		w.Header().Set("Content-Type", e.contentType)
+	}
+	w.Header().Set("Content-Length", strconv.FormatInt(size, 10))
+	if hit {
+		w.Header().Set("X-Cache", "HIT")
+	} else {
+		w.Header().Set("X-Cache", "MISS")
+	}
+	w.WriteHeader(e.status)
+	_, _ = w.Write(e.body)
+}
+
+func clientAddr(r *http.Request) string {
+	if r.RemoteAddr == "" {
+		return "-"
+	}
+	return r.RemoteAddr
+}

@@ -1,0 +1,95 @@
+package report
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Histogram renders a horizontal ASCII bar chart of a sample's
+// distribution over logarithmic buckets — used to eyeball the heavy
+// tails of document- and transfer-size distributions.
+type Histogram struct {
+	// Title is printed above the chart.
+	Title string
+	// Unit labels the bucket bounds (e.g. "KB").
+	Unit string
+	// Buckets is the number of log-spaced buckets (default 12).
+	Buckets int
+	// Width is the maximum bar width in characters (default 48).
+	Width int
+}
+
+// Render draws the distribution of xs. Non-positive samples are dropped
+// (sizes are positive); an empty sample renders a placeholder.
+func (h *Histogram) Render(xs []float64) string {
+	buckets := h.Buckets
+	if buckets <= 0 {
+		buckets = 12
+	}
+	width := h.Width
+	if width <= 0 {
+		width = 48
+	}
+
+	var positive []float64
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, x := range xs {
+		if x > 0 {
+			positive = append(positive, x)
+			lo, hi = math.Min(lo, x), math.Max(hi, x)
+		}
+	}
+	var sb strings.Builder
+	if h.Title != "" {
+		sb.WriteString(h.Title)
+		sb.WriteByte('\n')
+	}
+	if len(positive) == 0 {
+		sb.WriteString("(no data)\n")
+		return sb.String()
+	}
+	if hi <= lo {
+		hi = lo * 2
+	}
+	logLo, logHi := math.Log(lo), math.Log(hi)
+	span := logHi - logLo
+	counts := make([]int, buckets)
+	for _, x := range positive {
+		i := int(float64(buckets) * (math.Log(x) - logLo) / span)
+		if i >= buckets {
+			i = buckets - 1
+		}
+		if i < 0 {
+			i = 0
+		}
+		counts[i]++
+	}
+	maxCount := 0
+	for _, c := range counts {
+		if c > maxCount {
+			maxCount = c
+		}
+	}
+	bound := func(i int) float64 { return math.Exp(logLo + span*float64(i)/float64(buckets)) }
+	labels := make([]string, buckets)
+	labelWidth := 0
+	for i := range counts {
+		labels[i] = fmt.Sprintf("%s–%s%s", FormatFloat(bound(i)), FormatFloat(bound(i+1)), h.Unit)
+		if len(labels[i]) > labelWidth {
+			labelWidth = len(labels[i])
+		}
+	}
+	for i, c := range counts {
+		bar := 0
+		if maxCount > 0 {
+			bar = int(math.Round(float64(c) / float64(maxCount) * float64(width)))
+		}
+		if c > 0 && bar == 0 {
+			bar = 1
+		}
+		fmt.Fprintf(&sb, "%s |%s %d\n",
+			pad(labels[i], labelWidth), strings.Repeat("#", bar), c)
+	}
+	return sb.String()
+}

@@ -1,0 +1,59 @@
+package report
+
+import (
+	"math/rand"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+func TestHistogramRender(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	xs := make([]float64, 5000)
+	for i := range xs {
+		xs[i] = rng.ExpFloat64()*50 + 1
+	}
+	h := Histogram{Title: "sizes", Unit: "KB", Buckets: 10, Width: 30}
+	out := h.Render(xs)
+	if !strings.Contains(out, "sizes") {
+		t.Error("title missing")
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 11 { // title + 10 buckets
+		t.Fatalf("got %d lines, want 11:\n%s", len(lines), out)
+	}
+	// Total counts must equal the sample size.
+	total := 0
+	for _, line := range lines[1:] {
+		fields := strings.Fields(line)
+		n, err := strconv.Atoi(fields[len(fields)-1])
+		if err != nil {
+			t.Fatalf("bad count in %q: %v", line, err)
+		}
+		total += n
+	}
+	if total != len(xs) {
+		t.Errorf("bucket counts sum to %d, want %d", total, len(xs))
+	}
+	// No bar exceeds the width.
+	for _, line := range lines[1:] {
+		if strings.Count(line, "#") > 30 {
+			t.Errorf("bar too wide: %q", line)
+		}
+	}
+}
+
+func TestHistogramEdgeCases(t *testing.T) {
+	h := Histogram{}
+	if out := h.Render(nil); !strings.Contains(out, "(no data)") {
+		t.Error("empty render missing placeholder")
+	}
+	if out := h.Render([]float64{-5, 0}); !strings.Contains(out, "(no data)") {
+		t.Error("non-positive-only render missing placeholder")
+	}
+	// Single value must not divide by zero.
+	out := h.Render([]float64{42})
+	if !strings.Contains(out, "1") {
+		t.Errorf("single-value histogram: %q", out)
+	}
+}

@@ -1,0 +1,227 @@
+package report
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Series is one line of a plot.
+type Series struct {
+	// Name labels the series in the legend.
+	Name string
+	// X and Y are the data points, parallel slices.
+	X []float64
+	Y []float64
+}
+
+// Plot renders multi-series line charts on a character grid — enough to
+// eyeball the shape of the paper's figures in a terminal or a Markdown
+// code block.
+type Plot struct {
+	// Title is printed above the chart.
+	Title string
+	// XLabel and YLabel annotate the axes.
+	XLabel, YLabel string
+	// Width and Height are the grid dimensions in characters (defaults
+	// 72×20).
+	Width, Height int
+	// LogX plots the x axis on a log10 scale (cache sizes span decades).
+	LogX bool
+	// YMin and YMax fix the y range when YFixed is set; otherwise the
+	// range adapts to the data with a zero floor.
+	YMin, YMax float64
+	YFixed     bool
+
+	series []Series
+}
+
+// seriesMarks assigns each series a distinct mark character.
+var seriesMarks = []byte{'*', 'o', '+', 'x', '#', '@', '%', '&'}
+
+// Add appends a series; points with non-finite coordinates are dropped.
+func (p *Plot) Add(s Series) {
+	clean := Series{Name: s.Name}
+	for i := range s.X {
+		if i >= len(s.Y) {
+			break
+		}
+		if isFinite(s.X[i]) && isFinite(s.Y[i]) {
+			clean.X = append(clean.X, s.X[i])
+			clean.Y = append(clean.Y, s.Y[i])
+		}
+	}
+	p.series = append(p.series, clean)
+}
+
+func isFinite(x float64) bool { return !math.IsNaN(x) && !math.IsInf(x, 0) }
+
+// Render draws the chart.
+func (p *Plot) Render() string {
+	width, height := p.Width, p.Height
+	if width <= 0 {
+		width = 72
+	}
+	if height <= 0 {
+		height = 20
+	}
+
+	xMin, xMax := math.Inf(1), math.Inf(-1)
+	yMin, yMax := math.Inf(1), math.Inf(-1)
+	var hasData bool
+	for _, s := range p.series {
+		for i := range s.X {
+			hasData = true
+			x := p.xCoord(s.X[i])
+			xMin, xMax = math.Min(xMin, x), math.Max(xMax, x)
+			yMin, yMax = math.Min(yMin, s.Y[i]), math.Max(yMax, s.Y[i])
+		}
+	}
+	if !hasData {
+		return p.Title + "\n(no data)\n"
+	}
+	if p.YFixed {
+		yMin, yMax = p.YMin, p.YMax
+	} else {
+		if yMin > 0 {
+			yMin = 0
+		}
+		if yMax <= yMin {
+			yMax = yMin + 1
+		}
+	}
+	if xMax <= xMin {
+		xMax = xMin + 1
+	}
+
+	grid := make([][]byte, height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", width))
+	}
+	col := func(x float64) int {
+		c := int(math.Round((p.xCoord(x) - xMin) / (xMax - xMin) * float64(width-1)))
+		return clampInt(c, 0, width-1)
+	}
+	row := func(y float64) int {
+		r := int(math.Round((y - yMin) / (yMax - yMin) * float64(height-1)))
+		return clampInt(height-1-r, 0, height-1)
+	}
+
+	for si, s := range p.series {
+		mark := seriesMarks[si%len(seriesMarks)]
+		// Connect consecutive points with interpolated steps so curves
+		// read as lines rather than scattered dots.
+		type pt struct{ c, r int }
+		pts := make([]pt, len(s.X))
+		order := make([]int, len(s.X))
+		for i := range order {
+			order[i] = i
+		}
+		sort.Slice(order, func(a, b int) bool { return s.X[order[a]] < s.X[order[b]] })
+		for i, idx := range order {
+			pts[i] = pt{c: col(s.X[idx]), r: row(s.Y[idx])}
+		}
+		for i := range pts {
+			grid[pts[i].r][pts[i].c] = mark
+			if i == 0 {
+				continue
+			}
+			steps := absInt(pts[i].c-pts[i-1].c) + absInt(pts[i].r-pts[i-1].r)
+			for st := 1; st < steps; st++ {
+				f := float64(st) / float64(steps)
+				c := pts[i-1].c + int(math.Round(f*float64(pts[i].c-pts[i-1].c)))
+				r := pts[i-1].r + int(math.Round(f*float64(pts[i].r-pts[i-1].r)))
+				if grid[r][c] == ' ' {
+					grid[r][c] = '.'
+				}
+			}
+		}
+	}
+
+	var sb strings.Builder
+	if p.Title != "" {
+		sb.WriteString(p.Title)
+		sb.WriteByte('\n')
+	}
+	yTop := FormatFloat(yMax)
+	yBottom := FormatFloat(yMin)
+	labelWidth := len(yTop)
+	if len(yBottom) > labelWidth {
+		labelWidth = len(yBottom)
+	}
+	for r := 0; r < height; r++ {
+		label := strings.Repeat(" ", labelWidth)
+		if r == 0 {
+			label = pad(yTop, labelWidth)
+		}
+		if r == height-1 {
+			label = pad(yBottom, labelWidth)
+		}
+		sb.WriteString(label)
+		sb.WriteString(" |")
+		sb.Write(grid[r])
+		sb.WriteByte('\n')
+	}
+	sb.WriteString(strings.Repeat(" ", labelWidth))
+	sb.WriteString(" +")
+	sb.WriteString(strings.Repeat("-", width))
+	sb.WriteByte('\n')
+	// X-axis end labels.
+	lo, hi := p.xLabel(xMin), p.xLabel(xMax)
+	gap := width - len(lo) - len(hi)
+	if gap < 1 {
+		gap = 1
+	}
+	sb.WriteString(strings.Repeat(" ", labelWidth+2))
+	sb.WriteString(lo)
+	sb.WriteString(strings.Repeat(" ", gap))
+	sb.WriteString(hi)
+	sb.WriteByte('\n')
+	if p.XLabel != "" || p.YLabel != "" {
+		fmt.Fprintf(&sb, "%s x: %s   y: %s\n", strings.Repeat(" ", labelWidth), p.XLabel, p.YLabel)
+	}
+	for si, s := range p.series {
+		fmt.Fprintf(&sb, "%s  %c %s\n", strings.Repeat(" ", labelWidth), seriesMarks[si%len(seriesMarks)], s.Name)
+	}
+	return sb.String()
+}
+
+func (p *Plot) xCoord(x float64) float64 {
+	if p.LogX && x > 0 {
+		return math.Log10(x)
+	}
+	return x
+}
+
+func (p *Plot) xLabel(coord float64) string {
+	if p.LogX {
+		return FormatFloat(math.Pow(10, coord))
+	}
+	return FormatFloat(coord)
+}
+
+func pad(s string, w int) string {
+	if len(s) >= w {
+		return s
+	}
+	return strings.Repeat(" ", w-len(s)) + s
+}
+
+func clampInt(x, lo, hi int) int {
+	switch {
+	case x < lo:
+		return lo
+	case x > hi:
+		return hi
+	default:
+		return x
+	}
+}
+
+func absInt(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

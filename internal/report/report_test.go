@@ -1,0 +1,132 @@
+package report
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func sampleTable() *Table {
+	t := NewTable("Demo", "", "Images", "HTML")
+	t.AddRow("Requests", "100", "50")
+	t.AddRowf("", 0.5, 12.345)
+	return t
+}
+
+func TestTableText(t *testing.T) {
+	out := sampleTable().Text()
+	if !strings.Contains(out, "Demo") {
+		t.Error("title missing")
+	}
+	if !strings.Contains(out, "Images") || !strings.Contains(out, "HTML") {
+		t.Error("headers missing")
+	}
+	if !strings.Contains(out, "Requests") {
+		t.Error("row label missing")
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	// Title + header + rule + 2 rows.
+	if len(lines) != 5 {
+		t.Errorf("got %d lines, want 5:\n%s", len(lines), out)
+	}
+}
+
+func TestTableMarkdown(t *testing.T) {
+	out := sampleTable().Markdown()
+	if !strings.Contains(out, "| Requests |") {
+		t.Errorf("markdown row missing:\n%s", out)
+	}
+	if !strings.Contains(out, ":---|") {
+		t.Error("alignment row missing")
+	}
+}
+
+func TestTableCSV(t *testing.T) {
+	tbl := NewTable("", "a", "b")
+	tbl.AddRow(`comma,and"quote`, "x")
+	out := tbl.CSV()
+	if !strings.Contains(out, `"comma,and""quote"`) {
+		t.Errorf("CSV escaping broken:\n%s", out)
+	}
+	if !strings.HasPrefix(out, "a,b\n") {
+		t.Errorf("CSV header broken:\n%s", out)
+	}
+}
+
+func TestTableRaggedRows(t *testing.T) {
+	tbl := NewTable("", "a")
+	tbl.AddRow("1", "2", "3") // wider than the header
+	tbl.AddRow()              // empty row
+	out := tbl.Text()
+	if !strings.Contains(out, "3") {
+		t.Error("extra cells dropped")
+	}
+	if tbl.NumRows() != 2 {
+		t.Errorf("NumRows = %d, want 2", tbl.NumRows())
+	}
+}
+
+func TestFormatFloat(t *testing.T) {
+	tests := []struct {
+		in   float64
+		want string
+	}{
+		{0, "0"},
+		{1, "1"},
+		{1.5, "1.5"},
+		{12.345, "12.35"}, // hmm: rounds at 2 decimals
+		{0.5, "0.5"},
+		{0.1234, "0.1234"},
+		{0.12, "0.12"},
+		{2048, "2048"},
+		{-3.25, "-3.25"},
+	}
+	for _, tt := range tests {
+		if got := FormatFloat(tt.in); got != tt.want {
+			t.Errorf("FormatFloat(%v) = %q, want %q", tt.in, got, tt.want)
+		}
+	}
+}
+
+func TestPlotRender(t *testing.T) {
+	p := Plot{Title: "Hit rate", XLabel: "cache MB", YLabel: "HR", LogX: true, Width: 40, Height: 10}
+	p.Add(Series{Name: "LRU", X: []float64{1, 10, 100}, Y: []float64{0.1, 0.2, 0.3}})
+	p.Add(Series{Name: "GD*", X: []float64{1, 10, 100}, Y: []float64{0.2, 0.3, 0.4}})
+	out := p.Render()
+	for _, want := range []string{"Hit rate", "LRU", "GD*", "*", "o", "cache MB"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("plot output missing %q:\n%s", want, out)
+		}
+	}
+	lines := strings.Split(out, "\n")
+	if len(lines) < 12 {
+		t.Errorf("plot too short: %d lines", len(lines))
+	}
+}
+
+func TestPlotEmpty(t *testing.T) {
+	p := Plot{Title: "empty"}
+	out := p.Render()
+	if !strings.Contains(out, "(no data)") {
+		t.Errorf("empty plot output: %q", out)
+	}
+}
+
+func TestPlotDropsNonFinite(t *testing.T) {
+	p := Plot{Width: 20, Height: 5}
+	inf := math.Inf(1)
+	p.Add(Series{Name: "s", X: []float64{1, 2, inf}, Y: []float64{1, math.NaN(), 3}})
+	out := p.Render()
+	if out == "" {
+		t.Error("plot with partial data rendered nothing")
+	}
+}
+
+func TestPlotFixedYRange(t *testing.T) {
+	p := Plot{Width: 30, Height: 8, YFixed: true, YMin: 0, YMax: 1}
+	p.Add(Series{Name: "s", X: []float64{0, 1}, Y: []float64{0.2, 0.9}})
+	out := p.Render()
+	if !strings.Contains(out, "1 |") {
+		t.Errorf("fixed y max label missing:\n%s", out)
+	}
+}

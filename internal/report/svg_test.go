@@ -1,0 +1,93 @@
+package report
+
+import (
+	"encoding/xml"
+	"strings"
+	"testing"
+)
+
+func sampleSVGPlot() *Plot {
+	p := &Plot{
+		Title:  "Hit rate & <escaping>",
+		XLabel: "cache size (MB)",
+		YLabel: "hit rate",
+		LogX:   true,
+	}
+	p.Add(Series{Name: "LRU", X: []float64{8, 16, 32, 64}, Y: []float64{0.1, 0.2, 0.3, 0.4}})
+	p.Add(Series{Name: `GD*("P")`, X: []float64{8, 16, 32, 64}, Y: []float64{0.2, 0.3, 0.4, 0.5}})
+	return p
+}
+
+func TestSVGWellFormed(t *testing.T) {
+	out := sampleSVGPlot().SVG()
+	dec := xml.NewDecoder(strings.NewReader(out))
+	for {
+		_, err := dec.Token()
+		if err != nil {
+			if err.Error() == "EOF" {
+				break
+			}
+			t.Fatalf("SVG is not well-formed XML: %v\n%s", err, out)
+		}
+	}
+}
+
+func TestSVGContent(t *testing.T) {
+	out := sampleSVGPlot().SVG()
+	for _, want := range []string{
+		"<svg", "</svg>", "polyline", "circle",
+		"LRU", "GD*(&quot;P&quot;)", "Hit rate &amp; &lt;escaping&gt;",
+		"cache size (MB)", "hit rate",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("SVG missing %q", want)
+		}
+	}
+	if got := strings.Count(out, "<polyline"); got != 2 {
+		t.Errorf("polyline count = %d, want 2", got)
+	}
+	// 8 data points => 8 markers.
+	if got := strings.Count(out, "<circle"); got != 8 {
+		t.Errorf("circle count = %d, want 8", got)
+	}
+}
+
+func TestSVGEmpty(t *testing.T) {
+	p := &Plot{Title: "empty"}
+	out := p.SVG()
+	if !strings.Contains(out, "no data") {
+		t.Errorf("empty SVG should say so:\n%s", out)
+	}
+	dec := xml.NewDecoder(strings.NewReader(out))
+	for {
+		if _, err := dec.Token(); err != nil {
+			if err.Error() == "EOF" {
+				break
+			}
+			t.Fatalf("empty SVG malformed: %v", err)
+		}
+	}
+}
+
+func TestSVGFixedRange(t *testing.T) {
+	p := &Plot{YFixed: true, YMin: 0, YMax: 100}
+	p.Add(Series{Name: "s", X: []float64{1, 2}, Y: []float64{40, 60}})
+	out := p.SVG()
+	if !strings.Contains(out, ">100<") {
+		t.Errorf("fixed y max label missing:\n%s", out)
+	}
+}
+
+func TestSVGTickThinning(t *testing.T) {
+	p := &Plot{}
+	xs := make([]float64, 40)
+	ys := make([]float64, 40)
+	for i := range xs {
+		xs[i], ys[i] = float64(i+1), float64(i)
+	}
+	p.Add(Series{Name: "dense", X: xs, Y: ys})
+	ticks := p.xTickValues()
+	if len(ticks) > 14 {
+		t.Errorf("tick thinning failed: %d ticks", len(ticks))
+	}
+}

@@ -1,0 +1,193 @@
+// Package report renders experiment output: aligned text tables (the
+// paper's Tables 1–5), CSV and Markdown variants, and ASCII line plots for
+// the hit-rate and occupancy figures.
+package report
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Table is a rectangular grid of cells with a header row.
+type Table struct {
+	// Title is printed above the table when non-empty.
+	Title   string
+	header  []string
+	rows    [][]string
+	numCols int
+}
+
+// NewTable creates a table with the given column headers.
+func NewTable(title string, header ...string) *Table {
+	return &Table{Title: title, header: header, numCols: len(header)}
+}
+
+// AddRow appends a row; missing cells render empty, extra cells widen the
+// table.
+func (t *Table) AddRow(cells ...string) {
+	if len(cells) > t.numCols {
+		t.numCols = len(cells)
+	}
+	t.rows = append(t.rows, cells)
+}
+
+// AddRowf appends a row of formatted cells: each argument is rendered with
+// %v unless it is a float64, which is rendered with the table's default
+// precision.
+func (t *Table) AddRowf(cells ...any) {
+	out := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			out[i] = FormatFloat(v)
+		case string:
+			out[i] = v
+		default:
+			out[i] = fmt.Sprintf("%v", v)
+		}
+	}
+	t.AddRow(out...)
+}
+
+// NumRows returns the number of data rows.
+func (t *Table) NumRows() int { return len(t.rows) }
+
+// FormatFloat renders a float compactly: 2 decimals for magnitudes ≥ 1,
+// up to 4 significant decimals below 1, trimming trailing zeros.
+func FormatFloat(v float64) string {
+	av := v
+	if av < 0 {
+		av = -av
+	}
+	var s string
+	switch {
+	case av == 0:
+		return "0"
+	case av >= 1000:
+		return fmt.Sprintf("%.0f", v)
+	case av >= 1:
+		s = fmt.Sprintf("%.2f", v)
+	default:
+		s = fmt.Sprintf("%.4f", v)
+	}
+	s = strings.TrimRight(s, "0")
+	return strings.TrimRight(s, ".")
+}
+
+func (t *Table) widths() []int {
+	w := make([]int, t.numCols)
+	measure := func(cells []string) {
+		for i, c := range cells {
+			if len(c) > w[i] {
+				w[i] = len(c)
+			}
+		}
+	}
+	measure(t.header)
+	for _, r := range t.rows {
+		measure(r)
+	}
+	return w
+}
+
+// Text renders the table as aligned plain text: the first column is
+// left-aligned (row labels), the rest right-aligned (numbers).
+func (t *Table) Text() string {
+	w := t.widths()
+	var sb strings.Builder
+	if t.Title != "" {
+		sb.WriteString(t.Title)
+		sb.WriteByte('\n')
+	}
+	writeRow := func(cells []string) {
+		for i := 0; i < t.numCols; i++ {
+			cell := ""
+			if i < len(cells) {
+				cell = cells[i]
+			}
+			if i > 0 {
+				sb.WriteString("  ")
+			}
+			if i == 0 {
+				sb.WriteString(cell)
+				sb.WriteString(strings.Repeat(" ", w[i]-len(cell)))
+			} else {
+				sb.WriteString(strings.Repeat(" ", w[i]-len(cell)))
+				sb.WriteString(cell)
+			}
+		}
+		sb.WriteByte('\n')
+	}
+	writeRow(t.header)
+	total := t.numCols - 1
+	for _, width := range w {
+		total += width + 1
+	}
+	sb.WriteString(strings.Repeat("-", total))
+	sb.WriteByte('\n')
+	for _, r := range t.rows {
+		writeRow(r)
+	}
+	return sb.String()
+}
+
+// Markdown renders the table as a GitHub-flavored Markdown table.
+func (t *Table) Markdown() string {
+	var sb strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&sb, "**%s**\n\n", t.Title)
+	}
+	writeRow := func(cells []string) {
+		sb.WriteByte('|')
+		for i := 0; i < t.numCols; i++ {
+			cell := ""
+			if i < len(cells) {
+				cell = cells[i]
+			}
+			sb.WriteByte(' ')
+			sb.WriteString(strings.ReplaceAll(cell, "|", "\\|"))
+			sb.WriteString(" |")
+		}
+		sb.WriteByte('\n')
+	}
+	writeRow(t.header)
+	sb.WriteByte('|')
+	for i := 0; i < t.numCols; i++ {
+		if i == 0 {
+			sb.WriteString(":---|")
+		} else {
+			sb.WriteString("---:|")
+		}
+	}
+	sb.WriteByte('\n')
+	for _, r := range t.rows {
+		writeRow(r)
+	}
+	return sb.String()
+}
+
+// CSV renders the table as comma-separated values with a header row.
+func (t *Table) CSV() string {
+	var sb strings.Builder
+	writeRow := func(cells []string) {
+		for i := 0; i < t.numCols; i++ {
+			if i > 0 {
+				sb.WriteByte(',')
+			}
+			cell := ""
+			if i < len(cells) {
+				cell = cells[i]
+			}
+			if strings.ContainsAny(cell, ",\"\n") {
+				cell = `"` + strings.ReplaceAll(cell, `"`, `""`) + `"`
+			}
+			sb.WriteString(cell)
+		}
+		sb.WriteByte('\n')
+	}
+	writeRow(t.header)
+	for _, r := range t.rows {
+		writeRow(r)
+	}
+	return sb.String()
+}

@@ -1,0 +1,140 @@
+package sketch
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestBloomValidation(t *testing.T) {
+	if _, err := NewBloom(0, 0.01); err == nil {
+		t.Error("zero items accepted")
+	}
+	if _, err := NewBloom(100, 0); err == nil {
+		t.Error("zero fp rate accepted")
+	}
+	if _, err := NewBloom(100, 1); err == nil {
+		t.Error("fp rate 1 accepted")
+	}
+}
+
+func TestBloomNoFalseNegatives(t *testing.T) {
+	b, err := NewBloom(10_000, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10_000; i++ {
+		b.Add(fmt.Sprintf("key-%d", i))
+	}
+	for i := 0; i < 10_000; i++ {
+		if !b.Contains(fmt.Sprintf("key-%d", i)) {
+			t.Fatalf("false negative for key-%d", i)
+		}
+	}
+	if b.Added() != 10_000 {
+		t.Errorf("Added = %d", b.Added())
+	}
+}
+
+func TestBloomFalsePositiveRate(t *testing.T) {
+	b, err := NewBloom(50_000, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 50_000; i++ {
+		b.Add(fmt.Sprintf("member-%d", i))
+	}
+	fps := 0
+	const probes = 50_000
+	for i := 0; i < probes; i++ {
+		if b.Contains(fmt.Sprintf("absent-%d", i)) {
+			fps++
+		}
+	}
+	rate := float64(fps) / probes
+	if rate > 0.03 {
+		t.Errorf("false-positive rate %v, want ≤ ~0.01 (3x slack)", rate)
+	}
+}
+
+func TestBloomAddIfNew(t *testing.T) {
+	b, err := NewBloom(1000, 0.001)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !b.AddIfNew("x") {
+		t.Error("first AddIfNew returned false")
+	}
+	if b.AddIfNew("x") {
+		t.Error("second AddIfNew returned true")
+	}
+}
+
+func TestSpaceSavingValidation(t *testing.T) {
+	if _, err := NewSpaceSaving(0); err == nil {
+		t.Error("zero capacity accepted")
+	}
+}
+
+func TestSpaceSavingExactBelowCapacity(t *testing.T) {
+	s, err := NewSpaceSaving(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		for j := 0; j <= i; j++ {
+			s.Add(fmt.Sprintf("k%d", i))
+		}
+	}
+	top := s.Top(3)
+	if len(top) != 3 {
+		t.Fatalf("Top returned %d", len(top))
+	}
+	if top[0].Key != "k9" || top[0].Count != 10 || top[0].Err != 0 {
+		t.Errorf("top[0] = %+v", top[0])
+	}
+	if top[1].Key != "k8" || top[2].Key != "k7" {
+		t.Errorf("ordering: %+v", top)
+	}
+}
+
+func TestSpaceSavingHeavyHittersSurvivePressure(t *testing.T) {
+	s, err := NewSpaceSaving(50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Two heavy items among a stream of 20k singletons.
+	for i := 0; i < 20_000; i++ {
+		s.Add(fmt.Sprintf("noise-%d", i))
+		if i%2 == 0 {
+			s.Add("heavy-A")
+		}
+		if i%4 == 0 {
+			s.Add("heavy-B")
+		}
+	}
+	if s.Len() != 50 {
+		t.Errorf("Len = %d, want 50", s.Len())
+	}
+	top := s.Top(2)
+	if top[0].Key != "heavy-A" || top[1].Key != "heavy-B" {
+		t.Fatalf("heavy hitters lost: %+v", top)
+	}
+	// Space-Saving guarantees count ≥ true frequency.
+	if top[0].Count < 10_000 {
+		t.Errorf("heavy-A count %d below true 10000", top[0].Count)
+	}
+	if top[0].Count-top[0].Err > 10_000 {
+		t.Errorf("heavy-A lower bound %d exceeds truth", top[0].Count-top[0].Err)
+	}
+}
+
+func TestSpaceSavingTopBound(t *testing.T) {
+	s, err := NewSpaceSaving(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Add("only")
+	if got := s.Top(5); len(got) != 1 {
+		t.Errorf("Top(5) over 1 item returned %d", len(got))
+	}
+}

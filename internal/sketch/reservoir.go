@@ -1,0 +1,66 @@
+package sketch
+
+import (
+	"fmt"
+	"math/rand"
+
+	"webcachesim/internal/stats"
+)
+
+// Reservoir maintains a uniform random sample of a stream of float64
+// observations (Vitter's algorithm R) together with exact streaming
+// moments, so mean and CoV are exact while quantiles come from the
+// sample.
+type Reservoir struct {
+	sample  []float64
+	cap     int
+	seen    int64
+	rng     *rand.Rand
+	moments stats.Moments
+}
+
+// NewReservoir creates a reservoir holding up to capacity samples, seeded
+// for reproducibility.
+func NewReservoir(capacity int, seed int64) (*Reservoir, error) {
+	if capacity <= 0 {
+		return nil, fmt.Errorf("sketch: reservoir capacity %d must be positive", capacity)
+	}
+	return &Reservoir{
+		sample: make([]float64, 0, capacity),
+		cap:    capacity,
+		rng:    rand.New(rand.NewSource(seed)),
+	}, nil
+}
+
+// Add incorporates one observation.
+func (r *Reservoir) Add(x float64) {
+	r.seen++
+	r.moments.Add(x)
+	if len(r.sample) < r.cap {
+		r.sample = append(r.sample, x)
+		return
+	}
+	if j := r.rng.Int63n(r.seen); j < int64(r.cap) {
+		r.sample[j] = x
+	}
+}
+
+// Seen returns the number of observations.
+func (r *Reservoir) Seen() int64 { return r.seen }
+
+// Mean returns the exact stream mean.
+func (r *Reservoir) Mean() float64 { return r.moments.Mean() }
+
+// Sum returns the exact stream sum.
+func (r *Reservoir) Sum() float64 { return r.moments.Sum() }
+
+// CoV returns the exact stream coefficient of variation.
+func (r *Reservoir) CoV() float64 { return r.moments.CoV() }
+
+// Quantile estimates the q-quantile from the sample.
+func (r *Reservoir) Quantile(q float64) float64 {
+	return stats.Quantile(r.sample, q)
+}
+
+// Median estimates the stream median from the sample.
+func (r *Reservoir) Median() float64 { return r.Quantile(0.5) }

@@ -1,0 +1,192 @@
+package sketch
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestHLLPrecisionBounds(t *testing.T) {
+	if _, err := NewHyperLogLog(3); err == nil {
+		t.Error("precision 3 accepted")
+	}
+	if _, err := NewHyperLogLog(17); err == nil {
+		t.Error("precision 17 accepted")
+	}
+	if _, err := NewHyperLogLog(14); err != nil {
+		t.Errorf("precision 14 rejected: %v", err)
+	}
+}
+
+func TestHLLAccuracy(t *testing.T) {
+	for _, n := range []int{10, 1000, 50_000, 500_000} {
+		h, err := NewHyperLogLog(14)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < n; i++ {
+			h.AddString(fmt.Sprintf("item-%d", i))
+		}
+		got := float64(h.Estimate())
+		relErr := math.Abs(got-float64(n)) / float64(n)
+		// 1.04/sqrt(2^14) ≈ 0.8%; allow 4 sigma.
+		if relErr > 0.033 {
+			t.Errorf("n=%d: estimate %v, relative error %v", n, got, relErr)
+		}
+	}
+}
+
+func TestHLLDuplicatesDoNotInflate(t *testing.T) {
+	h, err := NewHyperLogLog(12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for round := 0; round < 100; round++ {
+		for i := 0; i < 100; i++ {
+			h.AddString(fmt.Sprintf("dup-%d", i))
+		}
+	}
+	got := h.Estimate()
+	if got < 90 || got > 110 {
+		t.Errorf("estimate %d for 100 distinct items added 100×", got)
+	}
+}
+
+func TestHLLMerge(t *testing.T) {
+	a, err := NewHyperLogLog(12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewHyperLogLog(12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Overlapping sets: |A ∪ B| = 15000.
+	for i := 0; i < 10_000; i++ {
+		a.AddString(fmt.Sprintf("x-%d", i))
+	}
+	for i := 5_000; i < 15_000; i++ {
+		b.AddString(fmt.Sprintf("x-%d", i))
+	}
+	if err := a.Merge(b); err != nil {
+		t.Fatal(err)
+	}
+	got := float64(a.Estimate())
+	if math.Abs(got-15_000)/15_000 > 0.06 {
+		t.Errorf("merged estimate %v, want ≈15000", got)
+	}
+	c, err := NewHyperLogLog(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Merge(c); err == nil {
+		t.Error("precision mismatch accepted")
+	}
+}
+
+// Property: estimate is monotone non-decreasing under additions.
+func TestHLLMonotoneProperty(t *testing.T) {
+	h, err := NewHyperLogLog(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev := int64(0)
+	f := func(key string) bool {
+		h.AddString(key)
+		est := h.Estimate()
+		ok := est >= prev
+		prev = est
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestReservoirValidation(t *testing.T) {
+	if _, err := NewReservoir(0, 1); err == nil {
+		t.Error("zero capacity accepted")
+	}
+}
+
+func TestReservoirExactBelowCapacity(t *testing.T) {
+	r, err := NewReservoir(100, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i <= 50; i++ {
+		r.Add(float64(i))
+	}
+	if r.Seen() != 50 {
+		t.Errorf("Seen = %d", r.Seen())
+	}
+	if got := r.Median(); got != 25.5 {
+		t.Errorf("median = %v, want exact 25.5 below capacity", got)
+	}
+	if got := r.Mean(); got != 25.5 {
+		t.Errorf("mean = %v, want 25.5", got)
+	}
+}
+
+func TestReservoirQuantilesApproximate(t *testing.T) {
+	r, err := NewReservoir(2000, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(2))
+	n := 200_000
+	xs := make([]float64, n)
+	for i := range xs {
+		xs[i] = rng.ExpFloat64() * 100
+		r.Add(xs[i])
+	}
+	sort.Float64s(xs)
+	trueMedian := xs[n/2]
+	got := r.Median()
+	if math.Abs(got-trueMedian)/trueMedian > 0.08 {
+		t.Errorf("median estimate %v, true %v", got, trueMedian)
+	}
+	// Mean and CoV are exact regardless of sampling.
+	var sum float64
+	for _, x := range xs {
+		sum += x
+	}
+	if math.Abs(r.Mean()-sum/float64(n)) > 1e-6 {
+		t.Errorf("mean %v, want %v", r.Mean(), sum/float64(n))
+	}
+	if r.Seen() != int64(n) {
+		t.Errorf("Seen = %d", r.Seen())
+	}
+}
+
+// Property: the reservoir keeps a genuinely uniform sample — every
+// position of a long stream is retained with probability ≈ cap/n.
+func TestReservoirUniformity(t *testing.T) {
+	const (
+		capacity = 100
+		n        = 10_000
+		trials   = 300
+	)
+	firstHalf := 0
+	for trial := 0; trial < trials; trial++ {
+		r, err := NewReservoir(capacity, int64(trial))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < n; i++ {
+			r.Add(float64(i))
+		}
+		for _, x := range r.sample {
+			if x < n/2 {
+				firstHalf++
+			}
+		}
+	}
+	frac := float64(firstHalf) / float64(trials*capacity)
+	if frac < 0.46 || frac > 0.54 {
+		t.Errorf("first-half retention %v, want ≈0.5 (uniformity broken)", frac)
+	}
+}

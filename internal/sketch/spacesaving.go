@@ -1,0 +1,93 @@
+package sketch
+
+import (
+	"fmt"
+	"sort"
+
+	"webcachesim/internal/container/pqueue"
+)
+
+// SpaceSaving tracks the k most frequent items of a stream with bounded
+// error (Metwally et al.): when a new item arrives at a full table, it
+// replaces the current minimum and inherits its count as the error bound.
+// The characterizer uses it to recover the head of the document-popularity
+// distribution, from which the Zipf index α is fitted.
+//
+// Entries are kept in an indexed min-heap, so Add is O(log k).
+type SpaceSaving struct {
+	entries map[string]*pqueue.Item[*ssEntry]
+	queue   pqueue.Queue[*ssEntry]
+	cap     int
+}
+
+type ssEntry struct {
+	key   string
+	count int64
+	err   int64
+}
+
+// Counter is one reported heavy hitter.
+type Counter struct {
+	// Key identifies the item.
+	Key string
+	// Count is the estimated frequency (an overestimate by at most Err).
+	Count int64
+	// Err bounds the overestimation.
+	Err int64
+}
+
+// NewSpaceSaving creates a tracker for the top ≈capacity items.
+func NewSpaceSaving(capacity int) (*SpaceSaving, error) {
+	if capacity <= 0 {
+		return nil, fmt.Errorf("sketch: space-saving capacity %d must be positive", capacity)
+	}
+	return &SpaceSaving{
+		entries: make(map[string]*pqueue.Item[*ssEntry], capacity),
+		cap:     capacity,
+	}, nil
+}
+
+// Add counts one occurrence of key.
+func (s *SpaceSaving) Add(key string) {
+	if item, ok := s.entries[key]; ok {
+		item.Value.count++
+		s.queue.Update(item, float64(item.Value.count))
+		return
+	}
+	if len(s.entries) < s.cap {
+		e := &ssEntry{key: key, count: 1}
+		s.entries[key] = s.queue.Push(e, 1)
+		return
+	}
+	victim, err := s.queue.PopMin()
+	if err != nil {
+		// Unreachable: cap > 0 implies a non-empty queue here.
+		return
+	}
+	delete(s.entries, victim.Value.key)
+	e := &ssEntry{key: key, count: victim.Value.count + 1, err: victim.Value.count}
+	s.entries[key] = s.queue.Push(e, float64(e.count))
+}
+
+// Top returns up to n heavy hitters ordered by descending estimated
+// count.
+func (s *SpaceSaving) Top(n int) []Counter {
+	out := make([]Counter, 0, len(s.entries))
+	for _, item := range s.entries {
+		e := item.Value
+		out = append(out, Counter{Key: e.key, Count: e.count, Err: e.err})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Count != out[j].Count {
+			return out[i].Count > out[j].Count
+		}
+		return out[i].Key < out[j].Key
+	})
+	if n < len(out) {
+		out = out[:n]
+	}
+	return out
+}
+
+// Len returns the number of tracked items.
+func (s *SpaceSaving) Len() int { return len(s.entries) }

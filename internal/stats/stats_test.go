@@ -1,0 +1,369 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestDescriptive(t *testing.T) {
+	tests := []struct {
+		name                     string
+		xs                       []float64
+		mean, median, stdev, cov float64
+	}{
+		{"empty", nil, 0, 0, 0, 0},
+		{"single", []float64{5}, 5, 5, 0, 0},
+		{"pair", []float64{2, 4}, 3, 3, 1, 1.0 / 3},
+		{"odd run", []float64{1, 2, 3, 4, 5}, 3, 3, math.Sqrt(2), math.Sqrt(2) / 3},
+		{"constant", []float64{7, 7, 7}, 7, 7, 0, 0},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := Mean(tt.xs); !almostEqual(got, tt.mean, 1e-12) {
+				t.Errorf("Mean = %v, want %v", got, tt.mean)
+			}
+			if got := Median(tt.xs); !almostEqual(got, tt.median, 1e-12) {
+				t.Errorf("Median = %v, want %v", got, tt.median)
+			}
+			if got := StdDev(tt.xs); !almostEqual(got, tt.stdev, 1e-12) {
+				t.Errorf("StdDev = %v, want %v", got, tt.stdev)
+			}
+			if got := CoV(tt.xs); !almostEqual(got, tt.cov, 1e-12) {
+				t.Errorf("CoV = %v, want %v", got, tt.cov)
+			}
+		})
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	xs := []float64{10, 20, 30, 40}
+	tests := []struct {
+		q    float64
+		want float64
+	}{
+		{0, 10}, {1, 40}, {0.5, 25}, {0.25, 17.5}, {-1, 10}, {2, 40},
+	}
+	for _, tt := range tests {
+		if got := Quantile(xs, tt.q); !almostEqual(got, tt.want, 1e-12) {
+			t.Errorf("Quantile(%v) = %v, want %v", tt.q, got, tt.want)
+		}
+	}
+	// Input must not be reordered.
+	if xs[0] != 10 || xs[3] != 40 {
+		t.Error("Quantile mutated its input")
+	}
+}
+
+func TestMomentsMatchesBatch(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	xs := make([]float64, 1000)
+	var m Moments
+	for i := range xs {
+		xs[i] = rng.NormFloat64()*3 + 10
+		m.Add(xs[i])
+	}
+	if got, want := m.Mean(), Mean(xs); !almostEqual(got, want, 1e-9) {
+		t.Errorf("streaming mean %v, batch %v", got, want)
+	}
+	if got, want := m.Variance(), Variance(xs); !almostEqual(got, want, 1e-7) {
+		t.Errorf("streaming variance %v, batch %v", got, want)
+	}
+	if got, want := m.CoV(), CoV(xs); !almostEqual(got, want, 1e-9) {
+		t.Errorf("streaming CoV %v, batch %v", got, want)
+	}
+	if m.Count() != 1000 {
+		t.Errorf("Count = %d, want 1000", m.Count())
+	}
+}
+
+func TestMomentsMerge(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	var all, a, b Moments
+	for i := 0; i < 500; i++ {
+		x := rng.ExpFloat64()
+		all.Add(x)
+		if i%2 == 0 {
+			a.Add(x)
+		} else {
+			b.Add(x)
+		}
+	}
+	a.Merge(&b)
+	if !almostEqual(a.Mean(), all.Mean(), 1e-9) {
+		t.Errorf("merged mean %v, want %v", a.Mean(), all.Mean())
+	}
+	if !almostEqual(a.Variance(), all.Variance(), 1e-7) {
+		t.Errorf("merged variance %v, want %v", a.Variance(), all.Variance())
+	}
+	if a.Count() != all.Count() {
+		t.Errorf("merged count %d, want %d", a.Count(), all.Count())
+	}
+	if a.Min() != all.Min() || a.Max() != all.Max() {
+		t.Errorf("merged min/max %v/%v, want %v/%v", a.Min(), a.Max(), all.Min(), all.Max())
+	}
+
+	// Merging into an empty accumulator copies.
+	var empty Moments
+	empty.Merge(&all)
+	if empty.Count() != all.Count() || !almostEqual(empty.Mean(), all.Mean(), 1e-12) {
+		t.Error("merge into empty accumulator did not copy")
+	}
+	// Merging an empty accumulator is a no-op.
+	before := all
+	var e2 Moments
+	all.Merge(&e2)
+	if all != before {
+		t.Error("merging empty accumulator changed state")
+	}
+}
+
+func TestFitLine(t *testing.T) {
+	// Exact line y = 2x + 1.
+	xs := []float64{0, 1, 2, 3, 4}
+	ys := []float64{1, 3, 5, 7, 9}
+	fit, err := FitLine(xs, ys)
+	if err != nil {
+		t.Fatalf("FitLine: %v", err)
+	}
+	if !almostEqual(fit.Slope, 2, 1e-12) || !almostEqual(fit.Intercept, 1, 1e-12) {
+		t.Errorf("fit = %+v, want slope 2 intercept 1", fit)
+	}
+	if !almostEqual(fit.R2, 1, 1e-12) {
+		t.Errorf("R2 = %v, want 1", fit.R2)
+	}
+}
+
+func TestFitLineErrors(t *testing.T) {
+	if _, err := FitLine([]float64{1}, []float64{1}); err == nil {
+		t.Error("single point fit should fail")
+	}
+	if _, err := FitLine([]float64{1, 1}, []float64{1, 2}); err == nil {
+		t.Error("vertical line fit should fail")
+	}
+	if _, err := FitLine([]float64{1, 2}, []float64{1}); err == nil {
+		t.Error("mismatched lengths should fail")
+	}
+}
+
+func TestFitPowerLaw(t *testing.T) {
+	// y = 5 x^-0.8 with a few non-positive points that must be skipped.
+	xs := []float64{1, 2, 4, 8, 16, -1, 0}
+	ys := make([]float64, len(xs))
+	for i, x := range xs {
+		if x > 0 {
+			ys[i] = 5 * math.Pow(x, -0.8)
+		}
+	}
+	fit, err := FitPowerLaw(xs, ys)
+	if err != nil {
+		t.Fatalf("FitPowerLaw: %v", err)
+	}
+	if !almostEqual(fit.Slope, -0.8, 1e-9) {
+		t.Errorf("slope = %v, want -0.8", fit.Slope)
+	}
+	if fit.N != 5 {
+		t.Errorf("N = %d, want 5 (non-positive points skipped)", fit.N)
+	}
+}
+
+func TestLogHistogram(t *testing.T) {
+	h, err := NewLogHistogram(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewLogHistogram(1); err == nil {
+		t.Error("base 1 should be rejected")
+	}
+	for _, x := range []float64{1, 1.5, 3, 5, 9, -2, 0} {
+		h.Add(x)
+	}
+	if h.Total() != 5 {
+		t.Errorf("Total = %d, want 5 (non-positive ignored)", h.Total())
+	}
+	centers, densities := h.Buckets()
+	if len(centers) != len(densities) {
+		t.Fatal("mismatched bucket slices")
+	}
+	for i := 1; i < len(centers); i++ {
+		if centers[i] <= centers[i-1] {
+			t.Error("bucket centers not increasing")
+		}
+	}
+	h.Reset()
+	if h.Total() != 0 {
+		t.Error("Reset did not clear totals")
+	}
+}
+
+func TestPopularityIndexRecoversZipf(t *testing.T) {
+	// Construct counts that follow N(ρ) = round(C ρ^-α) exactly.
+	for _, alpha := range []float64{0.6, 0.8, 1.0} {
+		const docs = 5000
+		counts := make([]int64, docs)
+		for r := 1; r <= docs; r++ {
+			counts[r-1] = int64(math.Round(1e5 * math.Pow(float64(r), -alpha)))
+		}
+		got, fit, err := PopularityIndex(counts)
+		if err != nil {
+			t.Fatalf("alpha=%v: %v", alpha, err)
+		}
+		if !almostEqual(got, alpha, 0.08) {
+			t.Errorf("alpha=%v: estimated %v (fit %+v)", alpha, got, fit)
+		}
+	}
+}
+
+func TestPopularityIndexErrors(t *testing.T) {
+	if _, _, err := PopularityIndex(nil); err == nil {
+		t.Error("empty input should fail")
+	}
+	if _, _, err := PopularityIndex([]int64{5}); err == nil {
+		t.Error("single document should fail")
+	}
+}
+
+func TestCorrelationEstimatorPowerLawStream(t *testing.T) {
+	// Build a stream where inter-reference distances follow n^-β for
+	// documents of equal popularity, by sampling distances from the
+	// discrete power law and splicing references into a timeline.
+	const beta = 0.8
+	rng := rand.New(rand.NewSource(7))
+	e := NewCorrelationEstimator()
+	// Sample distances via inverse transform on a truncated power law.
+	sample := func() int64 {
+		// P(n) ∝ n^-β on [1, 4096]: inverse CDF of the continuous analog.
+		u := rng.Float64()
+		max := 4096.0
+		oneMinus := 1 - beta
+		x := math.Pow(u*(math.Pow(max, oneMinus)-1)+1, 1/oneMinus)
+		return int64(x)
+	}
+	// 400 documents, 10 references each at power-law spaced positions.
+	var refs []ref
+	for d := 0; d < 400; d++ {
+		doc := "doc" + string(rune('A'+d%26)) + string(rune('0'+d/26%10)) + string(rune('a'+d/260))
+		pos := int64(rng.Intn(1000))
+		for k := 0; k < 10; k++ {
+			refs = append(refs, ref{at: pos, doc: doc})
+			pos += sample()
+		}
+	}
+	// Sort by virtual time and feed positions as a request stream: insert
+	// filler singleton requests so stream distance matches virtual time.
+	sortRefs(refs)
+	var clock int64
+	filler := 0
+	for _, r := range refs {
+		for clock < r.at {
+			filler++
+			e.Observe("filler-" + itoa(filler))
+			clock++
+		}
+		e.Observe(r.doc)
+		clock++
+	}
+	got, fit, err := e.Beta()
+	if err != nil {
+		t.Fatalf("Beta: %v", err)
+	}
+	if got < 0.5 || got > 1.1 {
+		t.Errorf("beta = %v (fit %+v), want near %v", got, fit, beta)
+	}
+	if e.Observed() == 0 {
+		t.Error("Observed returned 0")
+	}
+}
+
+func sortRefs(refs []ref) {
+	for i := 1; i < len(refs); i++ {
+		for j := i; j > 0 && refs[j].at < refs[j-1].at; j-- {
+			refs[j], refs[j-1] = refs[j-1], refs[j]
+		}
+	}
+}
+
+type ref struct {
+	at  int64
+	doc string
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var buf [20]byte
+	i := len(buf)
+	for n > 0 {
+		i--
+		buf[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(buf[i:])
+}
+
+func TestCorrelationEstimatorInsufficient(t *testing.T) {
+	e := NewCorrelationEstimator()
+	if _, _, err := e.Beta(); err == nil {
+		t.Error("empty estimator should fail")
+	}
+	e.Observe("a")
+	e.Observe("a")
+	if _, _, err := e.Beta(); err == nil {
+		t.Error("too few distances should fail")
+	}
+}
+
+// Property: quantile is monotone in q and bounded by min/max.
+func TestQuantileMonotoneProperty(t *testing.T) {
+	f := func(raw []float64, q1, q2 float64) bool {
+		xs := make([]float64, 0, len(raw))
+		for _, x := range raw {
+			if !math.IsNaN(x) && !math.IsInf(x, 0) {
+				xs = append(xs, x)
+			}
+		}
+		if len(xs) == 0 {
+			return true
+		}
+		a := math.Mod(math.Abs(q1), 1)
+		b := math.Mod(math.Abs(q2), 1)
+		if a > b {
+			a, b = b, a
+		}
+		qa, qb := Quantile(xs, a), Quantile(xs, b)
+		lo, hi := Quantile(xs, 0), Quantile(xs, 1)
+		return qa <= qb && lo <= qa && qb <= hi
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: streaming moments equal batch statistics on arbitrary finite
+// inputs.
+func TestMomentsProperty(t *testing.T) {
+	f := func(raw []float64) bool {
+		xs := make([]float64, 0, len(raw))
+		for _, x := range raw {
+			if !math.IsNaN(x) && !math.IsInf(x, 0) && math.Abs(x) < 1e12 {
+				xs = append(xs, x)
+			}
+		}
+		var m Moments
+		for _, x := range xs {
+			m.Add(x)
+		}
+		if len(xs) == 0 {
+			return m.Count() == 0
+		}
+		scale := math.Max(1, math.Abs(Mean(xs)))
+		return almostEqual(m.Mean(), Mean(xs), 1e-6*scale)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,38 @@
+package synth_test
+
+import (
+	"fmt"
+
+	"webcachesim/internal/synth"
+)
+
+// ExampleGenerate synthesizes a small DFN-calibrated trace.
+func ExampleGenerate() {
+	reqs, err := synth.Generate(synth.DFNProfile(), synth.Options{Seed: 1, Requests: 3})
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	for _, r := range reqs {
+		fmt.Println(r.Method, r.Status, r.Class)
+	}
+	// Output:
+	// GET 200 HTML
+	// GET 200 Images
+	// GET 200 Images
+}
+
+// ExampleProfileByName resolves the built-in workload profiles.
+func ExampleProfileByName() {
+	for _, name := range []string{"dfn", "rtp"} {
+		p, err := synth.ProfileByName(name)
+		if err != nil {
+			fmt.Println("error:", err)
+			return
+		}
+		fmt.Println(p.Name, p.Requests, len(p.Classes))
+	}
+	// Output:
+	// DFN 500000 5
+	// RTP 400000 5
+}

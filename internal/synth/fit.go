@@ -1,0 +1,121 @@
+package synth
+
+import (
+	"fmt"
+
+	"webcachesim/internal/analyze"
+	"webcachesim/internal/doctype"
+)
+
+// FitProfile builds a generation profile from a measured workload
+// characterization, so a user can synthesize arbitrarily long (or
+// anonymized) traces statistically matched to their own logs:
+//
+//	c, _ := analyze.Characterize(reader, "mine")
+//	p, _ := synth.FitProfile(c, "mine")
+//	reqs, _ := synth.Generate(p, synth.Options{Scale: 10})
+//
+// Per class, the fit copies the distinct/request shares and the
+// document-size mean/median, takes α directly from the measured
+// popularity slope, and maps the measured temporal-correlation index β to
+// the generator's (Beta, CorrProb) pair: Beta is the measured exponent,
+// and CorrProb grows with β (stronger measured correlation ⇒ more
+// scheduled re-references), saturating at 0.6. Classes whose α or β was
+// not measurable fall back to neutral defaults (α 0.65, β 0.75).
+func FitProfile(c *analyze.Characterization, name string) (*Profile, error) {
+	if c.Requests == 0 {
+		return nil, fmt.Errorf("synth: cannot fit a profile to an empty characterization")
+	}
+	p := &Profile{
+		Name:                   name,
+		Requests:               int(c.Requests),
+		DocsPerRequest:         clampF(float64(c.DistinctDocs)/float64(c.Requests), 0.05, 1),
+		MeanInterArrivalMillis: fitInterArrival(c),
+	}
+	var ext = map[doctype.Class]struct{ ext, ct string }{
+		doctype.Image:       {"gif", "image/gif"},
+		doctype.HTML:        {"html", "text/html"},
+		doctype.MultiMedia:  {"mp3", "audio/mpeg"},
+		doctype.Application: {"pdf", "application/pdf"},
+		doctype.Other:       {"", ""},
+	}
+	for _, cl := range doctype.Classes {
+		cs := c.Classes[cl]
+		if cs.Requests == 0 {
+			continue
+		}
+		alpha := 0.65
+		if cs.AlphaOK {
+			alpha = clampF(cs.Alpha, 0.2, 1.2)
+		}
+		beta := 0.75
+		if cs.BetaOK {
+			beta = clampF(cs.Beta, 0.3, 1.3)
+		}
+		median := cs.MedianDocKB
+		if median <= 0 {
+			median = 1
+		}
+		mean := cs.MeanDocKB
+		if mean < median {
+			mean = median
+		}
+		interrupt := 0.0
+		if cs.MeanDocKB > 0 && cs.MeanTransferKB < cs.MeanDocKB {
+			// Attribute the transfer-vs-document mean gap to interrupted
+			// transfers delivering ~37% of the document on average.
+			interrupt = clampF((1-cs.MeanTransferKB/cs.MeanDocKB)/0.63, 0, 0.5)
+		}
+		p.Classes = append(p.Classes, ClassProfile{
+			Class:         cl,
+			DistinctShare: float64(cs.DistinctDocs) / float64(c.DistinctDocs),
+			RequestShare:  float64(cs.Requests) / float64(c.Requests),
+			MeanSizeKB:    mean,
+			MedianSizeKB:  median,
+			Alpha:         alpha,
+			Beta:          beta,
+			CorrProb:      clampF((beta-0.4)*0.6, 0.05, 0.6),
+			InterruptProb: interrupt,
+			ModifyProb:    0.005,
+			Ext:           ext[cl].ext,
+			ContentType:   ext[cl].ct,
+		})
+	}
+	// Shares can drift from 1 through unmeasured classes; renormalize.
+	var reqSum, docSum float64
+	for _, cp := range p.Classes {
+		reqSum += cp.RequestShare
+		docSum += cp.DistinctShare
+	}
+	if reqSum == 0 || docSum == 0 {
+		return nil, fmt.Errorf("synth: characterization has no classifiable traffic")
+	}
+	for i := range p.Classes {
+		p.Classes[i].RequestShare /= reqSum
+		p.Classes[i].DistinctShare /= docSum
+	}
+	if err := p.Validate(); err != nil {
+		return nil, fmt.Errorf("synth: fitted profile invalid: %w", err)
+	}
+	return p, nil
+}
+
+// fitInterArrival recovers the mean request spacing from the trace period.
+func fitInterArrival(c *analyze.Characterization) float64 {
+	span := c.EndMillis - c.StartMillis
+	if span <= 0 || c.Requests <= 1 {
+		return 250
+	}
+	return float64(span) / float64(c.Requests-1)
+}
+
+func clampF(x, lo, hi float64) float64 {
+	switch {
+	case x < lo:
+		return lo
+	case x > hi:
+		return hi
+	default:
+		return x
+	}
+}

@@ -1,0 +1,99 @@
+package synth
+
+import (
+	"math"
+	"testing"
+
+	"webcachesim/internal/analyze"
+	"webcachesim/internal/doctype"
+	"webcachesim/internal/trace"
+)
+
+// TestFitProfileRoundTrip: generate → characterize → fit → regenerate →
+// characterize, and compare the workload statistics that drive the study.
+func TestFitProfileRoundTrip(t *testing.T) {
+	if testing.Short() {
+		t.Skip("round trip is slow")
+	}
+	orig := DFNProfile()
+	reqs, err := Generate(orig, Options{Seed: 31, Requests: 120_000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c1, err := analyze.Characterize(trace.NewSliceReader(reqs), "gen1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fitted, err := FitProfile(c1, "fitted")
+	if err != nil {
+		t.Fatal(err)
+	}
+	reqs2, err := Generate(fitted, Options{Seed: 32, Requests: 120_000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2, err := analyze.Characterize(trace.NewSliceReader(reqs2), "gen2")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, cl := range []doctype.Class{doctype.Image, doctype.HTML, doctype.Application} {
+		if d := math.Abs(c1.PctRequests(cl) - c2.PctRequests(cl)); d > 3 {
+			t.Errorf("%v: request share drifted by %v points", cl, d)
+		}
+		s1, s2 := c1.Classes[cl], c2.Classes[cl]
+		if s1.MedianDocKB > 0 {
+			rel := math.Abs(s1.MedianDocKB-s2.MedianDocKB) / s1.MedianDocKB
+			if rel > 0.3 {
+				t.Errorf("%v: median size drifted %v (%.2f vs %.2f KB)", cl, rel, s1.MedianDocKB, s2.MedianDocKB)
+			}
+		}
+		if s1.AlphaOK && s2.AlphaOK && math.Abs(s1.Alpha-s2.Alpha) > 0.2 {
+			t.Errorf("%v: alpha drifted (%.2f vs %.2f)", cl, s1.Alpha, s2.Alpha)
+		}
+	}
+	// Temporal ordering must survive: HTML more correlated than images.
+	i2, h2 := c2.Classes[doctype.Image], c2.Classes[doctype.HTML]
+	if i2.BetaOK && h2.BetaOK && h2.Beta < i2.Beta-0.15 {
+		t.Errorf("fitted workload lost the beta ordering: html %v vs images %v", h2.Beta, i2.Beta)
+	}
+}
+
+func TestFitProfileErrors(t *testing.T) {
+	if _, err := FitProfile(&analyze.Characterization{}, "x"); err == nil {
+		t.Error("empty characterization accepted")
+	}
+	c := &analyze.Characterization{Requests: 10, DistinctDocs: 5}
+	if _, err := FitProfile(c, "x"); err == nil {
+		t.Error("characterization without class traffic accepted")
+	}
+}
+
+func TestFitProfileDefaultsForUnmeasured(t *testing.T) {
+	c := &analyze.Characterization{Requests: 1000, DistinctDocs: 400}
+	cs := &c.Classes[doctype.Image]
+	cs.Class = doctype.Image
+	cs.Requests = 1000
+	cs.DistinctDocs = 400
+	cs.MeanDocKB = 5
+	cs.MedianDocKB = 2
+	// No AlphaOK/BetaOK: the fit must fall back, not fail.
+	p, err := FitProfile(c, "partial")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Classes) != 1 {
+		t.Fatalf("classes = %d, want 1", len(p.Classes))
+	}
+	cp := p.Classes[0]
+	if cp.Alpha <= 0 || cp.Beta <= 0 || cp.CorrProb <= 0 {
+		t.Errorf("fallback parameters invalid: %+v", cp)
+	}
+	if cp.RequestShare != 1 || cp.DistinctShare != 1 {
+		t.Errorf("shares not renormalized: %+v", cp)
+	}
+	// The fitted profile must generate.
+	if _, err := Generate(p, Options{Seed: 1, Requests: 100}); err != nil {
+		t.Errorf("fitted profile does not generate: %v", err)
+	}
+}

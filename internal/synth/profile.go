@@ -1,0 +1,249 @@
+// Package synth generates synthetic proxy traces calibrated to the
+// workload characteristics the paper publishes for its two traces
+// (Tables 1–5): per-class shares of distinct documents and requests,
+// document-size distributions, the Zipf popularity index α, and the
+// temporal-correlation index β, plus the document-modification and
+// interrupted-transfer behaviour the simulator's 5% rule depends on.
+//
+// The original DFN (July 2001) and NLANR RTP (February 2001) traces are
+// not obtainable; DESIGN.md documents why generation from the published
+// statistics preserves the behaviour the paper attributes to them. Values
+// the OCR of the paper lost are reconstructed from the surviving prose and
+// the companion literature, as recorded on each profile.
+package synth
+
+import (
+	"fmt"
+	"strings"
+
+	"webcachesim/internal/doctype"
+)
+
+// ClassProfile calibrates one document class of a workload.
+type ClassProfile struct {
+	// Class is the document class being described.
+	Class doctype.Class
+	// DistinctShare is the class's share of distinct documents
+	// (Tables 2/3, "% of Distinct Documents"); shares sum to 1.
+	DistinctShare float64
+	// RequestShare is the class's share of requests (Tables 2/3, "% of
+	// Total Requests"); shares sum to 1.
+	RequestShare float64
+	// MeanSizeKB and MedianSizeKB calibrate the lognormal document-size
+	// distribution (Tables 4/5). The coefficient of variation follows from
+	// the lognormal fit; EXPERIMENTS.md reports the achieved value.
+	MeanSizeKB   float64
+	MedianSizeKB float64
+	// Alpha is the popularity index: request counts fall with popularity
+	// rank ρ as ρ^-Alpha (Tables 4/5, "Slope of Popularity Distribution").
+	Alpha float64
+	// Beta is the temporal-correlation index driving the stack-distance
+	// draws (Tables 4/5, "Degree of Temporal Correlations").
+	Beta float64
+	// CorrProb is the probability that a request is drawn from the
+	// class's LRU stack (temporal correlation) rather than by popularity.
+	CorrProb float64
+	// InterruptProb is the probability that a transfer is interrupted,
+	// delivering only part of the document (more likely for large
+	// documents, per Section 4.1).
+	InterruptProb float64
+	// ModifyProb is the probability that a request observes a modified
+	// document (size changed by less than 5%).
+	ModifyProb float64
+	// Ext is the URL file extension documents of this class carry.
+	Ext string
+	// ContentType is the MIME type recorded for responses of this class.
+	ContentType string
+}
+
+// Profile calibrates a whole workload.
+type Profile struct {
+	// Name labels the profile ("DFN", "RTP").
+	Name string
+	// Requests is the request count at scale 1.0.
+	Requests int
+	// DocsPerRequest is the ratio of distinct documents to requests
+	// (Table 1: DFN 2,987,565/6,718,201 ≈ 0.44; RTP 2,227,339/4,144,900 ≈
+	// 0.54) and sizes the per-class document populations.
+	DocsPerRequest float64
+	// Classes lists the per-class calibrations; shares must sum to ≈ 1.
+	Classes []ClassProfile
+	// MeanInterArrivalMillis spaces request timestamps (exponential
+	// inter-arrivals).
+	MeanInterArrivalMillis float64
+	// DiurnalAmplitude in [0, 1) modulates the request rate over the day
+	// with a sinusoid peaking mid-afternoon, as proxy logs show: the
+	// instantaneous rate is base·(1 + A·sin(…)). 0 disables the cycle.
+	DiurnalAmplitude float64
+}
+
+// Validate checks that the profile is internally consistent.
+func (p *Profile) Validate() error {
+	if p.Requests <= 0 {
+		return fmt.Errorf("synth: profile %s: requests %d must be positive", p.Name, p.Requests)
+	}
+	if p.DocsPerRequest <= 0 || p.DocsPerRequest > 1 {
+		return fmt.Errorf("synth: profile %s: docs-per-request %v out of (0,1]", p.Name, p.DocsPerRequest)
+	}
+	if len(p.Classes) == 0 {
+		return fmt.Errorf("synth: profile %s: no classes", p.Name)
+	}
+	if p.DiurnalAmplitude < 0 || p.DiurnalAmplitude >= 1 {
+		return fmt.Errorf("synth: profile %s: diurnal amplitude %v out of [0,1)", p.Name, p.DiurnalAmplitude)
+	}
+	var reqShare, docShare float64
+	for _, c := range p.Classes {
+		if c.Class == doctype.Unknown {
+			return fmt.Errorf("synth: profile %s: class unset", p.Name)
+		}
+		if c.RequestShare < 0 || c.DistinctShare < 0 {
+			return fmt.Errorf("synth: profile %s: negative share in %v", p.Name, c.Class)
+		}
+		if c.MeanSizeKB < c.MedianSizeKB {
+			return fmt.Errorf("synth: profile %s: %v mean size below median (lognormal needs mean ≥ median)", p.Name, c.Class)
+		}
+		if c.MedianSizeKB <= 0 {
+			return fmt.Errorf("synth: profile %s: %v median size must be positive", p.Name, c.Class)
+		}
+		if c.Alpha <= 0 || c.Beta <= 0 {
+			return fmt.Errorf("synth: profile %s: %v alpha/beta must be positive", p.Name, c.Class)
+		}
+		if c.CorrProb < 0 || c.CorrProb >= 1 {
+			return fmt.Errorf("synth: profile %s: %v corr probability out of [0,1)", p.Name, c.Class)
+		}
+		reqShare += c.RequestShare
+		docShare += c.DistinctShare
+	}
+	if reqShare < 0.99 || reqShare > 1.01 {
+		return fmt.Errorf("synth: profile %s: request shares sum to %v, want 1", p.Name, reqShare)
+	}
+	if docShare < 0.99 || docShare > 1.01 {
+		return fmt.Errorf("synth: profile %s: distinct shares sum to %v, want 1", p.Name, docShare)
+	}
+	return nil
+}
+
+// DFNProfile reconstructs the DFN trace (German research network, July
+// 2001; Tables 1, 2, 4). Reconstruction notes:
+//
+//   - Request/distinct-document shares follow Table 2's prose: HTML+images
+//     ≈ 95% of documents and requests, multi media 0.23% of distinct
+//     documents and 0.14% of requests, HTML 21.2% of requests, image
+//     requested-data 30.8%, application requested-data 34.8%.
+//   - Size means/medians are set so the emergent requested-data shares
+//     match those percentages; magnitudes follow Arlitt et al. [1].
+//   - α is largest for images and smallest for multi media/application;
+//     β shows the inverse trend (paper §2), magnitudes per Jin &
+//     Bestavros [8].
+func DFNProfile() *Profile {
+	return &Profile{
+		Name:                   "DFN",
+		Requests:               500_000,
+		DocsPerRequest:         0.44,
+		MeanInterArrivalMillis: 350,
+		Classes: []ClassProfile{
+			{
+				Class: doctype.Image, DistinctShare: 0.70, RequestShare: 0.735,
+				MeanSizeKB: 4.5, MedianSizeKB: 2.2,
+				Alpha: 0.83, Beta: 0.65, CorrProb: 0.15,
+				InterruptProb: 0.01, ModifyProb: 0.002,
+				Ext: "gif", ContentType: "image/gif",
+			},
+			{
+				Class: doctype.HTML, DistinctShare: 0.25, RequestShare: 0.212,
+				MeanSizeKB: 9, MedianSizeKB: 3.8,
+				Alpha: 0.72, Beta: 0.80, CorrProb: 0.25,
+				InterruptProb: 0.01, ModifyProb: 0.02,
+				Ext: "html", ContentType: "text/html",
+			},
+			{
+				Class: doctype.MultiMedia, DistinctShare: 0.0023, RequestShare: 0.0014,
+				MeanSizeKB: 1000, MedianSizeKB: 380,
+				Alpha: 0.60, Beta: 1.15, CorrProb: 0.60,
+				InterruptProb: 0.25, ModifyProb: 0.001,
+				Ext: "mp3", ContentType: "audio/mpeg",
+			},
+			{
+				Class: doctype.Application, DistinctShare: 0.035, RequestShare: 0.035,
+				MeanSizeKB: 115, MedianSizeKB: 12,
+				Alpha: 0.62, Beta: 0.90, CorrProb: 0.40,
+				InterruptProb: 0.12, ModifyProb: 0.002,
+				Ext: "pdf", ContentType: "application/pdf",
+			},
+			{
+				Class: doctype.Other, DistinctShare: 0.0127, RequestShare: 0.0166,
+				MeanSizeKB: 20, MedianSizeKB: 4,
+				Alpha: 0.70, Beta: 0.75, CorrProb: 0.20,
+				InterruptProb: 0.03, ModifyProb: 0.005,
+				Ext: "", ContentType: "",
+			},
+		},
+	}
+}
+
+// RTPProfile reconstructs the NLANR RTP trace (Research Triangle Park,
+// February 2001; Tables 1, 3, 5). Relative to DFN — following §4.4 — it
+// has more distinct multi-media documents (0.41% vs 0.23%) and requests to
+// them (0.33% vs 0.14%), a far larger HTML request share (44.2% vs 21.2%),
+// smaller image and application requested-data shares (19.7% and 21.9%),
+// flatter popularity (smaller α, "many equally popular documents"), and
+// stronger per-class temporal correlation for HTML, multi media, and
+// application documents.
+func RTPProfile() *Profile {
+	return &Profile{
+		Name:                   "RTP",
+		Requests:               400_000,
+		DocsPerRequest:         0.54,
+		MeanInterArrivalMillis: 550,
+		Classes: []ClassProfile{
+			{
+				Class: doctype.Image, DistinctShare: 0.645, RequestShare: 0.505,
+				MeanSizeKB: 5.5, MedianSizeKB: 2.6,
+				Alpha: 0.70, Beta: 0.60, CorrProb: 0.12,
+				InterruptProb: 0.01, ModifyProb: 0.002,
+				Ext: "gif", ContentType: "image/gif",
+			},
+			{
+				Class: doctype.HTML, DistinctShare: 0.30, RequestShare: 0.442,
+				MeanSizeKB: 9, MedianSizeKB: 3.0,
+				Alpha: 0.50, Beta: 0.95, CorrProb: 0.45,
+				InterruptProb: 0.01, ModifyProb: 0.02,
+				Ext: "html", ContentType: "text/html",
+			},
+			{
+				Class: doctype.MultiMedia, DistinctShare: 0.0041, RequestShare: 0.0033,
+				MeanSizeKB: 1000, MedianSizeKB: 380,
+				Alpha: 0.50, Beta: 1.05, CorrProb: 0.55,
+				InterruptProb: 0.25, ModifyProb: 0.001,
+				Ext: "mp3", ContentType: "audio/mpeg",
+			},
+			{
+				Class: doctype.Application, DistinctShare: 0.034, RequestShare: 0.033,
+				MeanSizeKB: 95, MedianSizeKB: 10,
+				Alpha: 0.45, Beta: 1.0, CorrProb: 0.35,
+				InterruptProb: 0.12, ModifyProb: 0.002,
+				Ext: "pdf", ContentType: "application/pdf",
+			},
+			{
+				Class: doctype.Other, DistinctShare: 0.0169, RequestShare: 0.0167,
+				MeanSizeKB: 20, MedianSizeKB: 4,
+				Alpha: 0.60, Beta: 0.80, CorrProb: 0.25,
+				InterruptProb: 0.03, ModifyProb: 0.005,
+				Ext: "", ContentType: "",
+			},
+		},
+	}
+}
+
+// ProfileByName resolves a built-in profile ("dfn" or "rtp",
+// case-insensitive).
+func ProfileByName(name string) (*Profile, error) {
+	switch {
+	case strings.EqualFold(name, "dfn"):
+		return DFNProfile(), nil
+	case strings.EqualFold(name, "rtp"), strings.EqualFold(name, "nlanr"):
+		return RTPProfile(), nil
+	default:
+		return nil, fmt.Errorf("synth: unknown profile %q (want dfn or rtp)", name)
+	}
+}

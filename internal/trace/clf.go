@@ -1,0 +1,181 @@
+package trace
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Common Log Format (and its "combined" extension), the format of Apache
+// and most origin-server logs:
+//
+//	host ident authuser [10/Oct/2000:13:55:36 -0700] "GET /a.gif HTTP/1.0" 200 2326
+//
+// CLF records carry no content type, so classification falls back to the
+// URL extension; they also record only the response size, like Squid
+// logs, so document sizes are inferred from transfer history.
+
+// clfTimeLayout is the strftime %d/%b/%Y:%H:%M:%S %z layout in Go form.
+const clfTimeLayout = "02/Jan/2006:15:04:05 -0700"
+
+// CLFReader parses Common Log Format (and combined) lines.
+type CLFReader struct {
+	scanner *bufio.Scanner
+	line    int64
+}
+
+var _ Reader = (*CLFReader)(nil)
+
+// NewCLFReader returns a reader decoding CLF lines from r.
+func NewCLFReader(r io.Reader) *CLFReader {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	return &CLFReader{scanner: sc}
+}
+
+// Next returns the next request. It returns io.EOF at the end of the
+// stream and *ParseError for a malformed line.
+func (cr *CLFReader) Next() (*Request, error) {
+	for cr.scanner.Scan() {
+		cr.line++
+		text := strings.TrimSpace(cr.scanner.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		req, err := ParseCLFLine(text)
+		if err != nil {
+			return nil, &ParseError{Line: cr.line, Text: text, Err: err}
+		}
+		return req, nil
+	}
+	if err := cr.scanner.Err(); err != nil {
+		return nil, fmt.Errorf("trace: read clf log: %w", err)
+	}
+	return nil, io.EOF
+}
+
+// ParseCLFLine decodes one Common Log Format line.
+func ParseCLFLine(line string) (*Request, error) {
+	host, rest, ok := cutField(line)
+	if !ok {
+		return nil, errFieldCount
+	}
+	// Skip ident and authuser.
+	if _, rest, ok = cutField(rest); !ok {
+		return nil, errFieldCount
+	}
+	if _, rest, ok = cutField(rest); !ok {
+		return nil, errFieldCount
+	}
+
+	// [date].
+	rest = strings.TrimLeft(rest, " ")
+	if !strings.HasPrefix(rest, "[") {
+		return nil, fmt.Errorf("missing [date]")
+	}
+	end := strings.IndexByte(rest, ']')
+	if end < 0 {
+		return nil, fmt.Errorf("unterminated [date]")
+	}
+	ts, err := time.Parse(clfTimeLayout, rest[1:end])
+	if err != nil {
+		return nil, fmt.Errorf("date: %w", err)
+	}
+	rest = rest[end+1:]
+
+	// "METHOD URL PROTO".
+	rest = strings.TrimLeft(rest, " ")
+	if !strings.HasPrefix(rest, `"`) {
+		return nil, fmt.Errorf(`missing "request"`)
+	}
+	end = strings.IndexByte(rest[1:], '"')
+	if end < 0 {
+		return nil, fmt.Errorf(`unterminated "request"`)
+	}
+	reqLine := rest[1 : end+1]
+	rest = rest[end+2:]
+	parts := strings.Fields(reqLine)
+	if len(parts) < 2 {
+		return nil, fmt.Errorf("malformed request line %q", reqLine)
+	}
+	method, url := parts[0], parts[1]
+
+	// status and bytes.
+	fields := strings.Fields(rest)
+	if len(fields) < 2 {
+		return nil, errFieldCount
+	}
+	status, err := strconv.Atoi(fields[0])
+	if err != nil {
+		return nil, fmt.Errorf("status: %w", err)
+	}
+	size, err := parseInt64(fields[1])
+	if err != nil {
+		return nil, fmt.Errorf("bytes: %w", err)
+	}
+
+	return &Request{
+		UnixMillis:   ts.UnixMilli(),
+		Client:       host,
+		Method:       method,
+		URL:          url,
+		Status:       status,
+		TransferSize: size,
+	}, nil
+}
+
+// cutField splits off the next space-delimited field.
+func cutField(s string) (field, rest string, ok bool) {
+	s = strings.TrimLeft(s, " ")
+	if s == "" {
+		return "", "", false
+	}
+	i := strings.IndexByte(s, ' ')
+	if i < 0 {
+		return s, "", true
+	}
+	return s[:i], s[i+1:], true
+}
+
+// CLFWriter emits requests in Common Log Format.
+type CLFWriter struct {
+	w *bufio.Writer
+}
+
+var _ Writer = (*CLFWriter)(nil)
+
+// NewCLFWriter returns a writer encoding requests to w. Call Flush when
+// done.
+func NewCLFWriter(w io.Writer) *CLFWriter {
+	return &CLFWriter{w: bufio.NewWriterSize(w, 256*1024)}
+}
+
+// Write encodes one request as a CLF line.
+func (cw *CLFWriter) Write(r *Request) error {
+	client := r.Client
+	if client == "" {
+		client = "-"
+	}
+	method := r.Method
+	if method == "" {
+		method = "GET"
+	}
+	ts := time.UnixMilli(r.UnixMillis).UTC().Format(clfTimeLayout)
+	_, err := fmt.Fprintf(cw.w, "%s - - [%s] %q %d %d\n",
+		client, ts, method+" "+r.URL+" HTTP/1.0", r.Status, r.TransferSize)
+	if err != nil {
+		return fmt.Errorf("trace: write clf log: %w", err)
+	}
+	return nil
+}
+
+// Flush writes buffered output to the underlying writer.
+func (cw *CLFWriter) Flush() error {
+	if err := cw.w.Flush(); err != nil {
+		return fmt.Errorf("trace: flush clf log: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,121 @@
+package trace
+
+import (
+	"errors"
+	"io"
+	"strings"
+	"testing"
+
+	"webcachesim/internal/doctype"
+)
+
+const clfSample = `10.0.0.1 - - [10/Oct/2000:13:55:36 -0700] "GET http://e.com/a.gif HTTP/1.0" 200 2326
+10.0.0.2 - frank [10/Oct/2000:13:55:37 -0700] "GET /doc.pdf HTTP/1.1" 200 102400
+
+# comment
+10.0.0.3 - - [10/Oct/2000:13:55:38 -0700] "POST /form HTTP/1.0" 302 -
+10.0.0.4 - - [10/Oct/2000:13:55:39 -0700] "GET /combined.html HTTP/1.1" 200 512 "http://ref/" "Mozilla/4.08"
+`
+
+func TestCLFReader(t *testing.T) {
+	r := NewCLFReader(strings.NewReader(clfSample))
+	var got []*Request
+	for {
+		req, err := r.Next()
+		if errors.Is(err, io.EOF) {
+			break
+		}
+		if err != nil {
+			t.Fatalf("Next: %v", err)
+		}
+		got = append(got, req)
+	}
+	if len(got) != 4 {
+		t.Fatalf("parsed %d records, want 4", len(got))
+	}
+	first := got[0]
+	if first.Client != "10.0.0.1" || first.Method != "GET" ||
+		first.URL != "http://e.com/a.gif" || first.Status != 200 ||
+		first.TransferSize != 2326 {
+		t.Errorf("first record: %+v", first)
+	}
+	// 13:55:36 -0700 == 20:55:36 UTC on 2000-10-10.
+	if first.UnixMillis != 971211336000 {
+		t.Errorf("UnixMillis = %d, want 971211336000", first.UnixMillis)
+	}
+	if first.Classify() != doctype.Image {
+		t.Errorf("class = %v, want Image (extension fallback)", first.Classify())
+	}
+	if got[2].Method != "POST" || got[2].TransferSize != 0 {
+		t.Errorf("dash-size record: %+v", got[2])
+	}
+	// Combined-format suffix fields are tolerated.
+	if got[3].URL != "/combined.html" || got[3].TransferSize != 512 {
+		t.Errorf("combined record: %+v", got[3])
+	}
+}
+
+func TestCLFMalformed(t *testing.T) {
+	tests := []string{
+		"only three fields here",
+		`h - - 10/Oct/2000:13:55:36 -0700 "GET / HTTP/1.0" 200 1`,
+		`h - - [10/Oct/2000:13:55:36 -0700 "GET / HTTP/1.0" 200 1`,
+		`h - - [10/Oct/2000:13:55:36 -0700] GET / 200 1`,
+		`h - - [10/Oct/2000:13:55:36 -0700] "GET" 200 1`,
+		`h - - [10/Oct/2000:13:55:36 -0700] "GET / HTTP/1.0" abc 1`,
+		`h - - [bad date] "GET / HTTP/1.0" 200 1`,
+		`h - - [10/Oct/2000:13:55:36 -0700] "GET / HTTP/1.0" 200`,
+	}
+	for _, line := range tests {
+		r := NewCLFReader(strings.NewReader(line + "\n"))
+		_, err := r.Next()
+		var pe *ParseError
+		if !errors.As(err, &pe) {
+			t.Errorf("line %q: got %v, want ParseError", line, err)
+		}
+	}
+}
+
+func TestCLFRoundTrip(t *testing.T) {
+	var sb strings.Builder
+	w := NewCLFWriter(&sb)
+	src := sampleRequests()
+	for _, r := range src {
+		if err := w.Write(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadAll(NewCLFReader(strings.NewReader(sb.String())))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(src) {
+		t.Fatalf("round-tripped %d records, want %d", len(got), len(src))
+	}
+	for i := range src {
+		if got[i].URL != src[i].URL || got[i].Status != src[i].Status ||
+			got[i].TransferSize != src[i].TransferSize ||
+			got[i].Client != src[i].Client {
+			t.Errorf("record %d mismatch:\n got %+v\nwant %+v", i, got[i], src[i])
+		}
+		// CLF timestamps have one-second resolution.
+		if got[i].UnixMillis/1000 != src[i].UnixMillis/1000 {
+			t.Errorf("record %d timestamp: %d vs %d", i, got[i].UnixMillis, src[i].UnixMillis)
+		}
+	}
+}
+
+func TestCLFThroughFilter(t *testing.T) {
+	f := NewFilterReader(NewCLFReader(strings.NewReader(clfSample)))
+	got, err := ReadAll(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The POST is dropped; three GETs with cacheable statuses remain.
+	if len(got) != 3 {
+		t.Fatalf("filtered %d records, want 3", len(got))
+	}
+}

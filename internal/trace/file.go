@@ -1,0 +1,190 @@
+package trace
+
+import (
+	"bufio"
+	"compress/gzip"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+)
+
+// Format names a trace encoding.
+type Format string
+
+// Supported trace encodings.
+const (
+	// FormatSquid is the Squid native access-log format.
+	FormatSquid Format = "squid"
+	// FormatBinary is the compact binary format (WCT1).
+	FormatBinary Format = "binary"
+	// FormatCLF is the Common Log Format of origin servers (Apache), with
+	// combined-format suffix fields tolerated.
+	FormatCLF Format = "clf"
+	// FormatAuto selects the format by sniffing the stream (reading) or by
+	// file extension (writing, defaulting to squid).
+	FormatAuto Format = "auto"
+)
+
+// ParseFormat resolves a format name from user input.
+func ParseFormat(s string) (Format, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "squid", "log":
+		return FormatSquid, nil
+	case "binary", "bin", "wct", "wct1":
+		return FormatBinary, nil
+	case "clf", "common", "combined", "apache":
+		return FormatCLF, nil
+	case "", "auto":
+		return FormatAuto, nil
+	default:
+		return "", fmt.Errorf("trace: unknown format %q", s)
+	}
+}
+
+// FileReader is a Reader bound to an open file; Close releases it.
+type FileReader struct {
+	Reader
+	closers []io.Closer
+}
+
+// Close closes the underlying file and any decompressor.
+func (fr *FileReader) Close() error {
+	var first error
+	for i := len(fr.closers) - 1; i >= 0; i-- {
+		if err := fr.closers[i].Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	if first != nil {
+		return fmt.Errorf("trace: close reader: %w", first)
+	}
+	return nil
+}
+
+// OpenFile opens a trace file for reading, transparently decompressing
+// gzip and, for FormatAuto, sniffing the binary magic to pick the decoder.
+func OpenFile(path string, format Format) (*FileReader, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("trace: open %s: %w", path, err)
+	}
+	fr := &FileReader{closers: []io.Closer{f}}
+	var src io.Reader = f
+
+	br := bufio.NewReaderSize(src, 256*1024)
+	if head, err := br.Peek(2); err == nil && head[0] == 0x1f && head[1] == 0x8b {
+		gz, err := gzip.NewReader(br)
+		if err != nil {
+			_ = f.Close()
+			return nil, fmt.Errorf("trace: open gzip %s: %w", path, err)
+		}
+		fr.closers = append(fr.closers, gz)
+		br = bufio.NewReaderSize(gz, 256*1024)
+	}
+
+	if format == FormatAuto {
+		format = sniffFormat(br)
+	}
+	switch format {
+	case FormatBinary:
+		fr.Reader = NewBinaryReader(br)
+	case FormatSquid:
+		fr.Reader = NewSquidReader(br)
+	case FormatCLF:
+		fr.Reader = NewCLFReader(br)
+	default:
+		_ = fr.Close()
+		return nil, fmt.Errorf("trace: unsupported read format %q", format)
+	}
+	return fr, nil
+}
+
+// sniffFormat inspects the head of a stream: the binary magic selects the
+// compact format; a first line shaped like `... [date] "request" ...`
+// selects CLF; anything else is treated as a Squid native log.
+func sniffFormat(br *bufio.Reader) Format {
+	if head, err := br.Peek(4); err == nil && len(head) == 4 && [4]byte(head) == binaryMagic {
+		return FormatBinary
+	}
+	head, _ := br.Peek(4096)
+	line := string(head)
+	if i := strings.IndexByte(line, '\n'); i >= 0 {
+		line = line[:i]
+	}
+	if open := strings.IndexByte(line, '['); open >= 0 {
+		if closing := strings.IndexByte(line[open:], ']'); closing >= 0 {
+			if strings.Contains(line[open+closing:], `"`) {
+				return FormatCLF
+			}
+		}
+	}
+	return FormatSquid
+}
+
+// FileWriter is a Writer bound to an open file; Close flushes and releases
+// it.
+type FileWriter struct {
+	Writer
+	flush   func() error
+	closers []io.Closer
+}
+
+// Close flushes buffered records and closes the file.
+func (fw *FileWriter) Close() error {
+	if fw.flush != nil {
+		if err := fw.flush(); err != nil {
+			return err
+		}
+	}
+	var first error
+	for i := len(fw.closers) - 1; i >= 0; i-- {
+		if err := fw.closers[i].Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	if first != nil {
+		return fmt.Errorf("trace: close writer: %w", first)
+	}
+	return nil
+}
+
+// CreateFile creates a trace file for writing. A ".gz" path suffix enables
+// gzip compression; FormatAuto picks binary for ".wct"/".bin" extensions
+// and squid otherwise.
+func CreateFile(path string, format Format) (*FileWriter, error) {
+	if format == FormatAuto {
+		base := strings.TrimSuffix(path, ".gz")
+		if strings.HasSuffix(base, ".wct") || strings.HasSuffix(base, ".bin") {
+			format = FormatBinary
+		} else {
+			format = FormatSquid
+		}
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, fmt.Errorf("trace: create %s: %w", path, err)
+	}
+	fw := &FileWriter{closers: []io.Closer{f}}
+	var dst io.Writer = f
+	if strings.HasSuffix(path, ".gz") {
+		gz := gzip.NewWriter(f)
+		fw.closers = append(fw.closers, gz)
+		dst = gz
+	}
+	switch format {
+	case FormatBinary:
+		w := NewBinaryWriter(dst)
+		fw.Writer, fw.flush = w, w.Flush
+	case FormatSquid:
+		w := NewSquidWriter(dst)
+		fw.Writer, fw.flush = w, w.Flush
+	case FormatCLF:
+		w := NewCLFWriter(dst)
+		fw.Writer, fw.flush = w, w.Flush
+	default:
+		_ = fw.Close()
+		return nil, fmt.Errorf("trace: unsupported write format %q", format)
+	}
+	return fw, nil
+}

@@ -1,0 +1,138 @@
+package trace
+
+import (
+	"errors"
+	"path/filepath"
+	"testing"
+)
+
+func writeTraceFile(t *testing.T, path string, format Format) {
+	t.Helper()
+	w, err := CreateFile(path, format)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range sampleRequests() {
+		if err := w.Write(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func readTraceFile(t *testing.T, path string, format Format) []*Request {
+	t.Helper()
+	r, err := OpenFile(path, format)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if err := r.Close(); err != nil {
+			t.Errorf("close: %v", err)
+		}
+	}()
+	reqs, err := ReadAll(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return reqs
+}
+
+func TestFileRoundTrips(t *testing.T) {
+	dir := t.TempDir()
+	tests := []struct {
+		name   string
+		file   string
+		format Format
+	}{
+		{"squid plain", "trace.log", FormatSquid},
+		{"squid gzip", "trace.log.gz", FormatSquid},
+		{"binary plain", "trace.wct", FormatBinary},
+		{"binary gzip", "trace.wct.gz", FormatBinary},
+		{"auto by extension wct", "auto.wct", FormatAuto},
+		{"auto by extension log", "auto.log", FormatAuto},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			path := filepath.Join(dir, tt.file)
+			writeTraceFile(t, path, tt.format)
+			// Read back with auto-detection regardless of write format.
+			reqs := readTraceFile(t, path, FormatAuto)
+			if len(reqs) != 3 {
+				t.Fatalf("read %d records, want 3", len(reqs))
+			}
+			if reqs[0].URL != "http://e.com/a.gif" {
+				t.Errorf("first URL = %q", reqs[0].URL)
+			}
+		})
+	}
+}
+
+func TestCLFFileAutoDetected(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "access.log")
+	w, err := CreateFile(path, FormatCLF)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range sampleRequests() {
+		if err := w.Write(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	reqs := readTraceFile(t, path, FormatAuto)
+	if len(reqs) != 3 {
+		t.Fatalf("read %d records, want 3 (CLF sniffing failed)", len(reqs))
+	}
+	if reqs[0].URL != "http://e.com/a.gif" {
+		t.Errorf("first URL = %q", reqs[0].URL)
+	}
+}
+
+func TestOpenFileMissing(t *testing.T) {
+	if _, err := OpenFile(filepath.Join(t.TempDir(), "nope.log"), FormatAuto); err == nil {
+		t.Error("opening missing file should fail")
+	}
+}
+
+func TestCreateFileBadFormat(t *testing.T) {
+	if _, err := CreateFile(filepath.Join(t.TempDir(), "x.log"), Format("weird")); err == nil {
+		t.Error("unknown format should fail")
+	}
+}
+
+func TestOpenFileBadFormat(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "t.log")
+	writeTraceFile(t, path, FormatSquid)
+	if _, err := OpenFile(path, Format("weird")); err == nil {
+		t.Error("unknown format should fail")
+	}
+}
+
+func TestBinaryFileDetectedDespiteLogExtension(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "mislabeled.log")
+	writeTraceFile(t, path, FormatBinary)
+	reqs := readTraceFile(t, path, FormatAuto)
+	if len(reqs) != 3 {
+		t.Fatalf("read %d records, want 3 (magic sniffing failed)", len(reqs))
+	}
+	// DocSize survives only in the binary format.
+	if reqs[2].DocSize != 4_000_000 {
+		t.Errorf("DocSize = %d, want 4000000", reqs[2].DocSize)
+	}
+}
+
+func TestParseErrorUnwrap(t *testing.T) {
+	inner := errors.New("inner")
+	pe := &ParseError{Line: 3, Text: "x", Err: inner}
+	if !errors.Is(pe, inner) {
+		t.Error("ParseError should unwrap to its cause")
+	}
+}

@@ -1,0 +1,140 @@
+package trace
+
+import (
+	"errors"
+	"fmt"
+	"io"
+)
+
+// FilterStats counts the outcome of preprocessing a stream.
+type FilterStats struct {
+	// Passed counts requests that survived the filter.
+	Passed int64
+	// DroppedURL counts requests excluded by the dynamic-content URL
+	// heuristics (cgi or "?").
+	DroppedURL int64
+	// DroppedStatus counts requests excluded by the status whitelist.
+	DroppedStatus int64
+	// DroppedMethod counts non-GET requests.
+	DroppedMethod int64
+	// Malformed counts unparseable lines that were skipped.
+	Malformed int64
+}
+
+// Dropped returns the total number of requests removed by preprocessing.
+func (s FilterStats) Dropped() int64 {
+	return s.DroppedURL + s.DroppedStatus + s.DroppedMethod + s.Malformed
+}
+
+// FilterReader applies the paper's preprocessing (Section 2) to an
+// underlying stream: it drops uncacheable requests and optionally skips
+// malformed lines instead of propagating the parse error.
+type FilterReader struct {
+	src   Reader
+	stats FilterStats
+
+	// SkipMalformed makes Next tolerate *ParseError from the source by
+	// counting and skipping the offending line.
+	SkipMalformed bool
+}
+
+var _ Reader = (*FilterReader)(nil)
+
+// NewFilterReader wraps src with the preprocessing filter. Malformed lines
+// are skipped (and counted) rather than surfaced.
+func NewFilterReader(src Reader) *FilterReader {
+	return &FilterReader{src: src, SkipMalformed: true}
+}
+
+// Next returns the next cacheable request, or io.EOF.
+func (f *FilterReader) Next() (*Request, error) {
+	for {
+		req, err := f.src.Next()
+		if err != nil {
+			var pe *ParseError
+			if f.SkipMalformed && errors.As(err, &pe) {
+				f.stats.Malformed++
+				continue
+			}
+			return nil, err
+		}
+		switch {
+		case req.Method != "" && req.Method != "GET":
+			f.stats.DroppedMethod++
+		case !CacheableStatus(req.Status):
+			f.stats.DroppedStatus++
+		case UncacheableURL(req.URL):
+			f.stats.DroppedURL++
+		default:
+			f.stats.Passed++
+			return req, nil
+		}
+	}
+}
+
+// Stats returns the filter counters accumulated so far.
+func (f *FilterReader) Stats() FilterStats { return f.stats }
+
+// SliceReader replays an in-memory request slice. It is the bridge between
+// the synthetic generator and the simulator when no file round-trip is
+// needed.
+type SliceReader struct {
+	reqs []*Request
+	pos  int
+}
+
+var _ Reader = (*SliceReader)(nil)
+
+// NewSliceReader returns a reader over reqs. The slice is not copied; the
+// caller must not mutate it while reading.
+func NewSliceReader(reqs []*Request) *SliceReader {
+	return &SliceReader{reqs: reqs}
+}
+
+// Next returns the next request or io.EOF.
+func (s *SliceReader) Next() (*Request, error) {
+	if s.pos >= len(s.reqs) {
+		return nil, io.EOF
+	}
+	r := s.reqs[s.pos]
+	s.pos++
+	return r, nil
+}
+
+// Reset rewinds the reader to the beginning of the slice.
+func (s *SliceReader) Reset() { s.pos = 0 }
+
+// ReadAll drains a reader into a slice. It is intended for tests and small
+// traces; large traces should be streamed.
+func ReadAll(r Reader) ([]*Request, error) {
+	var out []*Request
+	for {
+		req, err := r.Next()
+		if err != nil {
+			if errors.Is(err, io.EOF) {
+				return out, nil
+			}
+			return nil, fmt.Errorf("trace: read all: %w", err)
+		}
+		out = append(out, req)
+	}
+}
+
+// CopyStream pipes every request from r to w and returns the number
+// copied.
+func CopyStream(w Writer, r Reader) (int64, error) {
+	var n int64
+	for {
+		req, err := r.Next()
+		if err != nil {
+			if errors.Is(err, io.EOF) {
+				return n, nil
+			}
+			return n, fmt.Errorf("trace: copy stream: %w", err)
+		}
+		if err := w.Write(req); err != nil {
+			return n, err
+		}
+		n++
+	}
+}

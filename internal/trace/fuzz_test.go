@@ -1,0 +1,69 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// Fuzz targets for the three text/binary decoders: any input must produce
+// a request or an error, never a panic, and successfully parsed requests
+// must re-encode.
+
+func FuzzParseSquidLine(f *testing.F) {
+	f.Add(`982347195.744 110 10.0.0.1 TCP_HIT/200 4512 GET http://e.com/a.gif - NONE/- image/gif`)
+	f.Add(`0.0 0 - TCP_MISS/000 - GET / - -/- -`)
+	f.Add("")
+	f.Fuzz(func(t *testing.T, line string) {
+		req, err := ParseSquidLine(line)
+		if err != nil {
+			return
+		}
+		if req == nil {
+			t.Fatal("nil request without error")
+		}
+		var sb strings.Builder
+		w := NewSquidWriter(&sb)
+		if err := w.Write(req); err != nil {
+			t.Fatalf("parsed request failed to re-encode: %v", err)
+		}
+	})
+}
+
+func FuzzParseCLFLine(f *testing.F) {
+	f.Add(`10.0.0.1 - - [10/Oct/2000:13:55:36 -0700] "GET /a.gif HTTP/1.0" 200 2326`)
+	f.Add(`h - - [01/Jan/1999:00:00:00 +0000] "GET x HTTP/1.1" 304 -`)
+	f.Add("")
+	f.Fuzz(func(t *testing.T, line string) {
+		req, err := ParseCLFLine(line)
+		if err != nil {
+			return
+		}
+		if req == nil {
+			t.Fatal("nil request without error")
+		}
+	})
+}
+
+func FuzzBinaryReader(f *testing.F) {
+	// Seed with a valid single-record stream.
+	var buf bytes.Buffer
+	w := NewBinaryWriter(&buf)
+	if err := w.Write(&Request{UnixMillis: 1, URL: "http://e.com/x", Status: 200, TransferSize: 5}); err != nil {
+		f.Fatal(err)
+	}
+	if err := w.Flush(); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.Bytes())
+	f.Add([]byte{})
+	f.Add([]byte("WCT1"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r := NewBinaryReader(bytes.NewReader(data))
+		for i := 0; i < 100; i++ {
+			if _, err := r.Next(); err != nil {
+				return
+			}
+		}
+	})
+}

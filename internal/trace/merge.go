@@ -1,0 +1,73 @@
+package trace
+
+import (
+	"errors"
+	"fmt"
+	"io"
+
+	"webcachesim/internal/container/pqueue"
+)
+
+// MergeReader interleaves several request streams into one stream ordered
+// by timestamp — the tool for combining per-day log files or the logs of
+// sibling proxies into a single trace. Each source must itself be
+// time-ordered; ties are broken by source order, so merging is
+// deterministic.
+type MergeReader struct {
+	queue   pqueue.Queue[mergeSource]
+	primed  bool
+	sources []Reader
+}
+
+type mergeSource struct {
+	reader Reader
+	head   *Request
+	index  int
+}
+
+var _ Reader = (*MergeReader)(nil)
+
+// NewMergeReader merges the given readers. Sources may be empty; a merge
+// of zero sources yields io.EOF immediately.
+func NewMergeReader(sources ...Reader) *MergeReader {
+	return &MergeReader{sources: sources}
+}
+
+// Next returns the earliest pending request across all sources.
+func (m *MergeReader) Next() (*Request, error) {
+	if !m.primed {
+		m.primed = true
+		for i, src := range m.sources {
+			if err := m.push(src, i); err != nil {
+				return nil, err
+			}
+		}
+	}
+	item, err := m.queue.PopMin()
+	if err != nil {
+		return nil, io.EOF
+	}
+	s := item.Value
+	req := s.head
+	if err := m.push(s.reader, s.index); err != nil {
+		return nil, err
+	}
+	return req, nil
+}
+
+// push reads the next head from a source and enqueues it; a source at EOF
+// is dropped.
+func (m *MergeReader) push(src Reader, index int) error {
+	req, err := src.Next()
+	if err != nil {
+		if errors.Is(err, io.EOF) {
+			return nil
+		}
+		return fmt.Errorf("trace: merge source %d: %w", index, err)
+	}
+	// Priority is the timestamp; among equal stamps, pqueue's FIFO tie
+	// break preserves push order, and sources are pushed in index order
+	// when primed.
+	m.queue.Push(mergeSource{reader: src, head: req, index: index}, float64(req.UnixMillis))
+	return nil
+}

@@ -1,0 +1,111 @@
+package trace
+
+import (
+	"errors"
+	"io"
+	"math/rand"
+	"sort"
+	"strconv"
+	"testing"
+)
+
+func reqsAt(times ...int64) []*Request {
+	out := make([]*Request, len(times))
+	for i, ts := range times {
+		out[i] = &Request{UnixMillis: ts, URL: "http://e.com/" + strconv.FormatInt(ts, 10), Status: 200}
+	}
+	return out
+}
+
+func TestMergeOrdersByTimestamp(t *testing.T) {
+	a := NewSliceReader(reqsAt(1, 4, 7))
+	b := NewSliceReader(reqsAt(2, 3, 9))
+	c := NewSliceReader(reqsAt(5))
+	merged, err := ReadAll(NewMergeReader(a, b, c))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int64{1, 2, 3, 4, 5, 7, 9}
+	if len(merged) != len(want) {
+		t.Fatalf("merged %d records, want %d", len(merged), len(want))
+	}
+	for i, r := range merged {
+		if r.UnixMillis != want[i] {
+			t.Errorf("position %d: %d, want %d", i, r.UnixMillis, want[i])
+		}
+	}
+}
+
+func TestMergeEmptyAndZeroSources(t *testing.T) {
+	if _, err := NewMergeReader().Next(); !errors.Is(err, io.EOF) {
+		t.Errorf("zero sources: %v, want EOF", err)
+	}
+	m := NewMergeReader(NewSliceReader(nil), NewSliceReader(reqsAt(1)))
+	got, err := ReadAll(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 {
+		t.Errorf("got %d records, want 1", len(got))
+	}
+}
+
+func TestMergeTieBreakDeterministic(t *testing.T) {
+	mk := func() *MergeReader {
+		a := []*Request{{UnixMillis: 5, URL: "a"}}
+		b := []*Request{{UnixMillis: 5, URL: "b"}}
+		return NewMergeReader(NewSliceReader(a), NewSliceReader(b))
+	}
+	for trial := 0; trial < 5; trial++ {
+		got, err := ReadAll(mk())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got[0].URL != "a" || got[1].URL != "b" {
+			t.Fatalf("tie break not deterministic: %v, %v", got[0].URL, got[1].URL)
+		}
+	}
+}
+
+func TestMergePropagatesSourceError(t *testing.T) {
+	bad := NewSquidReader(iotest{})
+	m := NewMergeReader(NewSliceReader(reqsAt(1)), bad)
+	if _, err := ReadAll(m); err == nil {
+		t.Error("source error swallowed")
+	}
+}
+
+// iotest is a reader that always fails.
+type iotest struct{}
+
+func (iotest) Read([]byte) (int, error) { return 0, errors.New("boom") }
+
+func TestMergeManyRandomSources(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	var all []int64
+	var sources []Reader
+	for s := 0; s < 10; s++ {
+		n := rng.Intn(50)
+		times := make([]int64, n)
+		ts := int64(rng.Intn(100))
+		for i := range times {
+			ts += int64(rng.Intn(100))
+			times[i] = ts
+			all = append(all, ts)
+		}
+		sources = append(sources, NewSliceReader(reqsAt(times...)))
+	}
+	merged, err := ReadAll(NewMergeReader(sources...))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	if len(merged) != len(all) {
+		t.Fatalf("merged %d, want %d", len(merged), len(all))
+	}
+	for i := range all {
+		if merged[i].UnixMillis != all[i] {
+			t.Fatalf("position %d: %d, want %d", i, merged[i].UnixMillis, all[i])
+		}
+	}
+}

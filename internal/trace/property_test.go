@@ -1,0 +1,177 @@
+package trace
+
+import (
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"webcachesim/internal/doctype"
+)
+
+// genBinaryRequest draws an arbitrary request for the binary codec, which
+// must round-trip any field values (including exotic strings).
+func genBinaryRequest(rng *rand.Rand) *Request {
+	randString := func(max int) string {
+		n := rng.Intn(max)
+		b := make([]byte, n)
+		for i := range b {
+			b[i] = byte(rng.Intn(256))
+		}
+		return string(b)
+	}
+	return &Request{
+		UnixMillis:   rng.Int63n(2_000_000_000_000),
+		URL:          randString(200),
+		Status:       rng.Intn(1000),
+		TransferSize: rng.Int63n(1 << 40),
+		DocSize:      rng.Int63n(1 << 40),
+		ContentType:  randString(60),
+		Class:        doctype.Class(rng.Intn(int(doctype.NumClasses) + 1)),
+		Client:       randString(40),
+		Method:       randString(10),
+	}
+}
+
+// TestBinaryRoundTripProperty: any sequence of requests with
+// non-decreasing timestamps survives the binary codec bit-exactly.
+func TestBinaryRoundTripProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 50; trial++ {
+		n := 1 + rng.Intn(20)
+		src := make([]*Request, n)
+		var clock int64
+		for i := range src {
+			src[i] = genBinaryRequest(rng)
+			clock += rng.Int63n(10_000)
+			src[i].UnixMillis = clock
+		}
+		var sb strings.Builder
+		w := NewBinaryWriter(&sb)
+		for _, r := range src {
+			if err := w.Write(r); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := w.Flush(); err != nil {
+			t.Fatal(err)
+		}
+		got, err := ReadAll(NewBinaryReader(strings.NewReader(sb.String())))
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if len(got) != n {
+			t.Fatalf("trial %d: %d records, want %d", trial, len(got), n)
+		}
+		for i := range src {
+			if !reflect.DeepEqual(*got[i], *src[i]) {
+				t.Fatalf("trial %d record %d:\n got %+v\nwant %+v", trial, i, *got[i], *src[i])
+			}
+		}
+	}
+}
+
+// genSquidRequest draws a request within the Squid text format's value
+// space: single-token strings, non-negative sizes.
+func genSquidRequest(rng *rand.Rand) *Request {
+	token := func(prefix string) string {
+		const chars = "abcdefghijklmnopqrstuvwxyz0123456789./-_"
+		n := 1 + rng.Intn(20)
+		b := make([]byte, n)
+		for i := range b {
+			b[i] = chars[rng.Intn(len(chars))]
+		}
+		return prefix + string(b)
+	}
+	return &Request{
+		UnixMillis:   rng.Int63n(2_000_000_000_000),
+		URL:          token("http://h/"),
+		Status:       100 + rng.Intn(500),
+		TransferSize: rng.Int63n(1 << 32),
+		ContentType:  token(""),
+		Client:       token(""),
+		Method:       "GET",
+	}
+}
+
+// TestSquidRoundTripProperty: requests within the text format's value
+// space survive the Squid codec (timestamps to millisecond resolution;
+// DocSize and Class are not representable and excluded).
+func TestSquidRoundTripProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(100))
+	for trial := 0; trial < 100; trial++ {
+		src := genSquidRequest(rng)
+		var sb strings.Builder
+		w := NewSquidWriter(&sb)
+		if err := w.Write(src); err != nil {
+			t.Fatal(err)
+		}
+		if err := w.Flush(); err != nil {
+			t.Fatal(err)
+		}
+		got, err := ParseSquidLine(strings.TrimSpace(sb.String()))
+		if err != nil {
+			t.Fatalf("trial %d: %v (line %q)", trial, err, sb.String())
+		}
+		if got.URL != src.URL || got.Status != src.Status ||
+			got.TransferSize != src.TransferSize ||
+			got.UnixMillis != src.UnixMillis ||
+			got.ContentType != src.ContentType || got.Client != src.Client {
+			t.Fatalf("trial %d:\n got %+v\nwant %+v", trial, got, src)
+		}
+	}
+}
+
+// TestSquidReaderNeverPanicsOnGarbage: arbitrary input must produce
+// records, parse errors, or EOF — never a panic or infinite loop.
+func TestSquidReaderNeverPanicsOnGarbage(t *testing.T) {
+	f := func(input string) bool {
+		r := NewSquidReader(strings.NewReader(input))
+		for i := 0; i < 1000; i++ {
+			_, err := r.Next()
+			if err != nil {
+				return true // parse error or EOF both fine
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestBinaryReaderNeverPanicsOnGarbage: corrupt binary streams must fail
+// cleanly.
+func TestBinaryReaderNeverPanicsOnGarbage(t *testing.T) {
+	f := func(input []byte) bool {
+		r := NewBinaryReader(strings.NewReader(string(input)))
+		for i := 0; i < 1000; i++ {
+			_, err := r.Next()
+			if err != nil {
+				return true
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestCLFReaderNeverPanicsOnGarbage mirrors the same robustness property
+// for the CLF parser.
+func TestCLFReaderNeverPanicsOnGarbage(t *testing.T) {
+	f := func(input string) bool {
+		r := NewCLFReader(strings.NewReader(input))
+		for i := 0; i < 1000; i++ {
+			if _, err := r.Next(); err != nil {
+				return true
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,131 @@
+// Package trace defines the proxy request-stream model used throughout the
+// study and implements the trace formats and the preprocessing rules of
+// Section 2 of the paper: parsing of Squid native access logs (the format
+// both the DFN and NLANR RTP traces were recorded in), a compact binary
+// format for fast repeated simulation, and the cacheability filter
+// (CGI/query heuristics plus the HTTP status-code whitelist).
+package trace
+
+import (
+	"errors"
+	"fmt"
+	"strconv"
+	"strings"
+
+	"webcachesim/internal/doctype"
+)
+
+// Request is one entry of a proxy request stream after preprocessing.
+type Request struct {
+	// UnixMillis is the request completion time in milliseconds since the
+	// Unix epoch, as recorded by the proxy.
+	UnixMillis int64
+	// URL identifies the requested document.
+	URL string
+	// Status is the HTTP response status code.
+	Status int
+	// TransferSize is the number of bytes delivered to the client for this
+	// request. It can be smaller than the full document size when the
+	// client interrupted the transfer.
+	TransferSize int64
+	// DocSize is the full size of the document if known. Synthetic traces
+	// always record it; for real logs it is zero and the simulator infers
+	// document sizes from the transfer-size history, as the paper does.
+	DocSize int64
+	// ContentType is the MIME type from the response header ("" if the
+	// proxy did not record one).
+	ContentType string
+	// Class caches the document classification. A zero (Unknown) class is
+	// resolved lazily by Classify.
+	Class doctype.Class
+	// Client identifies the requesting client (opaque; used only by
+	// characterization).
+	Client string
+	// Method is the HTTP request method.
+	Method string
+}
+
+// Classify returns the request's document class, computing and caching it
+// from the content type and URL on first use.
+func (r *Request) Classify() doctype.Class {
+	if r.Class == doctype.Unknown {
+		r.Class = doctype.Classify(r.ContentType, r.URL)
+	}
+	return r.Class
+}
+
+// Key returns the document identity used by caches and characterization.
+func (r *Request) Key() string { return r.URL }
+
+// CacheableStatus reports whether an HTTP status code marks a response as
+// cacheable. The whitelist follows Section 2 of the paper: 200 (OK), 203
+// (Non-Authoritative Information), 206 (Partial Content), 300 (Multiple
+// Choices), 301 (Moved Permanently), 302 (Found), and 304 (Not Modified).
+func CacheableStatus(status int) bool {
+	switch status {
+	case 200, 203, 206, 300, 301, 302, 304:
+		return true
+	default:
+		return false
+	}
+}
+
+// UncacheableURL reports whether a URL is excluded by the commonly known
+// dynamic-content heuristics the paper applies: the substring "cgi" or a
+// "?" anywhere in the URL.
+func UncacheableURL(url string) bool {
+	return strings.Contains(url, "?") || strings.Contains(strings.ToLower(url), "cgi")
+}
+
+// Cacheable reports whether the request survives preprocessing: a GET (or
+// unrecorded) method for a cacheable status on a non-dynamic URL.
+func Cacheable(r *Request) bool {
+	if r.Method != "" && r.Method != "GET" {
+		return false
+	}
+	if !CacheableStatus(r.Status) {
+		return false
+	}
+	return !UncacheableURL(r.URL)
+}
+
+// Reader yields a request stream. Next returns the next request, or an
+// error; io.EOF marks the clean end of the stream.
+type Reader interface {
+	Next() (*Request, error)
+}
+
+// Writer persists a request stream.
+type Writer interface {
+	Write(*Request) error
+}
+
+// ParseError describes a malformed trace line.
+type ParseError struct {
+	Line int64
+	Text string
+	Err  error
+}
+
+// Error implements the error interface.
+func (e *ParseError) Error() string {
+	text := e.Text
+	if len(text) > 120 {
+		text = text[:120] + "..."
+	}
+	return fmt.Sprintf("trace: line %d: %v (%q)", e.Line, e.Err, text)
+}
+
+// Unwrap returns the underlying cause.
+func (e *ParseError) Unwrap() error { return e.Err }
+
+var errFieldCount = errors.New("wrong field count")
+
+// parseInt64 parses a decimal int64 field, treating "-" (Squid's marker
+// for an absent value) as zero.
+func parseInt64(s string) (int64, error) {
+	if s == "-" || s == "" {
+		return 0, nil
+	}
+	return strconv.ParseInt(s, 10, 64)
+}

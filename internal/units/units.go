@@ -1,0 +1,69 @@
+// Package units parses and formats byte quantities for command-line
+// flags and reports ("64MB", "1.5GiB", bare byte counts).
+package units
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Binary unit multipliers.
+const (
+	KB = 1 << 10
+	MB = 1 << 20
+	GB = 1 << 30
+)
+
+// suffixes is ordered longest-first so "MiB" is not parsed as "B".
+var suffixes = []struct {
+	name string
+	mult int64
+}{
+	{"GIB", GB}, {"GB", GB}, {"G", GB},
+	{"MIB", MB}, {"MB", MB}, {"M", MB},
+	{"KIB", KB}, {"KB", KB}, {"K", KB},
+	{"B", 1},
+}
+
+// ParseBytes parses a human byte size: a float with an optional binary
+// suffix (B, KB/KiB/K, MB/MiB/M, GB/GiB/G, case-insensitive). The result
+// must be positive.
+func ParseBytes(s string) (int64, error) {
+	mult := int64(1)
+	upper := strings.ToUpper(strings.TrimSpace(s))
+	for _, suf := range suffixes {
+		if strings.HasSuffix(upper, suf.name) {
+			mult = suf.mult
+			upper = strings.TrimSpace(strings.TrimSuffix(upper, suf.name))
+			break
+		}
+	}
+	v, err := strconv.ParseFloat(upper, 64)
+	if err != nil {
+		return 0, fmt.Errorf("units: bad size %q: %w", s, err)
+	}
+	n := int64(v * float64(mult))
+	if n <= 0 {
+		return 0, fmt.Errorf("units: size %q must be positive", s)
+	}
+	return n, nil
+}
+
+// FormatBytes renders a byte count with a binary suffix, one decimal.
+func FormatBytes(n int64) string {
+	switch {
+	case n >= GB:
+		return trimZero(fmt.Sprintf("%.1f", float64(n)/GB)) + "GB"
+	case n >= MB:
+		return trimZero(fmt.Sprintf("%.1f", float64(n)/MB)) + "MB"
+	case n >= KB:
+		return trimZero(fmt.Sprintf("%.1f", float64(n)/KB)) + "KB"
+	default:
+		return strconv.FormatInt(n, 10) + "B"
+	}
+}
+
+func trimZero(s string) string {
+	return strings.TrimSuffix(s, ".0")
+}

@@ -1,0 +1,74 @@
+package units
+
+import "testing"
+
+func TestParseBytes(t *testing.T) {
+	tests := []struct {
+		in      string
+		want    int64
+		wantErr bool
+	}{
+		{"1024", 1024, false},
+		{"64MB", 64 << 20, false},
+		{"64mb", 64 << 20, false},
+		{"64MiB", 64 << 20, false},
+		{"1GB", 1 << 30, false},
+		{"1.5GB", 3 << 29, false},
+		{"512KB", 512 << 10, false},
+		{"512k", 512 << 10, false},
+		{"2g", 2 << 30, false},
+		{"100B", 100, false},
+		{" 8 MB ", 8 << 20, false},
+		{"0", 0, true},
+		{"-5MB", 0, true},
+		{"abc", 0, true},
+		{"", 0, true},
+	}
+	for _, tt := range tests {
+		got, err := ParseBytes(tt.in)
+		if (err != nil) != tt.wantErr {
+			t.Errorf("ParseBytes(%q) err = %v, wantErr %v", tt.in, err, tt.wantErr)
+			continue
+		}
+		if !tt.wantErr && got != tt.want {
+			t.Errorf("ParseBytes(%q) = %d, want %d", tt.in, got, tt.want)
+		}
+	}
+}
+
+func TestFormatBytes(t *testing.T) {
+	tests := []struct {
+		in   int64
+		want string
+	}{
+		{512, "512B"},
+		{1 << 10, "1KB"},
+		{1536, "1.5KB"},
+		{64 << 20, "64MB"},
+		{3 << 29, "1.5GB"},
+		{1 << 30, "1GB"},
+	}
+	for _, tt := range tests {
+		if got := FormatBytes(tt.in); got != tt.want {
+			t.Errorf("FormatBytes(%d) = %q, want %q", tt.in, got, tt.want)
+		}
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	for _, n := range []int64{1, 1023, 1 << 10, 5 << 20, 7 << 30} {
+		s := FormatBytes(n)
+		got, err := ParseBytes(s)
+		if err != nil {
+			t.Fatalf("ParseBytes(FormatBytes(%d)=%q): %v", n, s, err)
+		}
+		// One-decimal formatting loses precision; require 1% agreement.
+		diff := got - n
+		if diff < 0 {
+			diff = -diff
+		}
+		if diff*100 > n {
+			t.Errorf("round trip %d -> %q -> %d drifts more than 1%%", n, s, got)
+		}
+	}
+}
