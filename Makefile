@@ -1,0 +1,31 @@
+# Developer entry points. `make check` is the full local gate and mirrors
+# what CI runs (.github/workflows/ci.yml).
+
+GO ?= go
+
+.PHONY: build vet wcvet test race fuzz-smoke check
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+# Project-specific analyzers (policymeta, evictloop, floatcmp, clockmono)
+# plus selected stock vet passes. See docs/ANALYZERS.md.
+wcvet:
+	$(GO) run ./cmd/wcvet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./internal/core ./internal/policy
+
+# Short fuzz budget per trace-decoder target; CI runs the same loop.
+fuzz-smoke:
+	for target in FuzzParseSquidLine FuzzParseCLFLine FuzzBinaryReader; do \
+		$(GO) test -run="^$$target$$" -fuzz="^$$target$$" -fuzztime=20s ./internal/trace || exit 1; \
+	done
+
+check: build vet wcvet test race

@@ -6,7 +6,7 @@
 //
 //	wcsim -trace t.wct.gz [-policies lru,lfuda,gds:1,gdstar:p]
 //	      [-sizes 64MB,256MB,1GB | -size-pcts 0.5,1,2,4] [-warmup 0.1]
-//	      [-by-class] [-csv] [-occupancy N]
+//	      [-by-class] [-csv] [-occupancy N] [-check]
 package main
 
 import (
@@ -46,6 +46,7 @@ func run(args []string, out io.Writer) error {
 		csv      = fs.Bool("csv", false, "emit CSV instead of aligned text")
 		raw      = fs.Bool("raw", false, "skip the cacheability preprocessing filter")
 		par      = fs.Int("parallelism", 0, "max concurrent simulations (0 = GOMAXPROCS)")
+		check    = fs.Bool("check", false, "run policies under the runtime contract checker (slower; aborts on the first violation)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -72,6 +73,7 @@ func run(args []string, out io.Writer) error {
 		Capacities:     capacities,
 		WarmupFraction: *warmup,
 		Parallelism:    *par,
+		SelfCheck:      *check,
 	})
 	if err != nil {
 		return err

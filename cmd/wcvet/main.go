@@ -1,0 +1,128 @@
+// Command wcvet is the project's static-analysis multichecker: it runs
+// the webcachesim-specific analyzers (policymeta, evictloop, floatcmp,
+// clockmono — see internal/lint and docs/ANALYZERS.md) plus a selection of
+// stock go vet passes over the given packages.
+//
+// Usage:
+//
+//	wcvet [-tests=false] [-govet=false] [packages]
+//
+// Packages default to ./... resolved against the enclosing module root.
+// The exit status is 0 when all checks pass, 1 when any analyzer or vet
+// pass reports findings, and 2 on usage or load errors.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+
+	"webcachesim/internal/lint"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// govetPasses are the stock go vet analyzers wcvet layers on top of the
+// project-specific ones.
+var govetPasses = []string{
+	"-printf", "-copylocks", "-atomic", "-bools",
+	"-nilfunc", "-stdmethods", "-unreachable", "-unusedresult",
+}
+
+func run(args []string, out, errw io.Writer) int {
+	fs := flag.NewFlagSet("wcvet", flag.ContinueOnError)
+	fs.SetOutput(errw)
+	var (
+		tests = fs.Bool("tests", true, "analyze _test.go files too")
+		govet = fs.Bool("govet", true, "also run the stock go vet passes")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	root, err := lint.FindModuleRoot(".")
+	if err != nil {
+		fmt.Fprintln(errw, "wcvet:", err)
+		return 2
+	}
+
+	loader := lint.NewLoader(root, *tests)
+	pkgs, err := loader.Load(patterns)
+	if err != nil {
+		fmt.Fprintln(errw, "wcvet:", err)
+		return 2
+	}
+
+	status := 0
+	for _, pkg := range pkgs {
+		for _, e := range pkg.Errors {
+			fmt.Fprintf(errw, "wcvet: %s: %v\n", pkg.PkgPath, e)
+			status = 2
+		}
+	}
+	if status != 0 {
+		return status
+	}
+
+	diags, err := lint.Run(pkgs, lint.All())
+	if err != nil {
+		fmt.Fprintln(errw, "wcvet:", err)
+		return 2
+	}
+	for _, d := range diags {
+		pos := d.Pos
+		if rel, err := filepath.Rel(root, pos.Filename); err == nil {
+			pos.Filename = rel
+		}
+		fmt.Fprintf(out, "%s: %s (%s)\n", pos, d.Message, d.Analyzer)
+		status = 1
+	}
+
+	if *govet {
+		if code := runGoVet(root, patterns, out, errw); code > status {
+			status = code
+		}
+	}
+
+	if status == 0 {
+		fmt.Fprintf(out, "wcvet: %d packages clean (%s)\n",
+			len(pkgs), analyzerNames())
+	}
+	return status
+}
+
+func runGoVet(root string, patterns []string, out, errw io.Writer) int {
+	goBin, err := exec.LookPath("go")
+	if err != nil {
+		fmt.Fprintln(errw, "wcvet: go command not found; skipping stock vet passes")
+		return 0
+	}
+	args := append([]string{"vet"}, govetPasses...)
+	args = append(append(args, "--"), patterns...)
+	cmd := exec.Command(goBin, args...)
+	cmd.Dir = root
+	cmd.Stdout = out
+	cmd.Stderr = errw
+	if err := cmd.Run(); err != nil {
+		return 1
+	}
+	return 0
+}
+
+func analyzerNames() string {
+	var names []string
+	for _, a := range lint.All() {
+		names = append(names, a.Name)
+	}
+	return strings.Join(names, ", ")
+}

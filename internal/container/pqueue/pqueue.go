@@ -10,7 +10,10 @@
 // evicted first.
 package pqueue
 
-import "errors"
+import (
+	"errors"
+	"math"
+)
 
 // ErrEmpty reports an operation on an empty queue.
 var ErrEmpty = errors.New("pqueue: empty queue")
@@ -118,9 +121,20 @@ func (q *Queue[T]) removeAt(i int) {
 	it.index = -1
 }
 
-// less orders items by priority, breaking ties by sequence number.
+// less orders items by priority, breaking ties by sequence number. NaN
+// priorities order below every real value (evicted first) and among
+// themselves by sequence, so a poisoned priority cannot scramble the heap:
+// with IEEE semantics NaN != x and NaN < x are both false, which would
+// otherwise let a NaN item settle anywhere and break the invariant
+// silently.
 func (q *Queue[T]) less(i, j int) bool {
 	a, b := q.heap[i], q.heap[j]
+	if math.IsNaN(a.priority) || math.IsNaN(b.priority) {
+		if math.IsNaN(a.priority) != math.IsNaN(b.priority) {
+			return math.IsNaN(a.priority)
+		}
+		return a.seq < b.seq
+	}
 	if a.priority != b.priority {
 		return a.priority < b.priority
 	}

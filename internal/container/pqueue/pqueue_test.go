@@ -2,6 +2,7 @@ package pqueue
 
 import (
 	"errors"
+	"math"
 	"math/rand"
 	"sort"
 	"testing"
@@ -227,5 +228,52 @@ func TestDrainSortedProperty(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
 		t.Error(err)
+	}
+}
+
+// NaN priorities must not scramble the heap: they order below every real
+// priority (popped first) and among themselves by insertion sequence.
+func TestNaNPriorityOrdersFirstDeterministically(t *testing.T) {
+	nan := math.NaN()
+	var q Queue[string]
+	q.Push("real-low", 1)
+	q.Push("nan-a", nan)
+	q.Push("real-high", 100)
+	q.Push("nan-b", nan)
+	want := []string{"nan-a", "nan-b", "real-low", "real-high"}
+	for _, w := range want {
+		it, err := q.PopMin()
+		if err != nil {
+			t.Fatalf("PopMin: %v", err)
+		}
+		if it.Value != w {
+			t.Fatalf("popped %q, want %q", it.Value, w)
+		}
+	}
+}
+
+// Updating an item to NaN and back must keep the heap consistent.
+func TestNaNUpdateKeepsHeapConsistent(t *testing.T) {
+	var q Queue[int]
+	items := make([]*Item[int], 6)
+	for i := range items {
+		items[i] = q.Push(i, float64(i))
+	}
+	q.Update(items[3], math.NaN())
+	it, err := q.PopMin()
+	if err != nil || it.Value != 3 {
+		t.Fatalf("PopMin after NaN update = %v, %v; want item 3", it, err)
+	}
+	q.Update(items[5], 0.5)
+	prev := math.Inf(-1)
+	for q.Len() > 0 {
+		it, err := q.PopMin()
+		if err != nil {
+			t.Fatalf("PopMin: %v", err)
+		}
+		if it.Priority() < prev {
+			t.Fatalf("heap order violated: %v after %v", it.Priority(), prev)
+		}
+		prev = it.Priority()
 	}
 }

@@ -20,6 +20,11 @@ type Config struct {
 	// SampleEvery enables the occupancy time series: a sample is recorded
 	// every SampleEvery requests. 0 disables sampling.
 	SampleEvery int64
+	// SelfCheck wraps the policy in policy.Checked, which panics with a
+	// policy.ContractError on the first contract violation (Len drift,
+	// double insert, bogus Evict result). Costs one map operation per
+	// policy call; meant for debugging and CI, not timed runs.
+	SelfCheck bool
 }
 
 // DefaultWarmupFraction is the paper's cold-start rule: 10% of the total
@@ -66,9 +71,13 @@ func NewSimulator(w *Workload, cfg Config) (*Simulator, error) {
 		return nil, errBadConfig("warmup fraction %v must be < 1", warmupFrac)
 	}
 	warmup := int64(warmupFrac * float64(len(w.Events)))
+	pol := cfg.Policy.New()
+	if cfg.SelfCheck {
+		pol = policy.Checked(pol)
+	}
 	return &Simulator{
 		cfg:    cfg,
-		pol:    cfg.Policy.New(),
+		pol:    pol,
 		keys:   w.Keys,
 		docs:   make([]*policy.Doc, len(w.Keys)),
 		warmup: warmup,
@@ -124,11 +133,15 @@ func (s *Simulator) Process(ev *Event) Outcome {
 	case hit:
 		outcome = OutcomeHit
 		// A resident document may have grown through a completed transfer
-		// after an earlier interruption; recharge the difference.
+		// after an earlier interruption; recharge the difference. Making
+		// room for the growth can evict the document itself, in which case
+		// the policy must not see a Hit for it.
 		if resident.Size != ev.DocSize {
 			s.recharge(resident, ev.DocSize)
 		}
-		s.pol.Hit(resident)
+		if s.docs[ev.DocID] == resident {
+			s.pol.Hit(resident)
+		}
 	case resident != nil:
 		// Modified: the cached copy is stale; drop and refetch.
 		outcome = OutcomeModified

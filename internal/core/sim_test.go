@@ -337,3 +337,46 @@ func TestLargerCacheNeverHurtsHitRateMuch(t *testing.T) {
 		t.Error("no hits at the largest cache size")
 	}
 }
+
+// TestSimulatorSelfCheckCleanPolicies replays a random workload with every
+// study policy under SelfCheck: the contract checker must stay silent and
+// must not change any measured number.
+func TestSimulatorSelfCheckCleanPolicies(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	var reqs []*trace.Request
+	for i := 0; i < 3000; i++ {
+		size := int64(100 + rng.Intn(50_000))
+		reqs = append(reqs, req(fmt.Sprintf("http://e.com/d%d.bin", rng.Intn(300)), size))
+	}
+	w := build(t, 0, reqs...)
+	for _, f := range policy.StudyFactories() {
+		plain := newSim(t, w, Config{Capacity: 800_000, Policy: f, WarmupFraction: -1})
+		checked := newSim(t, w, Config{Capacity: 800_000, Policy: f, WarmupFraction: -1, SelfCheck: true})
+		rp, rc := plain.Run(w), checked.Run(w)
+		if rp.Overall != rc.Overall || rp.Evictions != rc.Evictions {
+			t.Errorf("%s: SelfCheck changed results: %+v vs %+v", f.Name, rp.Overall, rc.Overall)
+		}
+	}
+}
+
+// TestSimulatorSelfCheckCatchesBrokenPolicy proves the -check plumbing is
+// live: the non-evicting adversarial policy that plain runs tolerate must
+// abort with a ContractError under SelfCheck.
+func TestSimulatorSelfCheckCatchesBrokenPolicy(t *testing.T) {
+	w := build(t, 0,
+		req("http://e.com/a.bin", 600),
+		req("http://e.com/b.bin", 600), // forces an Evict the policy refuses
+	)
+	f := policy.Factory{Name: "broken", New: func() policy.Policy { return &brokenPolicy{} }}
+	s := newSim(t, w, Config{Capacity: 1000, Policy: f, WarmupFraction: -1, SelfCheck: true})
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("broken policy ran to completion under SelfCheck")
+		}
+		if _, ok := r.(*policy.ContractError); !ok {
+			t.Fatalf("panic = %v (%T), want *policy.ContractError", r, r)
+		}
+	}()
+	s.Run(w)
+}

@@ -27,6 +27,8 @@ type SweepConfig struct {
 	// Parallelism bounds the number of concurrent simulations; 0 selects
 	// GOMAXPROCS.
 	Parallelism int
+	// SelfCheck is passed through to each run (see Config).
+	SelfCheck bool
 }
 
 // Sweep simulates every (policy, capacity) cell of the grid over the same
@@ -59,6 +61,7 @@ func Sweep(w *Workload, cfg SweepConfig) ([]*Result, error) {
 			Policy:         cfg.Policies[c.policyIdx],
 			WarmupFraction: cfg.WarmupFraction,
 			SampleEvery:    cfg.SampleEvery,
+			SelfCheck:      cfg.SelfCheck,
 		})
 		if err != nil {
 			return nil, fmt.Errorf("core: sweep cell %s/%d: %w",

@@ -1,0 +1,59 @@
+package lint_test
+
+import (
+	"testing"
+
+	"webcachesim/internal/lint"
+	"webcachesim/internal/lint/linttest"
+)
+
+func TestPolicyMeta(t *testing.T) {
+	linttest.Run(t, "testdata/src", lint.PolicyMeta,
+		"policymeta/policy", "policymeta/outside")
+}
+
+func TestEvictLoop(t *testing.T) {
+	linttest.Run(t, "testdata/src", lint.EvictLoop, "evictloop/a")
+}
+
+func TestFloatCmp(t *testing.T) {
+	linttest.Run(t, "testdata/src", lint.FloatCmp,
+		"floatcmp/policy", "floatcmp/report")
+}
+
+func TestClockMono(t *testing.T) {
+	linttest.Run(t, "testdata/src", lint.ClockMono,
+		"clockmono/core", "clockmono/web")
+}
+
+// TestRealPackagesClean loads representative production packages the
+// analyzers are scoped to and requires a clean bill: the repo must keep
+// wcvet green.
+func TestRealPackagesClean(t *testing.T) {
+	root, err := lint.FindModuleRoot(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	loader := lint.NewLoader(root, true)
+	pkgs, err := loader.Load([]string{
+		"./internal/container/pqueue",
+		"./internal/container/intlist",
+		"./internal/policy",
+		"./internal/core",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, pkg := range pkgs {
+		for _, e := range pkg.Errors {
+			t.Errorf("%s: type error: %v", pkg.PkgPath, e)
+		}
+	}
+	diags, err := lint.Run(pkgs, lint.All())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range diags {
+		t.Errorf("unexpected finding: %s", d)
+	}
+}

@@ -1,0 +1,138 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// EvictLoop guards the termination of eviction loops.
+//
+// Policy.Evict reports false when the policy tracks no documents; the
+// capacity loops in internal/core and internal/proxy ("evict until the new
+// document fits") terminate only because they break on that signal. An
+// Evict call whose results are discarded, or whose success flag is ignored
+// inside a for loop, is an infinite-eviction hazard: with an empty policy
+// the loop spins forever, and dereferencing the nil victim panics.
+//
+// Range loops are exempt from the in-loop rules — they iterate a finite
+// collection and cannot spin on Evict alone — but a fully discarded result
+// is flagged everywhere.
+var EvictLoop = &Analyzer{
+	Name: "evictloop",
+	Doc: "flag Evict() calls whose results are discarded or whose success " +
+		"flag is not checked inside the enclosing for loop",
+	Run: runEvictLoop,
+}
+
+func runEvictLoop(pass *Pass) error {
+	for _, f := range pass.Files {
+		condObjs := conditionObjects(pass.Info, f)
+		inspectStack(f, func(n ast.Node, stack []ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || !isEvictCall(pass.Info, call) {
+				return true
+			}
+			if len(stack) == 0 {
+				return true
+			}
+			switch parent := stack[len(stack)-1].(type) {
+			case *ast.ExprStmt:
+				pass.Reportf(call.Pos(),
+					"result of Evict is discarded; the victim leaks and an empty policy goes unnoticed")
+			case *ast.AssignStmt:
+				if len(parent.Rhs) != 1 || parent.Rhs[0] != call || len(parent.Lhs) != 2 {
+					return true
+				}
+				if enclosingForLoop(stack) == nil {
+					return true
+				}
+				okExpr := ast.Unparen(parent.Lhs[1])
+				id, isIdent := okExpr.(*ast.Ident)
+				switch {
+				case isIdent && id.Name == "_":
+					pass.Reportf(call.Pos(),
+						"Evict's success result is discarded inside a for loop; the loop cannot stop when the policy is empty")
+				case isIdent:
+					obj := pass.Info.ObjectOf(id)
+					if obj != nil && !condObjs[obj] {
+						pass.Reportf(call.Pos(),
+							"Evict's success result %q is never checked in a condition; the eviction loop cannot stop when the policy is empty", id.Name)
+					}
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// isEvictCall reports whether call invokes a niladic method named Evict
+// returning (T, bool) — the Policy contract's eviction signature.
+func isEvictCall(info *types.Info, call *ast.CallExpr) bool {
+	fn := calleeFunc(info, call)
+	if fn == nil || fn.Name() != "Evict" {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Params().Len() != 0 || sig.Results().Len() != 2 {
+		return false
+	}
+	b, ok := sig.Results().At(1).Type().Underlying().(*types.Basic)
+	return ok && b.Kind() == types.Bool
+}
+
+// enclosingForLoop returns the innermost ForStmt between the node and its
+// enclosing function. Range statements do not count: they are bounded by
+// their operand.
+func enclosingForLoop(stack []ast.Node) *ast.ForStmt {
+	for i := len(stack) - 1; i >= 0; i-- {
+		switch s := stack[i].(type) {
+		case *ast.ForStmt:
+			return s
+		case *ast.FuncDecl, *ast.FuncLit:
+			return nil
+		}
+	}
+	return nil
+}
+
+// conditionObjects collects every object referenced inside a branching
+// context of the file: if/for conditions, switch tags, case expressions
+// and return statements — the places where checking Evict's success flag
+// can actually stop a loop.
+func conditionObjects(info *types.Info, f *ast.File) map[types.Object]bool {
+	out := map[types.Object]bool{}
+	collect := func(e ast.Node) {
+		if e == nil {
+			return
+		}
+		ast.Inspect(e, func(n ast.Node) bool {
+			if id, ok := n.(*ast.Ident); ok {
+				if obj := info.ObjectOf(id); obj != nil {
+					out[obj] = true
+				}
+			}
+			return true
+		})
+	}
+	ast.Inspect(f, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.IfStmt:
+			collect(n.Cond)
+		case *ast.ForStmt:
+			collect(n.Cond)
+		case *ast.SwitchStmt:
+			collect(n.Tag)
+		case *ast.CaseClause:
+			for _, e := range n.List {
+				collect(e)
+			}
+		case *ast.ReturnStmt:
+			for _, e := range n.Results {
+				collect(e)
+			}
+		}
+		return true
+	})
+	return out
+}

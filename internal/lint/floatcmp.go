@@ -1,0 +1,147 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// FloatCmp polices float comparisons in the priority-heap code.
+//
+// The value-based schemes (GDS, GD*, GDSF, LFU-DA) order evictions by
+// float64 priorities — H(p) = L + (f·c/s)^(1/β) — math in which a single
+// NaN (zero-size documents, degenerate cost models, a bad β fit) silently
+// poisons every comparison: NaN == NaN is false, NaN < x is false, so heap
+// invariants quietly stop holding and the simulated hit rates drift with
+// no test failing. Inside the heap packages, == and != on two non-constant
+// floats are flagged outright, and ordered comparisons on priority/cost
+// values are flagged unless the enclosing function guards with
+// math.IsNaN/math.IsInf. The x != x NaN idiom and comparisons against
+// constants are recognized as deliberate.
+//
+// The check is scoped to the packages that implement priority math
+// (FloatCmpPackages); report/statistics code may compare floats freely.
+var FloatCmp = &Analyzer{
+	Name: "floatcmp",
+	Doc: "flag ==/!= and unguarded ordered comparisons on priority/cost " +
+		"floats in the replacement-policy heap code",
+	SkipTests: true,
+	Run:       runFloatCmp,
+}
+
+// FloatCmpPackages names the packages (by package name) whose float
+// comparisons order evictions and therefore must be NaN-safe.
+var FloatCmpPackages = map[string]bool{
+	"policy": true,
+	"pqueue": true,
+}
+
+// priorityName reports whether an operand of a comparison names a priority
+// or cost quantity.
+func priorityName(e ast.Expr) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		name := strings.ToLower(id.Name)
+		if strings.Contains(name, "priority") || strings.Contains(name, "prio") ||
+			strings.Contains(name, "cost") || strings.Contains(name, "key") ||
+			name == "h" || name == "hmin" || name == "hval" {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+var cmpOps = map[token.Token]bool{
+	token.EQL: true, token.NEQ: true,
+	token.LSS: true, token.GTR: true,
+	token.LEQ: true, token.GEQ: true,
+}
+
+func runFloatCmp(pass *Pass) error {
+	if pass.Pkg == nil || !FloatCmpPackages[pass.Pkg.Name()] {
+		return nil
+	}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			guarded := hasNaNGuard(pass.Info, fd.Body)
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				be, ok := n.(*ast.BinaryExpr)
+				if !ok || !cmpOps[be.Op] {
+					return true
+				}
+				checkFloatCmp(pass, be, guarded)
+				return true
+			})
+		}
+	}
+	return nil
+}
+
+func checkFloatCmp(pass *Pass, be *ast.BinaryExpr, guarded bool) {
+	x, y := ast.Unparen(be.X), ast.Unparen(be.Y)
+	tx, ty := pass.Info.TypeOf(x), pass.Info.TypeOf(y)
+	if tx == nil || ty == nil || !isFloat(tx) || !isFloat(ty) {
+		return
+	}
+	// A comparison against a constant is a deliberate sentinel check, and
+	// x != x is the standard NaN test.
+	if isConstExpr(pass.Info, x) || isConstExpr(pass.Info, y) {
+		return
+	}
+	if types.ExprString(x) == types.ExprString(y) {
+		return
+	}
+	if guarded {
+		return
+	}
+	switch be.Op {
+	case token.EQL, token.NEQ:
+		pass.Reportf(be.OpPos,
+			"%s on float priorities is not NaN-safe; order with explicit math.IsNaN handling or compare a discrete key", be.Op)
+	default:
+		if priorityName(x) || priorityName(y) {
+			pass.Reportf(be.OpPos,
+				"ordered float comparison on a priority/cost value without a NaN guard; a NaN operand silently breaks heap order")
+		}
+	}
+}
+
+// isConstExpr reports whether the expression has a compile-time constant
+// value.
+func isConstExpr(info *types.Info, e ast.Expr) bool {
+	tv, ok := info.Types[e]
+	return ok && tv.Value != nil
+}
+
+// hasNaNGuard reports whether the function body calls math.IsNaN or
+// math.IsInf — the signal that degenerate floats are handled explicitly.
+func hasNaNGuard(info *types.Info, body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fn := calleeFunc(info, call)
+		if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "math" {
+			return true
+		}
+		if fn.Name() == "IsNaN" || fn.Name() == "IsInf" {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}

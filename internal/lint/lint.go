@@ -1,0 +1,198 @@
+// Package lint is a project-specific static-analysis layer for the
+// webcachesim tree. It provides a small analyzer framework modeled on
+// golang.org/x/tools/go/analysis — an Analyzer runs over one type-checked
+// package at a time and reports position-anchored diagnostics — but is
+// built entirely on the standard library (go/ast, go/types and the source
+// importer), so the module stays dependency-free.
+//
+// The analyzers encode the Policy contract documented in internal/policy
+// and the determinism requirements of the simulator core:
+//
+//   - policymeta: Doc.meta is policy-private state; no package outside the
+//     policy package may touch it, and type assertions on it must use the
+//     ", ok" form.
+//   - evictloop: Evict reports false when the policy is empty; an eviction
+//     loop that ignores that signal can spin forever.
+//   - floatcmp: priority/cost float math in the heap-based schemes must
+//     not compare with ==/!= or unguarded ordering, where a silent NaN
+//     corrupts eviction order without failing any test.
+//   - clockmono: simulation hot paths must be deterministic — no wall
+//     clock, no globally seeded randomness, no order-dependent map
+//     iteration.
+//
+// The cmd/wcvet command runs all of them (plus selected stock go vet
+// passes) over the repository.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// Analyzer is one static check. Run inspects a single package through the
+// Pass and reports findings via Pass.Reportf.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and documentation.
+	Name string
+	// Doc is a one-paragraph description of what the analyzer flags.
+	Doc string
+	// SkipTests excludes _test.go files from the analysis. Checks that
+	// encode production-only requirements (determinism, NaN hygiene) set
+	// it; contract checks that apply equally to test code leave it unset.
+	SkipTests bool
+	// Run performs the analysis.
+	Run func(*Pass) error
+}
+
+// Pass carries one analyzer's view of one type-checked package.
+type Pass struct {
+	// Analyzer is the check being run.
+	Analyzer *Analyzer
+	// Fset maps token positions back to file/line/column.
+	Fset *token.FileSet
+	// Files are the syntax trees under analysis (already filtered when the
+	// analyzer skips test files).
+	Files []*ast.File
+	// Pkg is the type-checked package.
+	Pkg *types.Package
+	// Info holds the type information recorded for Files.
+	Info *types.Info
+
+	diagnostics []Diagnostic
+}
+
+// Diagnostic is one finding, anchored to a source position.
+type Diagnostic struct {
+	// Analyzer names the check that produced the finding.
+	Analyzer string
+	// Pos locates the finding.
+	Pos token.Position
+	// Message describes the finding.
+	Message string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: %s (%s)", d.Pos, d.Message, d.Analyzer)
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.diagnostics = append(p.diagnostics, Diagnostic{
+		Analyzer: p.Analyzer.Name,
+		Pos:      p.Fset.Position(pos),
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// All returns the project analyzers in stable order.
+func All() []*Analyzer {
+	return []*Analyzer{PolicyMeta, EvictLoop, FloatCmp, ClockMono}
+}
+
+// Run applies each analyzer to each package and returns the findings
+// sorted by file, line and column.
+func Run(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	var out []Diagnostic
+	for _, pkg := range pkgs {
+		for _, a := range analyzers {
+			diags, err := runOne(pkg, a)
+			if err != nil {
+				return nil, fmt.Errorf("lint: %s on %s: %w", a.Name, pkg.PkgPath, err)
+			}
+			out = append(out, diags...)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return out, nil
+}
+
+func runOne(pkg *Package, a *Analyzer) ([]Diagnostic, error) {
+	files := pkg.Files
+	if a.SkipTests {
+		files = nil
+		for _, f := range pkg.Files {
+			if !pkg.IsTest[f] {
+				files = append(files, f)
+			}
+		}
+	}
+	pass := &Pass{
+		Analyzer: a,
+		Fset:     pkg.Fset,
+		Files:    files,
+		Pkg:      pkg.Types,
+		Info:     pkg.Info,
+	}
+	if err := a.Run(pass); err != nil {
+		return nil, err
+	}
+	return pass.diagnostics, nil
+}
+
+// inspectStack walks the file in depth-first order, calling fn with each
+// node and the stack of its ancestors (stack[len(stack)-1] is the parent).
+// Returning false prunes the subtree.
+func inspectStack(f *ast.File, fn func(n ast.Node, stack []ast.Node) bool) {
+	var stack []ast.Node
+	ast.Inspect(f, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		if !fn(n, stack) {
+			return false
+		}
+		stack = append(stack, n)
+		return true
+	})
+}
+
+// enclosingFunc returns the innermost function declaration or literal on
+// the stack, or nil when the node is not inside a function.
+func enclosingFunc(stack []ast.Node) ast.Node {
+	for i := len(stack) - 1; i >= 0; i-- {
+		switch stack[i].(type) {
+		case *ast.FuncDecl, *ast.FuncLit:
+			return stack[i]
+		}
+	}
+	return nil
+}
+
+// isFloat reports whether t's underlying type is a floating-point basic
+// type.
+func isFloat(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}
+
+// calleeFunc resolves a call expression to the *types.Func it invokes
+// (method or package-level function), or nil.
+func calleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	case *ast.Ident:
+		id = fun
+	default:
+		return nil
+	}
+	fn, _ := info.Uses[id].(*types.Func)
+	return fn
+}

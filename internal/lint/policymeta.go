@@ -1,0 +1,98 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// PolicyMeta enforces the privacy of policy.Doc's meta field.
+//
+// The Policy contract (internal/policy/policy.go) hangs policy-private
+// bookkeeping — heap handles, list elements, reference counts — off
+// Doc.meta as an `any`. Two hazards follow: code outside the policy
+// package reaching into meta couples the simulator to a scheme's private
+// representation, and a bare type assertion on meta panics the moment two
+// schemes ever share a Doc (exactly what the type-aware meta-policy and
+// the simulator's document reuse make possible).
+var PolicyMeta = &Analyzer{
+	Name: "policymeta",
+	Doc: "flag reads/writes of policy.Doc.meta outside the policy package, " +
+		"and type assertions on meta that do not use the \", ok\" form",
+	Run: runPolicyMeta,
+}
+
+func runPolicyMeta(pass *Pass) error {
+	for _, f := range pass.Files {
+		inspectStack(f, func(n ast.Node, stack []ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.SelectorExpr:
+				owner := docMetaOwner(pass.Info, n)
+				if owner == nil {
+					return true
+				}
+				if pass.Pkg == nil || pass.Pkg.Path() != owner.Path() {
+					pass.Reportf(n.Sel.Pos(),
+						"access to policy-private Doc.meta outside package %s", owner.Path())
+				}
+			case *ast.TypeAssertExpr:
+				if n.Type == nil {
+					return true // type switch: inherently guarded
+				}
+				sel, ok := ast.Unparen(n.X).(*ast.SelectorExpr)
+				if !ok {
+					return true
+				}
+				owner := docMetaOwner(pass.Info, sel)
+				if owner == nil || pass.Pkg == nil || pass.Pkg.Path() != owner.Path() {
+					return true // outside access is already reported above
+				}
+				if !commaOKContext(n, stack) {
+					pass.Reportf(n.Pos(),
+						"type assertion on Doc.meta must use the \", ok\" form; a bare assertion panics on foreign meta state")
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// docMetaOwner reports the package declaring the Doc type when sel is a
+// selection of a field named meta on a (pointer to) type Doc declared in a
+// package named policy; otherwise nil.
+func docMetaOwner(info *types.Info, sel *ast.SelectorExpr) *types.Package {
+	if sel.Sel.Name != "meta" {
+		return nil
+	}
+	t := info.TypeOf(sel.X)
+	if t == nil {
+		return nil
+	}
+	if ptr, ok := t.Underlying().(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Name() != "Doc" {
+		return nil
+	}
+	pkg := named.Obj().Pkg()
+	if pkg == nil || pkg.Name() != "policy" {
+		return nil
+	}
+	return pkg
+}
+
+// commaOKContext reports whether the type assertion's result is consumed
+// in a two-value (", ok") context.
+func commaOKContext(ta *ast.TypeAssertExpr, stack []ast.Node) bool {
+	if len(stack) == 0 {
+		return false
+	}
+	switch parent := stack[len(stack)-1].(type) {
+	case *ast.AssignStmt:
+		return len(parent.Rhs) == 1 && parent.Rhs[0] == ta && len(parent.Lhs) == 2
+	case *ast.ValueSpec:
+		return len(parent.Values) == 1 && parent.Values[0] == ta && len(parent.Names) == 2
+	}
+	return false
+}

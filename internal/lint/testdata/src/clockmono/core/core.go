@@ -1,0 +1,59 @@
+// Package core (fixture) exercises clockmono: it is named core, so it is
+// inside the deterministic-simulation scope.
+package core
+
+import (
+	"math/rand"
+	"time"
+)
+
+func stampBad() int64 {
+	return time.Now().UnixNano() // want `time.Now in deterministic`
+}
+
+func elapsedBad(start time.Time) time.Duration {
+	return time.Since(start) // want `time.Since in deterministic`
+}
+
+func jitterBad() int {
+	return rand.Intn(6) // want `global math/rand`
+}
+
+func sumBad(m map[string]float64) float64 {
+	total := 0.0
+	for _, v := range m { // want `map iteration order is nondeterministic`
+		total += v
+	}
+	return total
+}
+
+func pruneGood(lastSeen map[string]int64, horizon int64) {
+	for k, last := range lastSeen {
+		if last < horizon {
+			delete(lastSeen, k)
+		}
+	}
+}
+
+func clearGood(m map[string]int64) {
+	for k := range m {
+		delete(m, k)
+	}
+}
+
+func seededGood() int {
+	rng := rand.New(rand.NewSource(42))
+	return rng.Intn(6) // a locally seeded generator is deterministic
+}
+
+func sliceGood(xs []float64) float64 {
+	total := 0.0
+	for _, v := range xs {
+		total += v
+	}
+	return total
+}
+
+func parseGood(s string) (time.Time, error) {
+	return time.Parse(time.RFC3339, s) // parsing trace timestamps is fine
+}

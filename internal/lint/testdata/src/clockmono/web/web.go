@@ -1,0 +1,17 @@
+// Package web (fixture) is outside clockmono's deterministic scope: live
+// serving code legitimately reads the wall clock.
+package web
+
+import "time"
+
+func stampOK() int64 {
+	return time.Now().UnixNano() // out of scope: no diagnostic
+}
+
+func countOK(m map[string]int) int {
+	n := 0
+	for range m { // out of scope: no diagnostic
+		n++
+	}
+	return n
+}

@@ -1,0 +1,93 @@
+// Package a exercises the evictloop analyzer: eviction loops must observe
+// Evict's success flag to terminate.
+package a
+
+// Doc is a fixture document.
+type Doc struct {
+	Key  string
+	Size int
+}
+
+// Cache is a fixture policy with the contract Evict signature.
+type Cache struct{ docs []*Doc }
+
+// Evict removes and returns a victim; it reports false when empty.
+func (c *Cache) Evict() (*Doc, bool) {
+	if len(c.docs) == 0 {
+		return nil, false
+	}
+	v := c.docs[len(c.docs)-1]
+	c.docs = c.docs[:len(c.docs)-1]
+	return v, true
+}
+
+// Len returns the number of tracked documents.
+func (c *Cache) Len() int { return len(c.docs) }
+
+func drainDiscard(c *Cache) {
+	for c.Len() > 0 {
+		c.Evict() // want `result of Evict is discarded`
+	}
+}
+
+func discardOutsideLoop(c *Cache) {
+	c.Evict() // want `result of Evict is discarded`
+}
+
+func spinBlank(c *Cache, used, capacity int) {
+	for used > capacity {
+		v, _ := c.Evict() // want `success result is discarded inside a for loop`
+		used -= v.Size
+	}
+}
+
+func spinUnchecked(c *Cache) {
+	for i := 0; i < 10; i++ {
+		v, ok := c.Evict() // want `never checked in a condition`
+		_ = ok
+		_ = v
+	}
+}
+
+func drainGood(c *Cache) {
+	for {
+		v, ok := c.Evict()
+		if !ok {
+			break
+		}
+		_ = v
+	}
+}
+
+func fitGood(c *Cache, used, capacity int) {
+	for used > capacity {
+		if v, ok := c.Evict(); ok {
+			used -= v.Size
+		} else {
+			return
+		}
+	}
+}
+
+func singleGood(c *Cache) *Doc {
+	v, _ := c.Evict() // outside a loop a blank flag is deliberate
+	return v
+}
+
+func forwardGood(c *Cache) (*Doc, bool) {
+	return c.Evict()
+}
+
+func forwardFlagGood(c *Cache) bool {
+	for {
+		_, ok := c.Evict()
+		return ok // propagating the flag exits the loop
+	}
+}
+
+func rangeGood(c *Cache, keys []string) {
+	for range keys {
+		v, _ := c.Evict() // range loops are bounded; allowed
+		_ = v
+	}
+}

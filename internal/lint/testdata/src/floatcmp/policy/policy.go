@@ -1,0 +1,44 @@
+// Package policy (fixture) exercises floatcmp: it is named policy, so it
+// is inside the analyzer's heap-code scope.
+package policy
+
+import "math"
+
+func eqBad(a, b float64) bool {
+	return a == b // want `not NaN-safe`
+}
+
+func neqBad(priority, other float64) bool {
+	return priority != other // want `not NaN-safe`
+}
+
+func orderedBad(priority, minPriority float64) bool {
+	return priority > minPriority // want `without a NaN guard`
+}
+
+func orderedCostBad(cost float64, budget float64) bool {
+	return cost < budget // want `without a NaN guard`
+}
+
+func guardedGood(priority, other float64) bool {
+	if math.IsNaN(priority) || math.IsNaN(other) {
+		return false
+	}
+	return priority > other
+}
+
+func selfTestGood(x float64) bool {
+	return x != x // the NaN idiom itself
+}
+
+func constGood(x float64) bool {
+	return x == 0 // sentinel comparison against a constant
+}
+
+func plainNamesGood(a, b float64) bool {
+	return a > b // ordered, but not priority/cost-named
+}
+
+func intGood(a, b int) bool {
+	return a == b // not floats
+}

@@ -1,0 +1,11 @@
+// Package report (fixture) is outside floatcmp's heap-code scope: plot
+// and table code may compare floats however it likes.
+package report
+
+func axisEqual(a, b float64) bool {
+	return a == b // out of scope: no diagnostic
+}
+
+func sortByCost(cost, other float64) bool {
+	return cost < other // out of scope: no diagnostic
+}

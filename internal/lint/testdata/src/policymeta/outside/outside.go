@@ -1,0 +1,22 @@
+// Package outside models simulator code reaching into policy-private
+// state. (It does not compile — meta is unexported — which is exactly why
+// the analyzer must catch the access pattern from partial type
+// information.)
+package outside
+
+import "policymeta/policy"
+
+// Peek reads another package's private bookkeeping.
+func Peek(d *policy.Doc) any {
+	return d.meta // want `outside package`
+}
+
+// Clobber writes it, which is worse.
+func Clobber(d *policy.Doc) {
+	d.meta = nil // want `outside package`
+}
+
+// SizeOK reads a public field, which is fine.
+func SizeOK(d *policy.Doc) int64 {
+	return d.Size
+}

@@ -1,0 +1,48 @@
+// Package policy mirrors the shape of the real replacement-policy
+// package: Doc carries policy-private bookkeeping in meta.
+package policy
+
+type listElem struct{ key string }
+
+// Doc is the fixture twin of policy.Doc.
+type Doc struct {
+	Key  string
+	Size int64
+
+	meta any
+}
+
+func insertGood(d *Doc, e *listElem) {
+	d.meta = e // writes inside the policy package are the point of meta
+}
+
+func hitGood(d *Doc) *listElem {
+	if e, ok := d.meta.(*listElem); ok { // ", ok" form: fine
+		return e
+	}
+	return nil
+}
+
+func declGood(d *Doc) bool {
+	var e, ok = d.meta.(*listElem) // two-value var decl: fine
+	_ = e
+	return ok
+}
+
+func switchGood(d *Doc) int {
+	switch d.meta.(type) { // type switch is inherently guarded
+	case *listElem:
+		return 1
+	default:
+		return 0
+	}
+}
+
+func hitBad(d *Doc) *listElem {
+	return d.meta.(*listElem) // want `", ok" form`
+}
+
+func hitBadPtr(d *Doc) string {
+	e := d.meta.(*listElem) // want `", ok" form`
+	return e.key
+}

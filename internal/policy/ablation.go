@@ -35,7 +35,7 @@ func (p *GDSRenorm) value(doc *Doc) float64 {
 	if size < 1 {
 		size = 1
 	}
-	return p.cost.Cost(doc.Size) / float64(size)
+	return finiteH(p.cost.Cost(doc.Size)/float64(size), 0)
 }
 
 // Insert implements Policy.

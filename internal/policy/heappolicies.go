@@ -13,6 +13,26 @@ type heapMeta struct {
 	refs int64
 }
 
+// finiteH guards a computed H value against IEEE edge cases before it
+// enters the eviction heap. Degenerate inputs can poison the arithmetic:
+// a zero retrieval cost with math.Pow exponents can yield NaN
+// (Pow(0, -x) = +Inf, 0·Inf = NaN), and an extreme cost/size ratio can
+// overflow. NaN is mapped to floor — the document becomes the cheapest
+// victim, matching the intuition that a document with no measurable value
+// should leave first — and ±Inf is clamped to the largest finite float so
+// the inflation offset L stays finite forever.
+func finiteH(h, floor float64) float64 {
+	switch {
+	case math.IsNaN(h):
+		return floor
+	case math.IsInf(h, 1):
+		return math.MaxFloat64
+	case math.IsInf(h, -1):
+		return -math.MaxFloat64
+	}
+	return h
+}
+
 // LFUDA is Least Frequently Used with Dynamic Aging: a frequency-based
 // policy under fixed cost and size assumptions. Each document carries its
 // reference count; the document with the smallest count is evicted. The
@@ -109,7 +129,7 @@ func (p *GDS) value(doc *Doc) float64 {
 	if size < 1 {
 		size = 1
 	}
-	return p.age + p.cost.Cost(doc.Size)/float64(size)
+	return finiteH(p.age+p.cost.Cost(doc.Size)/float64(size), p.age)
 }
 
 // Insert implements Policy.
@@ -176,14 +196,16 @@ type GDStar struct {
 var _ Policy = (*GDStar)(nil)
 
 // NewGDStar returns an empty GD* policy under the given cost model
-// (ConstantCost when nil). A positive beta fixes the exponent; beta == 0
-// enables the online estimator.
+// (ConstantCost when nil). A positive finite beta fixes the exponent; any
+// other value (zero, negative, NaN, Inf) enables the online estimator,
+// since 1/β would otherwise flip or destroy the eviction order.
 func NewGDStar(cost CostModel, beta float64) *GDStar {
 	if cost == nil {
 		cost = ConstantCost{}
 	}
 	p := &GDStar{cost: cost, fixedBeta: beta}
-	if beta == 0 {
+	if !(beta > 0) || math.IsInf(beta, 1) {
+		p.fixedBeta = 0
 		p.estimator = NewBetaEstimator()
 	}
 	return p
@@ -206,7 +228,7 @@ func (p *GDStar) value(doc *Doc, refs int64) float64 {
 		size = 1
 	}
 	base := float64(refs) * p.cost.Cost(doc.Size) / float64(size)
-	return p.age + math.Pow(base, 1/p.Beta())
+	return finiteH(p.age+math.Pow(base, 1/p.Beta()), p.age)
 }
 
 // Insert implements Policy.

@@ -127,6 +127,9 @@ func ParseSpec(s string) (Spec, error) {
 			if _, err := fmt.Sscanf(p, "beta=%g", &beta); err != nil {
 				return Spec{}, fmt.Errorf("policy: bad beta in %q: %w", s, err)
 			}
+			if beta < 0 {
+				return Spec{}, fmt.Errorf("policy: beta must be non-negative in %q (0 selects the online estimator)", s)
+			}
 			spec.Beta = beta
 		default:
 			return Spec{}, fmt.Errorf("policy: unknown option %q in %q", p, s)

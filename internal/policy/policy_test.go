@@ -14,15 +14,23 @@ func doc(key string, size int64) *Doc {
 }
 
 // allPolicies returns one fresh instance of every scheme for contract
-// tests.
+// tests. Each instance is wrapped in Checked so every test in this file
+// doubles as a run under the runtime contract checker: any Len drift,
+// double insert, or bogus Evict result panics with a ContractError.
 func allPolicies() []Policy {
-	return []Policy{
+	bare := []Policy{
 		NewLRU(), NewFIFO(), NewLFUDA(), NewLFU(), NewSize(),
 		NewGDS(ConstantCost{}), NewGDS(PacketCost{}),
 		NewGDStar(ConstantCost{}, 0.8), NewGDStar(PacketCost{}, 0),
 		NewGDSF(ConstantCost{}), NewGDSRenorm(ConstantCost{}),
 		NewSLRU(16),
+		NewTypeAware(MustFactory(Spec{Scheme: "lru"})),
 	}
+	out := make([]Policy, len(bare))
+	for i, p := range bare {
+		out[i] = Checked(p)
+	}
+	return out
 }
 
 // TestPolicyContract drives every policy through the generic lifecycle.
