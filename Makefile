@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build vet wcvet test race fuzz-smoke check
+.PHONY: build vet wcvet test race fuzz-smoke journal-smoke check
 
 build:
 	$(GO) build ./...
@@ -11,8 +11,8 @@ build:
 vet:
 	$(GO) vet ./...
 
-# Project-specific analyzers (policymeta, evictloop, floatcmp, clockmono)
-# plus selected stock vet passes. See docs/ANALYZERS.md.
+# Project-specific analyzers (policymeta, evictloop, floatcmp, clockmono,
+# pkgdoc) plus selected stock vet passes. See docs/ANALYZERS.md.
 wcvet:
 	$(GO) run ./cmd/wcvet ./...
 
@@ -27,5 +27,17 @@ fuzz-smoke:
 	for target in FuzzParseSquidLine FuzzParseCLFLine FuzzBinaryReader; do \
 		$(GO) test -run="^$$target$$" -fuzz="^$$target$$" -fuzztime=20s ./internal/trace || exit 1; \
 	done
+
+# End-to-end observability smoke: generate a tiny trace, sweep it with a
+# run journal, and summarize the journal (wcreport -journal validates it
+# via core.ReadJournal and exits non-zero on a malformed file). CI runs
+# the same sequence. See docs/METRICS.md.
+journal-smoke:
+	tmp=$$(mktemp -d) && \
+	$(GO) run ./cmd/wcgen -profile dfn -requests 20000 -seed 7 -o $$tmp/tiny.wct.gz && \
+	$(GO) run ./cmd/wcsim -trace $$tmp/tiny.wct.gz -policies lru,gdstar:p \
+		-size-pcts 1,4 -journal $$tmp/run.jsonl && \
+	$(GO) run ./cmd/wcreport -journal $$tmp/run.jsonl && \
+	rm -rf $$tmp
 
 check: build vet wcvet test race

@@ -3,21 +3,31 @@
 // optionally writing a Squid-format access log that feeds back into
 // wcstat/wcsim.
 //
+// With -admin it also serves an operational endpoint exposing Prometheus
+// metrics (/metrics), a JSON statistics snapshot (/stats), Go profiling
+// (/debug/pprof/) and expvar (/debug/vars) on a separate listener — see
+// docs/METRICS.md. On SIGINT/SIGTERM the proxy drains in-flight requests,
+// prints a final statistics line and closes the access log cleanly.
+//
 // Usage:
 //
 //	wcproxy -listen :3128 [-origin http://upstream] [-capacity 256MB]
 //	        [-policy gdstar:p] [-log access.log] [-stats-every 30s]
+//	        [-admin :9090]
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"net/http"
 	"net/url"
 	"os"
 	"os/signal"
+	"syscall"
 	"time"
 
+	"webcachesim/internal/metrics"
 	"webcachesim/internal/policy"
 	"webcachesim/internal/proxy"
 	"webcachesim/internal/units"
@@ -40,6 +50,7 @@ func run(args []string) error {
 		policySpec = fs.String("policy", "lru", "replacement policy spec (scheme[:cost])")
 		logPath    = fs.String("log", "", "Squid-format access log path")
 		statsEvery = fs.Duration("stats-every", 30*time.Second, "statistics print interval (0 disables)")
+		admin      = fs.String("admin", "", "admin listen address for /metrics, /stats and /debug/pprof (disabled when empty)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -58,7 +69,8 @@ func run(args []string) error {
 		return err
 	}
 
-	cfg := proxy.Config{Capacity: capBytes, Policy: factory}
+	reg := metrics.NewRegistry()
+	cfg := proxy.Config{Capacity: capBytes, Policy: factory, Metrics: reg}
 	if *origin != "" {
 		u, err := url.Parse(*origin)
 		if err != nil {
@@ -73,27 +85,51 @@ func run(args []string) error {
 		}
 		cfg.Parent = u
 	}
+	var logFile *os.File
 	if *logPath != "" {
-		f, err := os.Create(*logPath)
+		logFile, err = os.Create(*logPath)
 		if err != nil {
 			return err
 		}
-		defer func() {
-			_ = f.Close()
-		}()
-		cfg.AccessLog = f
+		cfg.AccessLog = logFile
 	}
 	srv, err := proxy.New(cfg)
 	if err != nil {
+		if logFile != nil {
+			_ = logFile.Close()
+		}
 		return err
 	}
 
 	httpServer := &http.Server{Addr: *listen, Handler: srv, ReadHeaderTimeout: 10 * time.Second}
-	errCh := make(chan error, 1)
+	errCh := make(chan error, 2)
 	go func() {
 		errCh <- httpServer.ListenAndServe()
 	}()
 	fmt.Printf("wcproxy: %s policy, %s cache, listening on %s\n", factory.Name, *capacity, *listen)
+
+	var adminServer *http.Server
+	if *admin != "" {
+		reg.PublishExpvar("wcproxy")
+		adminServer = &http.Server{
+			Addr:              *admin,
+			Handler:           proxy.AdminHandler(srv, reg),
+			ReadHeaderTimeout: 10 * time.Second,
+		}
+		go func() {
+			if err := adminServer.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+				errCh <- fmt.Errorf("admin: %w", err)
+			}
+		}()
+		fmt.Printf("wcproxy: admin endpoint on %s (/metrics, /stats, /debug/pprof/)\n", *admin)
+	}
+
+	printStats := func(prefix string) {
+		st := srv.Stats()
+		fmt.Printf("%srequests=%d hits=%d hr=%.3f bhr=%.3f used=%dMB objects=%d evictions=%d\n",
+			prefix, st.Requests, st.Hits, st.HitRate(), st.ByteHitRate(),
+			srv.Used()>>20, srv.Len(), st.Evictions)
+	}
 
 	var ticker *time.Ticker
 	var tick <-chan time.Time
@@ -103,20 +139,42 @@ func run(args []string) error {
 		tick = ticker.C
 	}
 	sig := make(chan os.Signal, 1)
-	signal.Notify(sig, os.Interrupt)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	for {
 		select {
 		case err := <-errCh:
+			if logFile != nil {
+				_ = logFile.Close()
+			}
 			return err
 		case <-tick:
-			st := srv.Stats()
-			fmt.Printf("requests=%d hits=%d hr=%.3f bhr=%.3f used=%dMB objects=%d evictions=%d\n",
-				st.Requests, st.Hits, st.HitRate(), st.ByteHitRate(),
-				srv.Used()>>20, srv.Len(), st.Evictions)
+			printStats("")
 		case <-sig:
-			st := srv.Stats()
-			fmt.Printf("final: requests=%d hr=%.3f bhr=%.3f\n", st.Requests, st.HitRate(), st.ByteHitRate())
-			return httpServer.Close()
+			// Flush a final stats line, drain in-flight requests, and
+			// close the access log so the last entries reach disk — the
+			// log is a trace for the rest of the pipeline, and a
+			// truncated tail corrupts it.
+			printStats("final: ")
+			return shutdown(httpServer, adminServer, logFile)
 		}
 	}
+}
+
+// shutdown drains both listeners and closes the access log, returning the
+// first failure.
+func shutdown(httpServer, adminServer *http.Server, logFile *os.File) error {
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	err := httpServer.Shutdown(ctx)
+	if adminServer != nil {
+		if aerr := adminServer.Shutdown(ctx); err == nil {
+			err = aerr
+		}
+	}
+	if logFile != nil {
+		if cerr := logFile.Close(); err == nil {
+			err = cerr
+		}
+	}
+	return err
 }

@@ -6,6 +6,9 @@ import (
 	"net"
 	"net/http"
 	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
 	"testing"
 	"time"
 )
@@ -92,5 +95,100 @@ func TestRunFlagErrors(t *testing.T) {
 				t.Error("expected error")
 			}
 		})
+	}
+}
+
+// TestRunAdminEndpointAndShutdown exercises the -admin listener and the
+// signal-driven shutdown: metrics and pprof must be served, and run must
+// return cleanly (flushing the access log) on SIGINT.
+func TestRunAdminEndpointAndShutdown(t *testing.T) {
+	origin := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprint(w, "payload")
+	}))
+	defer origin.Close()
+
+	addr := freePort(t)
+	adminAddr := freePort(t)
+	logPath := filepath.Join(t.TempDir(), "access.log")
+	errCh := make(chan error, 1)
+	go func() {
+		errCh <- run([]string{
+			"-listen", addr,
+			"-origin", origin.URL,
+			"-capacity", "1MB",
+			"-log", logPath,
+			"-stats-every", "0",
+			"-admin", adminAddr,
+		})
+	}()
+
+	get := func(url string) (int, string) {
+		t.Helper()
+		var resp *http.Response
+		var err error
+		deadline := time.Now().Add(5 * time.Second)
+		for {
+			resp, err = http.Get(url)
+			if err == nil || time.Now().After(deadline) {
+				break
+			}
+			select {
+			case serveErr := <-errCh:
+				t.Fatalf("server exited early: %v", serveErr)
+			case <-time.After(20 * time.Millisecond):
+			}
+		}
+		if err != nil {
+			t.Fatalf("GET %s: %v", url, err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		_ = resp.Body.Close()
+		return resp.StatusCode, string(body)
+	}
+
+	get("http://" + addr + "/doc.html") // one request so counters move
+
+	if code, body := get("http://" + adminAddr + "/metrics"); code != http.StatusOK ||
+		!strings.Contains(body, "wcproxy_requests_total 1") {
+		t.Errorf("/metrics: code=%d body=%.200s", code, body)
+	}
+	if code, body := get("http://" + adminAddr + "/stats"); code != http.StatusOK ||
+		!strings.Contains(body, `"requests": 1`) {
+		t.Errorf("/stats: code=%d body=%.200s", code, body)
+	}
+	if code, _ := get("http://" + adminAddr + "/debug/pprof/"); code != http.StatusOK {
+		t.Errorf("/debug/pprof/: code=%d", code)
+	}
+
+	// SIGINT must shut the proxy down cleanly, with the access log
+	// flushed to disk. Resend while run tears down in case the first
+	// signal raced with handler registration.
+	proc, err := os.FindProcess(os.Getpid())
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		if err := proc.Signal(os.Interrupt); err != nil {
+			t.Fatal(err)
+		}
+		select {
+		case runErr := <-errCh:
+			if runErr != nil {
+				t.Fatalf("run returned %v after SIGINT", runErr)
+			}
+			logged, err := os.ReadFile(logPath)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !strings.Contains(string(logged), "/doc.html") {
+				t.Errorf("access log missing request:\n%s", logged)
+			}
+			return
+		case <-time.After(200 * time.Millisecond):
+			if time.Now().After(deadline) {
+				t.Fatal("run did not return after SIGINT")
+			}
+		}
 	}
 }

@@ -1,0 +1,77 @@
+package main
+
+import (
+	"fmt"
+	"io"
+	"os"
+
+	"webcachesim/internal/core"
+	"webcachesim/internal/report"
+)
+
+// summarizeJournal renders a wcsim run journal as a human-readable
+// throughput table: one row per policy × capacity cell, plus the sweep
+// totals. ReadJournal validates the schema, so this doubles as the CI
+// smoke check that keeps docs/METRICS.md honest.
+func summarizeJournal(path string, out io.Writer, markdown bool) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		_ = f.Close()
+	}()
+	recs, err := core.ReadJournal(f)
+	if err != nil {
+		return err
+	}
+
+	var start, end *core.JournalRecord
+	var runs []core.JournalRecord
+	progress := 0
+	for i := range recs {
+		switch recs[i].Event {
+		case core.JournalSweepStart:
+			if start == nil {
+				start = &recs[i]
+			}
+		case core.JournalSweepEnd:
+			end = &recs[i]
+		case core.JournalRunEnd:
+			runs = append(runs, recs[i])
+		case core.JournalProgress:
+			progress++
+		}
+	}
+	if start != nil {
+		fmt.Fprintf(out, "journal: %s — %d policies × %d capacities over %d requests (%d documents), parallelism %d\n\n",
+			path, len(start.Policies), len(start.Capacities),
+			start.Requests, start.Documents, start.Parallelism)
+	}
+
+	t := report.NewTable("Run journal summary", "Policy", "Cache (MB)",
+		"Wall (s)", "kreq/s", "Evictions", "HR", "BHR")
+	for _, r := range runs {
+		t.AddRowf(r.Policy, fmt.Sprintf("%.0f", float64(r.Capacity)/(1<<20)),
+			fmt.Sprintf("%.2f", r.ElapsedMs/1000),
+			fmt.Sprintf("%.0f", r.RequestsPerSec/1000),
+			r.Evictions, r.HitRate, r.ByteHitRate)
+	}
+	if markdown {
+		fmt.Fprintln(out, t.Markdown())
+	} else {
+		fmt.Fprint(out, t.Text())
+	}
+
+	if len(runs) == 0 {
+		fmt.Fprintln(out, "journal has no completed runs (interrupted sweep?)")
+	}
+	if progress > 0 {
+		fmt.Fprintf(out, "\n%d progress ticks recorded (plot elapsedMs vs requests for per-run trajectories)\n", progress)
+	}
+	if end != nil {
+		fmt.Fprintf(out, "sweep total: %d cells, %.2fs wall, %.0f kreq/s aggregate\n",
+			end.Cells, end.ElapsedMs/1000, end.RequestsPerSec/1000)
+	}
+	return nil
+}

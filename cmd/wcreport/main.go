@@ -7,9 +7,15 @@
 //	wcreport [-exp all|table1..table5|figure1..figure3|rtp]
 //	         [-scale 1.0] [-seed 1] [-sizes 0.5,1,2,4]
 //	         [-plots] [-checks-only] [-json]
+//	wcreport -journal run.jsonl
 //
 // Exit status 1 is reported when any shape check fails, so the command
 // doubles as a reproduction gate in CI.
+//
+// With -journal the command instead summarizes a run journal written by
+// wcsim -journal (or core.SweepConfig.Journal) into a per-cell throughput
+// table, validating the JSONL schema along the way — a malformed journal
+// is a non-zero exit.
 package main
 
 import (
@@ -47,9 +53,13 @@ func run(args []string, out io.Writer) error {
 		svgDir     = fs.String("svg-dir", "", "write every figure as an SVG file into this directory")
 		extras     = fs.Bool("extras", false, "with -exp all, also run the beyond-the-paper experiments (filtering, baselines)")
 		par        = fs.Int("parallelism", 0, "max concurrent simulations (0 = GOMAXPROCS)")
+		journal    = fs.String("journal", "", "summarize a wcsim run journal (JSONL) instead of running experiments")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *journal != "" {
+		return summarizeJournal(*journal, out, *markdown)
 	}
 
 	opts := experiment.Options{Scale: *scale, Seed: *seed, Parallelism: *par}

@@ -2,10 +2,17 @@ package main
 
 import (
 	"encoding/json"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 
+	"webcachesim/internal/core"
 	"webcachesim/internal/experiment"
+	"webcachesim/internal/policy"
+	"webcachesim/internal/trace"
 )
 
 // fastArgs keeps CLI tests quick: tiny workload, few sizes.
@@ -59,5 +66,83 @@ func TestRunBadFlags(t *testing.T) {
 	}
 	if err := run([]string{"-sizes", "a,b"}, &sb); err == nil {
 		t.Error("bad sizes accepted")
+	}
+}
+
+// writeJournal produces a genuine run journal by sweeping a small
+// synthetic workload, so the summary test exercises the real schema.
+func writeJournal(t *testing.T) string {
+	t.Helper()
+	rng := rand.New(rand.NewSource(3))
+	reqs := make([]*trace.Request, 0, 2000)
+	for i := 0; i < 2000; i++ {
+		id := rng.Intn(300)
+		size := int64(500 + rng.Intn(5000))
+		reqs = append(reqs, &trace.Request{
+			URL:          fmt.Sprintf("http://j.test/d%d.gif", id),
+			Status:       200,
+			TransferSize: size,
+			DocSize:      size,
+		})
+	}
+	w, err := core.BuildWorkload(trace.NewSliceReader(reqs), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "run.jsonl")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = core.Sweep(w, core.SweepConfig{
+		Policies:   policy.StudyFactories()[:2],
+		Capacities: []int64{100_000, 400_000},
+		Journal:    f,
+	})
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestRunJournalSummary(t *testing.T) {
+	path := writeJournal(t)
+	var sb strings.Builder
+	if err := run([]string{"-journal", path}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"Run journal summary", "kreq/s", "LRU", "sweep total: 4 cells"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunJournalSummaryMarkdown(t *testing.T) {
+	path := writeJournal(t)
+	var sb strings.Builder
+	if err := run([]string{"-journal", path, "-md"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "|") {
+		t.Errorf("markdown output has no table:\n%s", sb.String())
+	}
+}
+
+func TestRunJournalRejectsMalformed(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bad.jsonl")
+	if err := os.WriteFile(path, []byte("not json\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := run([]string{"-journal", path}, &sb); err == nil {
+		t.Fatal("malformed journal did not error")
+	}
+	if err := run([]string{"-journal", filepath.Join(t.TempDir(), "missing.jsonl")}, &sb); err == nil {
+		t.Fatal("missing journal did not error")
 	}
 }

@@ -6,7 +6,7 @@
 //
 //	wcsim -trace t.wct.gz [-policies lru,lfuda,gds:1,gdstar:p]
 //	      [-sizes 64MB,256MB,1GB | -size-pcts 0.5,1,2,4] [-warmup 0.1]
-//	      [-by-class] [-csv] [-occupancy N] [-check]
+//	      [-by-class] [-csv] [-occupancy N] [-check] [-journal run.jsonl]
 package main
 
 import (
@@ -47,6 +47,7 @@ func run(args []string, out io.Writer) error {
 		raw      = fs.Bool("raw", false, "skip the cacheability preprocessing filter")
 		par      = fs.Int("parallelism", 0, "max concurrent simulations (0 = GOMAXPROCS)")
 		check    = fs.Bool("check", false, "run policies under the runtime contract checker (slower; aborts on the first violation)")
+		journal  = fs.String("journal", "", "write a JSONL run journal (progress, throughput, wall-clock per cell) to this path; summarize with wcreport -journal")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -68,13 +69,27 @@ func run(args []string, out io.Writer) error {
 		return err
 	}
 
-	results, err := core.Sweep(w, core.SweepConfig{
+	sweepCfg := core.SweepConfig{
 		Policies:       factories,
 		Capacities:     capacities,
 		WarmupFraction: *warmup,
 		Parallelism:    *par,
 		SelfCheck:      *check,
-	})
+	}
+	var journalFile *os.File
+	if *journal != "" {
+		journalFile, err = os.Create(*journal)
+		if err != nil {
+			return fmt.Errorf("create journal: %w", err)
+		}
+		sweepCfg.Journal = journalFile
+	}
+	results, err := core.Sweep(w, sweepCfg)
+	if journalFile != nil {
+		if cerr := journalFile.Close(); err == nil && cerr != nil {
+			err = fmt.Errorf("close journal: %w", cerr)
+		}
+	}
 	if err != nil {
 		return err
 	}

@@ -1,10 +1,12 @@
 package main
 
 import (
+	"os"
 	"path/filepath"
 	"strings"
 	"testing"
 
+	"webcachesim/internal/core"
 	"webcachesim/internal/synth"
 	"webcachesim/internal/trace"
 )
@@ -113,5 +115,48 @@ func TestParsePolicies(t *testing.T) {
 	}
 	if _, err := parsePolicies("bogus"); err == nil {
 		t.Error("bad policy accepted")
+	}
+}
+
+func TestRunJournal(t *testing.T) {
+	path := writeTestTrace(t)
+	journalPath := filepath.Join(t.TempDir(), "run.jsonl")
+	var sb strings.Builder
+	err := run([]string{"-trace", path, "-policies", "lru,gdstar:p",
+		"-size-pcts", "1,4", "-journal", journalPath}, &sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(journalPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = f.Close() }()
+	recs, err := core.ReadJournal(f)
+	if err != nil {
+		t.Fatalf("journal does not parse: %v", err)
+	}
+	if recs[0].Event != core.JournalSweepStart ||
+		recs[len(recs)-1].Event != core.JournalSweepEnd {
+		t.Errorf("journal not bracketed by sweep_start/sweep_end")
+	}
+	ends := 0
+	for _, r := range recs {
+		if r.Event == core.JournalRunEnd {
+			ends++
+		}
+	}
+	if ends != 4 { // 2 policies × 2 capacities
+		t.Errorf("run_end records = %d, want 4", ends)
+	}
+}
+
+func TestRunJournalBadPath(t *testing.T) {
+	path := writeTestTrace(t)
+	var sb strings.Builder
+	err := run([]string{"-trace", path, "-size-pcts", "1",
+		"-journal", filepath.Join(t.TempDir(), "missing", "run.jsonl")}, &sb)
+	if err == nil {
+		t.Fatal("uncreatable journal path did not error")
 	}
 }

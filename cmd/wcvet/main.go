@@ -1,6 +1,6 @@
 // Command wcvet is the project's static-analysis multichecker: it runs
 // the webcachesim-specific analyzers (policymeta, evictloop, floatcmp,
-// clockmono — see internal/lint and docs/ANALYZERS.md) plus a selection of
+// clockmono, pkgdoc — see internal/lint and docs/ANALYZERS.md) plus a selection of
 // stock go vet passes over the given packages.
 //
 // Usage:

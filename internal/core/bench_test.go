@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"io"
 	"math/rand"
 	"testing"
 
@@ -81,6 +82,24 @@ func BenchmarkSweepParallel(b *testing.B) {
 	cfg := SweepConfig{
 		Policies:   policy.StudyFactories(),
 		Capacities: []int64{1 << 20, 4 << 20, 16 << 20},
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Sweep(w, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSweepJournaled measures the same grid with the run journal
+// enabled (discarded), bounding the instrumentation overhead against
+// BenchmarkSweepParallel.
+func BenchmarkSweepJournaled(b *testing.B) {
+	w := benchWorkload(b, 20_000)
+	cfg := SweepConfig{
+		Policies:   policy.StudyFactories(),
+		Capacities: []int64{1 << 20, 4 << 20, 16 << 20},
+		Journal:    io.Discard,
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {

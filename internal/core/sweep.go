@@ -2,9 +2,11 @@ package core
 
 import (
 	"fmt"
+	"io"
 	"runtime"
 	"sort"
 	"sync"
+	"time"
 
 	"webcachesim/internal/policy"
 )
@@ -29,6 +31,20 @@ type SweepConfig struct {
 	Parallelism int
 	// SelfCheck is passed through to each run (see Config).
 	SelfCheck bool
+	// Journal, when set, receives the sweep's run journal: one JSON
+	// object per line recording grid shape, per-run progress ticks,
+	// throughput and wall-clock cost (see JournalRecord and
+	// docs/METRICS.md). Nil disables journaling with zero overhead on the
+	// replay loop. Sweep serializes concurrent writes; the writer itself
+	// need not be safe for concurrent use.
+	Journal io.Writer
+	// JournalEvery is the number of events between progress records
+	// within one run; 0 selects a tenth of the workload.
+	JournalEvery int64
+	// Now supplies journal timestamps (time.Now when nil); injectable so
+	// tests produce deterministic journals. Simulation results never
+	// depend on it.
+	Now func() time.Time
 }
 
 // Sweep simulates every (policy, capacity) cell of the grid over the same
@@ -78,6 +94,32 @@ func Sweep(w *Workload, cfg SweepConfig) ([]*Result, error) {
 		parallelism = len(cells)
 	}
 
+	// Journaling is opt-in: without a writer every run takes the plain
+	// Run path, so the replay loop carries no instrumentation cost.
+	var jw *journalWriter
+	now := cfg.Now
+	if now == nil {
+		now = time.Now
+	}
+	tickEvery := journalTickEvery(cfg, int64(len(w.Events)))
+	if cfg.Journal != nil {
+		jw = newJournalWriter(cfg.Journal, now)
+		names := make([]string, len(cfg.Policies))
+		for i, f := range cfg.Policies {
+			names[i] = f.Name
+		}
+		jw.emit(JournalRecord{
+			Event:       JournalSweepStart,
+			Policies:    names,
+			Capacities:  cfg.Capacities,
+			Parallelism: parallelism,
+			Cells:       len(cells),
+			Requests:    int64(len(w.Events)),
+			Documents:   int64(w.NumDocs()),
+		})
+	}
+	sweepStart := now()
+
 	results := make([]*Result, len(cells))
 	var wg sync.WaitGroup
 	work := make(chan int)
@@ -86,7 +128,11 @@ func Sweep(w *Workload, cfg SweepConfig) ([]*Result, error) {
 		go func() {
 			defer wg.Done()
 			for i := range work {
-				results[i] = sims[i].Run(w)
+				if jw != nil {
+					results[i] = runJournaled(sims[i], w, jw, tickEvery, now)
+				} else {
+					results[i] = sims[i].Run(w)
+				}
 			}
 		}()
 	}
@@ -95,6 +141,21 @@ func Sweep(w *Workload, cfg SweepConfig) ([]*Result, error) {
 	}
 	close(work)
 	wg.Wait()
+
+	if jw != nil {
+		replayed := int64(len(cells)) * int64(len(w.Events))
+		elapsedMs, rps := throughput(replayed, now().Sub(sweepStart))
+		jw.emit(JournalRecord{
+			Event:          JournalSweepEnd,
+			Cells:          len(cells),
+			Requests:       replayed,
+			ElapsedMs:      elapsedMs,
+			RequestsPerSec: rps,
+		})
+		if jw.err != nil {
+			return nil, fmt.Errorf("core: sweep journal: %w", jw.err)
+		}
+	}
 
 	// Results are already in (policy, capacity-index) order; normalize
 	// capacity order in case the caller passed an unsorted grid.

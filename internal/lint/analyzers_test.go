@@ -26,6 +26,12 @@ func TestClockMono(t *testing.T) {
 		"clockmono/core", "clockmono/web")
 }
 
+func TestPkgDoc(t *testing.T) {
+	linttest.Run(t, "testdata/src", lint.PkgDoc,
+		"pkgdoc/internal/good", "pkgdoc/internal/bad",
+		"pkgdoc/internal/wrongprefix", "pkgdoc/outside")
+}
+
 // TestRealPackagesClean loads representative production packages the
 // analyzers are scoped to and requires a clean bill: the repo must keep
 // wcvet green.

@@ -19,6 +19,9 @@
 //   - clockmono: simulation hot paths must be deterministic — no wall
 //     clock, no globally seeded randomness, no order-dependent map
 //     iteration.
+//   - pkgdoc: every internal/ package must carry a package comment
+//     starting "Package <name>", keeping docs/ARCHITECTURE.md's
+//     package-by-package map backed by godoc at the source.
 //
 // The cmd/wcvet command runs all of them (plus selected stock go vet
 // passes) over the repository.
@@ -89,7 +92,7 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 
 // All returns the project analyzers in stable order.
 func All() []*Analyzer {
-	return []*Analyzer{PolicyMeta, EvictLoop, FloatCmp, ClockMono}
+	return []*Analyzer{PolicyMeta, EvictLoop, FloatCmp, ClockMono, PkgDoc}
 }
 
 // Run applies each analyzer to each package and returns the findings

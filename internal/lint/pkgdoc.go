@@ -1,0 +1,77 @@
+package lint
+
+import (
+	"go/ast"
+	"sort"
+	"strings"
+)
+
+// PkgDoc turns the repository's documentation standard into an enforced
+// check: every package under an internal/ directory must carry a package
+// comment, and that comment must start with the canonical "Package <name>"
+// clause so godoc renders a summary sentence.
+//
+// The check is scoped to internal/ packages (where the project's
+// subsystems live); commands document themselves with a "Command <name>"
+// comment that go vet-style tooling does not mandate, and external test
+// packages (package foo_test) are exempt — their documentation belongs to
+// the package under test.
+var PkgDoc = &Analyzer{
+	Name:      "pkgdoc",
+	Doc:       "require a package comment, starting \"Package <name>\", on every internal/ package",
+	SkipTests: true,
+	Run:       runPkgDoc,
+}
+
+func runPkgDoc(pass *Pass) error {
+	if pass.Pkg == nil || len(pass.Files) == 0 {
+		return nil
+	}
+	path := pass.Pkg.Path()
+	if !underInternal(path) || strings.HasSuffix(path, "_test") {
+		return nil
+	}
+	name := pass.Pkg.Name()
+	documented := false
+	for _, f := range pass.Files {
+		if f.Doc == nil {
+			continue
+		}
+		documented = true
+		if !strings.HasPrefix(f.Doc.Text(), "Package "+name) {
+			// Anchor on the package clause: doc comments span lines and
+			// the clause is the stable position.
+			pass.Reportf(f.Name.Pos(),
+				"package comment should start %q", "Package "+name)
+		}
+	}
+	if !documented {
+		f := firstFile(pass)
+		pass.Reportf(f.Name.Pos(),
+			"package %s has no package comment; document what the package does and how it maps to the system (see docs/ARCHITECTURE.md)", name)
+	}
+	return nil
+}
+
+// underInternal reports whether the import path contains an "internal"
+// path segment.
+func underInternal(path string) bool {
+	for _, seg := range strings.Split(path, "/") {
+		if seg == "internal" {
+			return true
+		}
+	}
+	return false
+}
+
+// firstFile returns the file with the lexically smallest filename, so the
+// missing-comment diagnostic lands on a stable position.
+func firstFile(pass *Pass) *ast.File {
+	files := make([]*ast.File, len(pass.Files))
+	copy(files, pass.Files)
+	sort.Slice(files, func(i, j int) bool {
+		return pass.Fset.Position(files[i].Pos()).Filename <
+			pass.Fset.Position(files[j].Pos()).Filename
+	})
+	return files[0]
+}

@@ -1,0 +1,4 @@
+package bad // want "no package comment"
+
+// V is documented, but the package is not.
+var V = 1

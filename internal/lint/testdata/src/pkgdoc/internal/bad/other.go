@@ -1,0 +1,3 @@
+package bad
+
+var W = 2

@@ -1,0 +1,5 @@
+package good
+
+// W lives in a second, comment-less file; the package comment in good.go
+// covers the whole package, so no diagnostic here.
+var W = 2

@@ -1,0 +1,6 @@
+// Package good (fixture) carries the canonical package comment, so the
+// pkgdoc analyzer accepts it.
+package good
+
+// V exists so the package is non-empty.
+var V = 1

@@ -1,0 +1,5 @@
+// This comment documents the package but skips the canonical clause
+// godoc keys its summaries on.
+package wrongprefix // want `should start "Package wrongprefix"`
+
+var V = 1

@@ -1,0 +1,5 @@
+package outside
+
+// The package has no package comment, but it is not under an internal/
+// directory, so pkgdoc leaves it alone.
+var V = 1

@@ -1,0 +1,357 @@
+// Package metrics is a small, dependency-free instrumentation layer for
+// the proxy and the simulation tooling: atomic counters, gauges and
+// fixed-bucket histograms collected in a Registry that exposes them in
+// the Prometheus text format (exposition format version 0.0.4) over HTTP
+// and, optionally, through the standard expvar namespace.
+//
+// The package trades generality for predictability. Metric and label
+// names are validated at registration time and duplicate registration
+// panics — both are programmer errors, and failing at startup beats
+// emitting an exposition a scraper silently rejects. All update paths
+// (Counter.Add, Gauge.Set, Histogram.Observe, CounterVec.With on an
+// existing child) are lock-free atomics, so instrumenting the proxy's
+// request path costs a handful of uncontended atomic operations per
+// request. See docs/METRICS.md for the catalogue of metrics the system
+// exports.
+package metrics
+
+import (
+	"expvar"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// collector is one registered metric family: it renders its full
+// exposition block (HELP, TYPE, series) and snapshots itself for expvar.
+type collector interface {
+	metricName() string
+	writeText(w io.Writer) error
+	snapshot() any
+}
+
+// Registry holds a set of uniquely named metrics and renders them in a
+// stable (name-sorted) order. The zero value is not usable; call
+// NewRegistry.
+type Registry struct {
+	mu         sync.Mutex
+	byName     map[string]collector
+	expvarOnce sync.Once
+}
+
+// NewRegistry creates an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{byName: make(map[string]collector)}
+}
+
+// register adds a collector, panicking on invalid or duplicate names —
+// metric registration happens at startup and a bad name is a bug, not a
+// runtime condition.
+func (r *Registry) register(c collector) {
+	name := c.metricName()
+	if !validName(name) {
+		panic(fmt.Sprintf("metrics: invalid metric name %q", name))
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, dup := r.byName[name]; dup {
+		panic(fmt.Sprintf("metrics: duplicate metric name %q", name))
+	}
+	r.byName[name] = c
+}
+
+// sorted returns the collectors in name order.
+func (r *Registry) sorted() []collector {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	names := make([]string, 0, len(r.byName))
+	for n := range r.byName {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	out := make([]collector, len(names))
+	for i, n := range names {
+		out[i] = r.byName[n]
+	}
+	return out
+}
+
+// WriteText renders every registered metric in the Prometheus text
+// exposition format, sorted by metric name.
+func (r *Registry) WriteText(w io.Writer) error {
+	for _, c := range r.sorted() {
+		if err := c.writeText(w); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Handler returns an http.Handler serving the registry's Prometheus text
+// exposition — mount it at /metrics.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		var sb strings.Builder
+		if err := r.WriteText(&sb); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		_, _ = io.WriteString(w, sb.String())
+	})
+}
+
+// PublishExpvar publishes the registry under the given name in the
+// process-wide expvar namespace (served at /debug/vars), as a JSON object
+// mapping metric names to their current values. expvar names are global
+// and publishing twice panics, so repeated calls on the same registry are
+// no-ops; distinct registries must use distinct names.
+func (r *Registry) PublishExpvar(name string) {
+	r.expvarOnce.Do(func() {
+		expvar.Publish(name, expvar.Func(func() any {
+			out := make(map[string]any)
+			for _, c := range r.sorted() {
+				out[c.metricName()] = c.snapshot()
+			}
+			return out
+		}))
+	})
+}
+
+// validName reports whether s is a legal Prometheus metric or label name:
+// [a-zA-Z_:][a-zA-Z0-9_:]* (labels additionally may not contain ':', which
+// validLabel enforces).
+func validName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, c := range s {
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_', c == ':':
+		case c >= '0' && c <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+func validLabel(s string) bool {
+	return validName(s) && !strings.Contains(s, ":")
+}
+
+// desc is the shared identity of every metric.
+type desc struct {
+	name string
+	help string
+}
+
+func (d desc) metricName() string { return d.name }
+
+// header writes the HELP and TYPE lines for the family.
+func (d desc) header(w io.Writer, typ string) error {
+	help := strings.ReplaceAll(strings.ReplaceAll(d.help, "\\", `\\`), "\n", `\n`)
+	_, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n", d.name, help, d.name, typ)
+	return err
+}
+
+// escapeLabelValue escapes a label value per the exposition format.
+func escapeLabelValue(s string) string {
+	s = strings.ReplaceAll(s, "\\", `\\`)
+	s = strings.ReplaceAll(s, "\"", `\"`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+// Counter is a monotonically increasing integer metric.
+type Counter struct {
+	desc
+	v atomic.Int64
+}
+
+// NewCounter creates and registers a counter.
+func (r *Registry) NewCounter(name, help string) *Counter {
+	c := &Counter{desc: desc{name: name, help: help}}
+	r.register(c)
+	return c
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add increases the counter by n; counters are monotonic, so a negative n
+// panics.
+func (c *Counter) Add(n int64) {
+	if n < 0 {
+		panic(fmt.Sprintf("metrics: counter %s: negative add %d", c.name, n))
+	}
+	c.v.Add(n)
+}
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+func (c *Counter) writeText(w io.Writer) error {
+	if err := c.header(w, "counter"); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "%s %d\n", c.name, c.Value())
+	return err
+}
+
+func (c *Counter) snapshot() any { return c.Value() }
+
+// Gauge is an integer metric that can go up and down (occupancy, object
+// counts). For computed or floating-point values use NewGaugeFunc.
+type Gauge struct {
+	desc
+	v atomic.Int64
+}
+
+// NewGauge creates and registers a gauge.
+func (r *Registry) NewGauge(name, help string) *Gauge {
+	g := &Gauge{desc: desc{name: name, help: help}}
+	r.register(g)
+	return g
+}
+
+// Set replaces the gauge's value.
+func (g *Gauge) Set(v int64) { g.v.Store(v) }
+
+// Add adjusts the gauge by delta (which may be negative).
+func (g *Gauge) Add(delta int64) { g.v.Add(delta) }
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+func (g *Gauge) writeText(w io.Writer) error {
+	if err := g.header(w, "gauge"); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "%s %d\n", g.name, g.Value())
+	return err
+}
+
+func (g *Gauge) snapshot() any { return g.Value() }
+
+// gaugeFunc exposes a value computed at scrape time.
+type gaugeFunc struct {
+	desc
+	fn func() float64
+}
+
+// NewGaugeFunc registers a gauge whose value is computed by fn at every
+// exposition — the idiom for values owned by another subsystem (cache
+// occupancy, goroutine counts). fn must be safe for concurrent use.
+func (r *Registry) NewGaugeFunc(name, help string, fn func() float64) {
+	r.register(&gaugeFunc{desc: desc{name: name, help: help}, fn: fn})
+}
+
+func (g *gaugeFunc) writeText(w io.Writer) error {
+	if err := g.header(w, "gauge"); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "%s %s\n", g.name, formatFloat(g.fn()))
+	return err
+}
+
+func (g *gaugeFunc) snapshot() any { return g.fn() }
+
+// CounterVec is a family of counters distinguished by the value of one
+// label (e.g. requests by document class). Children are created on first
+// use and live for the registry's lifetime, so label values must come
+// from a small, bounded set — never from request URLs or client input.
+type CounterVec struct {
+	desc
+	label    string
+	mu       sync.Mutex
+	children map[string]*Counter
+}
+
+// NewCounterVec creates and registers a labeled counter family.
+func (r *Registry) NewCounterVec(name, help, label string) *CounterVec {
+	if !validLabel(label) {
+		panic(fmt.Sprintf("metrics: invalid label name %q", label))
+	}
+	v := &CounterVec{
+		desc:     desc{name: name, help: help},
+		label:    label,
+		children: make(map[string]*Counter),
+	}
+	r.register(v)
+	return v
+}
+
+// With returns the child counter for the given label value, creating it
+// on first use. Callers on hot paths should cache the child.
+func (v *CounterVec) With(value string) *Counter {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	c, ok := v.children[value]
+	if !ok {
+		c = &Counter{desc: desc{name: v.name, help: v.help}}
+		v.children[value] = c
+	}
+	return c
+}
+
+// values returns the label values in sorted order.
+func (v *CounterVec) values() []string {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	out := make([]string, 0, len(v.children))
+	for val := range v.children {
+		out = append(out, val)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func (v *CounterVec) writeText(w io.Writer) error {
+	if err := v.header(w, "counter"); err != nil {
+		return err
+	}
+	for _, val := range v.values() {
+		v.mu.Lock()
+		c := v.children[val]
+		v.mu.Unlock()
+		if _, err := fmt.Fprintf(w, "%s{%s=\"%s\"} %d\n",
+			v.name, v.label, escapeLabelValue(val), c.Value()); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (v *CounterVec) snapshot() any {
+	out := make(map[string]int64)
+	for _, val := range v.values() {
+		v.mu.Lock()
+		c := v.children[val]
+		v.mu.Unlock()
+		out[val] = c.Value()
+	}
+	return out
+}
+
+// formatFloat renders a float the way the exposition format expects,
+// mapping non-finite values to the +Inf/-Inf/NaN spellings.
+func formatFloat(f float64) string {
+	switch {
+	case math.IsInf(f, 1):
+		return "+Inf"
+	case math.IsInf(f, -1):
+		return "-Inf"
+	case math.IsNaN(f):
+		return "NaN"
+	}
+	return strconv.FormatFloat(f, 'g', -1, 64)
+}

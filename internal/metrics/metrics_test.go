@@ -1,0 +1,255 @@
+package metrics_test
+
+import (
+	"encoding/json"
+	"expvar"
+	"io"
+	"math"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+
+	"webcachesim/internal/metrics"
+)
+
+func expose(t *testing.T, r *metrics.Registry) string {
+	t.Helper()
+	var sb strings.Builder
+	if err := r.WriteText(&sb); err != nil {
+		t.Fatal(err)
+	}
+	return sb.String()
+}
+
+func TestCounter(t *testing.T) {
+	r := metrics.NewRegistry()
+	c := r.NewCounter("test_requests_total", "requests handled")
+	c.Inc()
+	c.Add(41)
+	if got := c.Value(); got != 42 {
+		t.Fatalf("Value = %d, want 42", got)
+	}
+	out := expose(t, r)
+	for _, want := range []string{
+		"# HELP test_requests_total requests handled",
+		"# TYPE test_requests_total counter",
+		"test_requests_total 42",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestCounterNegativeAddPanics(t *testing.T) {
+	r := metrics.NewRegistry()
+	c := r.NewCounter("test_total", "x")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative Add did not panic")
+		}
+	}()
+	c.Add(-1)
+}
+
+func TestGaugeAndGaugeFunc(t *testing.T) {
+	r := metrics.NewRegistry()
+	g := r.NewGauge("test_used_bytes", "occupancy")
+	g.Set(100)
+	g.Add(-30)
+	if got := g.Value(); got != 70 {
+		t.Fatalf("Value = %d, want 70", got)
+	}
+	r.NewGaugeFunc("test_ratio", "computed", func() float64 { return 0.5 })
+	out := expose(t, r)
+	for _, want := range []string{
+		"# TYPE test_used_bytes gauge",
+		"test_used_bytes 70",
+		"# TYPE test_ratio gauge",
+		"test_ratio 0.5",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestCounterVec(t *testing.T) {
+	r := metrics.NewRegistry()
+	v := r.NewCounterVec("test_by_class_total", "per class", "class")
+	v.With("image").Add(3)
+	v.With("html").Inc()
+	v.With("image").Inc()
+	out := expose(t, r)
+	// Series are emitted in sorted label-value order.
+	htmlAt := strings.Index(out, `test_by_class_total{class="html"} 1`)
+	imageAt := strings.Index(out, `test_by_class_total{class="image"} 4`)
+	if htmlAt < 0 || imageAt < 0 || htmlAt > imageAt {
+		t.Fatalf("bad vec exposition:\n%s", out)
+	}
+}
+
+func TestLabelValueEscaping(t *testing.T) {
+	r := metrics.NewRegistry()
+	v := r.NewCounterVec("test_esc_total", "escaping", "k")
+	v.With("a\"b\\c\nd").Inc()
+	out := expose(t, r)
+	if !strings.Contains(out, `test_esc_total{k="a\"b\\c\nd"} 1`) {
+		t.Fatalf("label value not escaped:\n%s", out)
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	r := metrics.NewRegistry()
+	h := r.NewHistogram("test_seconds", "latency", []float64{0.1, 1, 10})
+	for _, v := range []float64{0.05, 0.1, 0.5, 2, 100, math.NaN()} {
+		h.Observe(v)
+	}
+	if got := h.Count(); got != 5 { // NaN dropped
+		t.Fatalf("Count = %d, want 5", got)
+	}
+	if got := h.Sum(); math.Abs(got-102.65) > 1e-9 {
+		t.Fatalf("Sum = %v, want 102.65", got)
+	}
+	out := expose(t, r)
+	for _, want := range []string{
+		"# TYPE test_seconds histogram",
+		`test_seconds_bucket{le="0.1"} 2`, // le is inclusive
+		`test_seconds_bucket{le="1"} 3`,
+		`test_seconds_bucket{le="10"} 4`,
+		`test_seconds_bucket{le="+Inf"} 5`,
+		"test_seconds_sum 102.65",
+		"test_seconds_count 5",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestHistogramValidation(t *testing.T) {
+	r := metrics.NewRegistry()
+	for name, buckets := range map[string][]float64{
+		"test_empty":      {},
+		"test_descending": {1, 0.5},
+		"test_nonfinite":  {1, math.Inf(1)},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: bad buckets did not panic", name)
+				}
+			}()
+			r.NewHistogram(name, "x", buckets)
+		}()
+	}
+}
+
+func TestBucketHelpers(t *testing.T) {
+	got := metrics.ExponentialBuckets(1, 2, 4)
+	want := []float64{1, 2, 4, 8}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("ExponentialBuckets = %v, want %v", got, want)
+		}
+	}
+	if b := metrics.DefaultLatencyBuckets(); b[0] != 0.001 || len(b) != 15 {
+		t.Fatalf("unexpected DefaultLatencyBuckets: %v", b)
+	}
+	if b := metrics.DefaultSizeBuckets(); b[0] != 256 || len(b) != 10 {
+		t.Fatalf("unexpected DefaultSizeBuckets: %v", b)
+	}
+}
+
+func TestDuplicateAndInvalidNamesPanic(t *testing.T) {
+	r := metrics.NewRegistry()
+	r.NewCounter("test_dup_total", "x")
+	for name, fn := range map[string]func(){
+		"duplicate":     func() { r.NewGauge("test_dup_total", "y") },
+		"invalid name":  func() { r.NewCounter("bad name", "x") },
+		"leading digit": func() { r.NewCounter("9bad", "x") },
+		"invalid label": func() { r.NewCounterVec("test_vec_total", "x", "bad label") },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: registration did not panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestHandler(t *testing.T) {
+	r := metrics.NewRegistry()
+	r.NewCounter("test_handler_total", "x").Inc()
+	srv := httptest.NewServer(r.Handler())
+	defer srv.Close()
+	resp, err := srv.Client().Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = resp.Body.Close() }()
+	if ct := resp.Header.Get("Content-Type"); !strings.Contains(ct, "version=0.0.4") {
+		t.Errorf("Content-Type = %q, want exposition format", ct)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(body), "test_handler_total 1") {
+		t.Errorf("body missing counter:\n%s", body)
+	}
+}
+
+func TestPublishExpvar(t *testing.T) {
+	r := metrics.NewRegistry()
+	r.NewCounter("test_expvar_total", "x").Add(7)
+	h := r.NewHistogram("test_expvar_seconds", "x", []float64{1})
+	h.Observe(0.5)
+	r.PublishExpvar("test_metrics_registry")
+	r.PublishExpvar("test_metrics_registry") // second call is a no-op, no panic
+	v := expvar.Get("test_metrics_registry")
+	if v == nil {
+		t.Fatal("registry not published")
+	}
+	var snap map[string]any
+	if err := json.Unmarshal([]byte(v.String()), &snap); err != nil {
+		t.Fatalf("expvar snapshot not JSON: %v", err)
+	}
+	if got := snap["test_expvar_total"]; got != float64(7) {
+		t.Errorf("counter snapshot = %v, want 7", got)
+	}
+	if _, ok := snap["test_expvar_seconds"].(map[string]any); !ok {
+		t.Errorf("histogram snapshot = %v, want object", snap["test_expvar_seconds"])
+	}
+}
+
+func TestConcurrentUpdates(t *testing.T) {
+	r := metrics.NewRegistry()
+	c := r.NewCounter("test_conc_total", "x")
+	h := r.NewHistogram("test_conc_seconds", "x", []float64{0.5})
+	v := r.NewCounterVec("test_conc_vec_total", "x", "k")
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				c.Inc()
+				h.Observe(0.25)
+				v.With("a").Inc()
+			}
+		}()
+	}
+	wg.Wait()
+	if c.Value() != 8000 || h.Count() != 8000 || v.With("a").Value() != 8000 {
+		t.Fatalf("lost updates: counter=%d hist=%d vec=%d",
+			c.Value(), h.Count(), v.With("a").Value())
+	}
+	if got := h.Sum(); math.Abs(got-2000) > 1e-6 {
+		t.Fatalf("histogram Sum = %v, want 2000", got)
+	}
+}

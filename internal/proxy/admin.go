@@ -1,0 +1,57 @@
+package proxy
+
+import (
+	"encoding/json"
+	"expvar"
+	"net/http"
+	"net/http/pprof"
+
+	"webcachesim/internal/metrics"
+)
+
+// AdminHandler serves the proxy's operational endpoints, meant for a
+// separate, non-public listener (wcproxy -admin):
+//
+//	/metrics      Prometheus text exposition of reg
+//	/stats        JSON snapshot of the proxy's Stats plus occupancy
+//	/debug/pprof/ the standard Go profiling endpoints
+//	/debug/vars   the process expvar namespace
+//	/             a plain-text index of the above
+//
+// The pprof handlers are mounted explicitly rather than through
+// net/http/pprof's init side effect, so profiling is only reachable
+// through this handler — never on the proxy's traffic port.
+func AdminHandler(s *Server, reg *metrics.Registry) http.Handler {
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", reg.Handler())
+	mux.HandleFunc("/stats", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(struct {
+			Stats
+			UsedBytes     int64 `json:"usedBytes"`
+			Objects       int   `json:"objects"`
+			CapacityBytes int64 `json:"capacityBytes"`
+		}{s.Stats(), s.Used(), s.Len(), s.cfg.Capacity})
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/" {
+			http.NotFound(w, r)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		_, _ = w.Write([]byte("wcproxy admin endpoints:\n" +
+			"  /metrics       Prometheus text format\n" +
+			"  /stats         JSON statistics snapshot\n" +
+			"  /debug/pprof/  Go profiling\n" +
+			"  /debug/vars    expvar\n"))
+	})
+	return mux
+}

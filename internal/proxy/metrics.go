@@ -1,0 +1,84 @@
+package proxy
+
+import (
+	"webcachesim/internal/doctype"
+	"webcachesim/internal/metrics"
+)
+
+// serverMetrics is the proxy's exported instrumentation. Every metric is
+// documented in docs/METRICS.md; changing a name here is a breaking
+// change for scrapers and must update that file.
+type serverMetrics struct {
+	requests     *metrics.Counter
+	hits         *metrics.Counter
+	misses       *metrics.Counter
+	evictions    *metrics.Counter
+	originErrors *metrics.Counter
+	uncacheable  *metrics.Counter
+
+	// hitBytes is the traffic served from cache — the bytes the origin
+	// did not have to send; originBytes is what was fetched upstream.
+	hitBytes    *metrics.Counter
+	originBytes *metrics.Counter
+
+	originSeconds *metrics.Histogram
+	objectBytes   *metrics.Histogram
+
+	// requestsByClass/hitsByClass break traffic down by document class,
+	// the study's central axis. Children are pre-created for every class
+	// so the hot path never takes the vec's creation lock.
+	requestsByClass [doctype.NumClasses + 1]*metrics.Counter
+	hitsByClass     [doctype.NumClasses + 1]*metrics.Counter
+}
+
+// newServerMetrics registers the proxy's metrics. The server's occupancy
+// gauges are registered by the caller once the Server exists.
+func newServerMetrics(reg *metrics.Registry) *serverMetrics {
+	m := &serverMetrics{
+		requests: reg.NewCounter("wcproxy_requests_total",
+			"GET requests handled (hits + misses)."),
+		hits: reg.NewCounter("wcproxy_hits_total",
+			"Requests served from cache."),
+		misses: reg.NewCounter("wcproxy_misses_total",
+			"Requests that required an origin fetch."),
+		evictions: reg.NewCounter("wcproxy_evictions_total",
+			"Cached objects evicted to make room."),
+		originErrors: reg.NewCounter("wcproxy_origin_errors_total",
+			"Upstream fetches that failed."),
+		uncacheable: reg.NewCounter("wcproxy_uncacheable_total",
+			"Fetched responses not stored (status, URL heuristics, size or Cache-Control)."),
+		hitBytes: reg.NewCounter("wcproxy_hit_bytes_total",
+			"Body bytes served from cache (origin traffic saved)."),
+		originBytes: reg.NewCounter("wcproxy_origin_bytes_total",
+			"Body bytes fetched from the origin."),
+		originSeconds: reg.NewHistogram("wcproxy_origin_fetch_seconds",
+			"Origin fetch latency (round trip plus body read).",
+			metrics.DefaultLatencyBuckets()),
+		objectBytes: reg.NewHistogram("wcproxy_object_bytes",
+			"Size of bodies fetched from the origin.",
+			metrics.DefaultSizeBuckets()),
+	}
+	reqVec := reg.NewCounterVec("wcproxy_class_requests_total",
+		"GET requests per document class.", "class")
+	hitVec := reg.NewCounterVec("wcproxy_class_hits_total",
+		"Cache hits per document class.", "class")
+	for c := doctype.Class(0); c <= doctype.NumClasses; c++ {
+		m.requestsByClass[c] = reqVec.With(c.Short())
+		m.hitsByClass[c] = hitVec.With(c.Short())
+	}
+	return m
+}
+
+// registerGauges exposes the server's live occupancy. Scrapes take the
+// server mutex briefly, exactly like the Stats endpoint.
+func (s *Server) registerGauges(reg *metrics.Registry) {
+	reg.NewGaugeFunc("wcproxy_cache_used_bytes",
+		"Bytes of cached response bodies currently resident.",
+		func() float64 { return float64(s.Used()) })
+	reg.NewGaugeFunc("wcproxy_cache_objects",
+		"Cached objects currently resident.",
+		func() float64 { return float64(s.Len()) })
+	reg.NewGaugeFunc("wcproxy_cache_capacity_bytes",
+		"Configured cache capacity.",
+		func() float64 { return float64(s.cfg.Capacity) })
+}

@@ -1,0 +1,169 @@
+package proxy_test
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"strings"
+	"testing"
+
+	"webcachesim/internal/metrics"
+	"webcachesim/internal/proxy"
+)
+
+// newInstrumented builds a reverse proxy in front of a tiny origin, with
+// its metrics on a fresh registry.
+func newInstrumented(t *testing.T, capacity int64) (*proxy.Server, *metrics.Registry, *httptest.Server) {
+	t.Helper()
+	origin := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		switch {
+		case strings.HasSuffix(r.URL.Path, ".gif"):
+			w.Header().Set("Content-Type", "image/gif")
+		default:
+			w.Header().Set("Content-Type", "text/html")
+		}
+		fmt.Fprintf(w, "body-of-%s", r.URL.Path)
+	}))
+	t.Cleanup(origin.Close)
+	u, err := url.Parse(origin.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := metrics.NewRegistry()
+	srv, err := proxy.New(proxy.Config{Capacity: capacity, Origin: u, Metrics: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return srv, reg, origin
+}
+
+func get(t *testing.T, h http.Handler, path string) *httptest.ResponseRecorder {
+	t.Helper()
+	rr := httptest.NewRecorder()
+	h.ServeHTTP(rr, httptest.NewRequest(http.MethodGet, path, nil))
+	return rr
+}
+
+func exposition(t *testing.T, reg *metrics.Registry) string {
+	t.Helper()
+	var sb strings.Builder
+	if err := reg.WriteText(&sb); err != nil {
+		t.Fatal(err)
+	}
+	return sb.String()
+}
+
+func TestMetricsCountHitsAndMisses(t *testing.T) {
+	srv, reg, _ := newInstrumented(t, 1<<20)
+	get(t, srv, "/a.gif") // miss
+	get(t, srv, "/a.gif") // hit
+	get(t, srv, "/b")     // miss (html)
+
+	out := exposition(t, reg)
+	for _, want := range []string{
+		"wcproxy_requests_total 3",
+		"wcproxy_hits_total 1",
+		"wcproxy_misses_total 2",
+		`wcproxy_class_requests_total{class="image"} 2`,
+		`wcproxy_class_hits_total{class="image"} 1`,
+		`wcproxy_class_requests_total{class="html"} 1`,
+		"wcproxy_origin_fetch_seconds_count 2",
+		"wcproxy_cache_objects 2",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q", want)
+		}
+	}
+	// Bytes saved on the hit equal the body size served from cache.
+	wantSaved := fmt.Sprintf("wcproxy_hit_bytes_total %d", len("body-of-/a.gif"))
+	if !strings.Contains(out, wantSaved) {
+		t.Errorf("exposition missing %q:\n%s", wantSaved, out)
+	}
+}
+
+func TestMetricsCountEvictions(t *testing.T) {
+	// Capacity fits one body (14 bytes each); the second insert evicts.
+	srv, reg, _ := newInstrumented(t, 20)
+	get(t, srv, "/a.gif")
+	get(t, srv, "/b.gif")
+	out := exposition(t, reg)
+	if !strings.Contains(out, "wcproxy_evictions_total 1") {
+		t.Errorf("exposition missing eviction:\n%s", out)
+	}
+}
+
+func TestMetricsCountOriginErrors(t *testing.T) {
+	srv, reg, origin := newInstrumented(t, 1<<20)
+	origin.Close() // every fetch now fails
+	rr := get(t, srv, "/x.gif")
+	if rr.Code != http.StatusBadGateway {
+		t.Fatalf("status = %d, want 502", rr.Code)
+	}
+	out := exposition(t, reg)
+	if !strings.Contains(out, "wcproxy_origin_errors_total 1") {
+		t.Errorf("exposition missing origin error:\n%s", out)
+	}
+}
+
+func TestMetricsUncacheable(t *testing.T) {
+	origin := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Cache-Control", "no-store")
+		fmt.Fprint(w, "secret")
+	}))
+	t.Cleanup(origin.Close)
+	u, _ := url.Parse(origin.URL)
+	reg := metrics.NewRegistry()
+	srv, err := proxy.New(proxy.Config{Capacity: 1 << 20, Origin: u, Metrics: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	get(t, srv, "/s")
+	out := exposition(t, reg)
+	if !strings.Contains(out, "wcproxy_uncacheable_total 1") {
+		t.Errorf("exposition missing uncacheable:\n%s", out)
+	}
+}
+
+func TestNilMetricsConfigStillWorks(t *testing.T) {
+	origin := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		fmt.Fprint(w, "ok")
+	}))
+	t.Cleanup(origin.Close)
+	u, _ := url.Parse(origin.URL)
+	srv, err := proxy.New(proxy.Config{Capacity: 1 << 20, Origin: u})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rr := get(t, srv, "/p"); rr.Code != http.StatusOK {
+		t.Fatalf("status = %d, want 200", rr.Code)
+	}
+}
+
+func TestAdminHandler(t *testing.T) {
+	srv, reg, _ := newInstrumented(t, 1<<20)
+	get(t, srv, "/a.gif")
+	admin := proxy.AdminHandler(srv, reg)
+
+	for path, want := range map[string]string{
+		"/":             "/metrics",
+		"/metrics":      "wcproxy_requests_total 1",
+		"/stats":        `"requests": 1`,
+		"/debug/pprof/": "profiles",
+		"/debug/vars":   "cmdline",
+	} {
+		rr := get(t, admin, path)
+		if rr.Code != http.StatusOK {
+			t.Errorf("%s: status = %d, want 200", path, rr.Code)
+			continue
+		}
+		body, _ := io.ReadAll(rr.Result().Body)
+		if !strings.Contains(string(body), want) {
+			t.Errorf("%s: body missing %q:\n%.400s", path, want, body)
+		}
+	}
+	if rr := get(t, admin, "/nope"); rr.Code != http.StatusNotFound {
+		t.Errorf("/nope: status = %d, want 404", rr.Code)
+	}
+}

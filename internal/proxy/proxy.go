@@ -23,6 +23,7 @@ import (
 	"time"
 
 	"webcachesim/internal/doctype"
+	"webcachesim/internal/metrics"
 	"webcachesim/internal/policy"
 	"webcachesim/internal/trace"
 )
@@ -54,6 +55,13 @@ type Config struct {
 	MaxObjectBytes int64
 	// Now supplies timestamps (time.Now when nil); injectable for tests.
 	Now func() time.Time
+	// Metrics, when set, receives the proxy's exported instrumentation
+	// (request/hit/eviction counters, origin-fetch latency and object-size
+	// histograms, occupancy gauges — see docs/METRICS.md). When nil the
+	// proxy still keeps its counters on a private registry, so
+	// instrumentation cost is identical either way: a few atomic adds per
+	// request.
+	Metrics *metrics.Registry
 }
 
 // Stats is a snapshot of the proxy's accounting, overall and per class.
@@ -110,6 +118,7 @@ type Server struct {
 	used    int64
 	stats   Stats
 	logw    *trace.SquidWriter
+	metrics *serverMetrics
 }
 
 var _ http.Handler = (*Server)(nil)
@@ -125,13 +134,19 @@ func New(cfg Config) (*Server, error) {
 	if cfg.MaxObjectBytes <= 0 {
 		cfg.MaxObjectBytes = DefaultMaxObjectBytes
 	}
+	reg := cfg.Metrics
+	if reg == nil {
+		reg = metrics.NewRegistry()
+	}
 	s := &Server{
 		cfg:       cfg,
 		transport: cfg.Transport,
 		now:       cfg.Now,
 		pol:       cfg.Policy.New(),
 		entries:   make(map[string]*entry, 1024),
+		metrics:   newServerMetrics(reg),
 	}
+	s.registerGauges(reg)
 	if cfg.Parent != nil {
 		parent := cfg.Parent
 		s.transport = &http.Transport{
@@ -238,8 +253,10 @@ func (s *Server) fetch(target *url.URL, orig *http.Request) (*entry, error) {
 		return nil, err
 	}
 	req.Header = orig.Header.Clone()
+	fetchStart := s.now()
 	resp, err := s.transport.RoundTrip(req)
 	if err != nil {
+		s.metrics.originErrors.Inc()
 		return nil, err
 	}
 	defer func() {
@@ -247,8 +264,12 @@ func (s *Server) fetch(target *url.URL, orig *http.Request) (*entry, error) {
 	}()
 	body, err := io.ReadAll(io.LimitReader(resp.Body, s.cfg.MaxObjectBytes+1))
 	if err != nil {
+		s.metrics.originErrors.Inc()
 		return nil, err
 	}
+	s.metrics.originSeconds.Observe(s.now().Sub(fetchStart).Seconds())
+	s.metrics.originBytes.Add(int64(len(body)))
+	s.metrics.objectBytes.Observe(float64(len(body)))
 	e := &entry{
 		doc: &policy.Doc{
 			Key:   target.String(),
@@ -261,6 +282,8 @@ func (s *Server) fetch(target *url.URL, orig *http.Request) (*entry, error) {
 	}
 	if s.cacheable(target.String(), resp, int64(len(body))) {
 		s.insert(e)
+	} else {
+		s.metrics.uncacheable.Inc()
 	}
 	return e, nil
 }
@@ -307,6 +330,7 @@ func (s *Server) insert(e *entry) {
 			return
 		}
 		s.stats.Evictions++
+		s.metrics.evictions.Inc()
 		if ve, ok := s.entries[victim.Key]; ok && ve.doc == victim {
 			delete(s.entries, victim.Key)
 			s.used -= victim.Size
@@ -321,10 +345,20 @@ func (s *Server) insert(e *entry) {
 func (s *Server) serve(w http.ResponseWriter, r *http.Request, key string, e *entry, hit bool) {
 	size := int64(len(e.body))
 
+	cls := e.doc.Class
+	s.metrics.requests.Inc()
+	s.metrics.requestsByClass[cls].Inc()
+	if hit {
+		s.metrics.hits.Inc()
+		s.metrics.hitBytes.Add(size)
+		s.metrics.hitsByClass[cls].Inc()
+	} else {
+		s.metrics.misses.Inc()
+	}
+
 	s.mu.Lock()
 	s.stats.Requests++
 	s.stats.ReqBytes += size
-	cls := e.doc.Class
 	s.stats.ByClass[cls].Requests++
 	if hit {
 		s.stats.Hits++
