@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build vet wcvet test race fuzz-smoke journal-smoke check
+.PHONY: build vet wcvet test race bench fuzz-smoke journal-smoke check
 
 build:
 	$(GO) build ./...
@@ -19,8 +19,19 @@ wcvet:
 test:
 	$(GO) test ./...
 
+# The core tree includes the shared-workload race regression test
+# (sweep_race_test.go), which only proves its point under -race.
 race:
-	$(GO) test -race ./internal/core ./internal/policy
+	$(GO) test -race ./internal/core/... ./internal/policy/...
+
+# Replay-path benchmark: the interned columnar workload against the
+# string-keyed baseline, recorded as JSON (see cmd/wcbench).
+bench:
+	$(GO) test -run '^$$' -bench '^BenchmarkReplay(StringKeyed|Interned)$$' \
+		-benchmem -count 3 ./internal/core | \
+		$(GO) run ./cmd/wcbench -baseline ReplayStringKeyed -new ReplayInterned \
+		-o BENCH_ingest.json
+	@cat BENCH_ingest.json
 
 # Short fuzz budget per trace-decoder target; CI runs the same loop.
 fuzz-smoke:

@@ -68,7 +68,7 @@ func getFixture(b *testing.B, profileName string) *fixture {
 func capacitiesFor(w *core.Workload, pcts ...float64) []int64 {
 	out := make([]int64, 0, len(pcts))
 	for _, p := range pcts {
-		c := int64(p / 100 * float64(w.DistinctBytes))
+		c := int64(p / 100 * float64(w.DistinctBytes()))
 		if c < 1<<20 {
 			c = 1 << 20
 		}
@@ -150,7 +150,7 @@ func BenchmarkFigure1(b *testing.B) {
 			sim, err := core.NewSimulator(f.workload, core.Config{
 				Capacity:    capacity,
 				Policy:      fac,
-				SampleEvery: int64(len(f.workload.Events) / 100),
+				SampleEvery: int64(f.workload.NumRequests() / 100),
 			})
 			if err != nil {
 				b.Fatal(err)

@@ -1,0 +1,242 @@
+// Command wcbench turns `go test -bench` output into a small JSON report.
+// It reads the benchmark text from stdin, averages repeated runs of the
+// same benchmark (-count), and — when -baseline and -new name two
+// benchmarks — derives the speedup and allocation reduction between them.
+// The repository's `make bench` target uses it to record the interned
+// replay path against the string-keyed baseline in BENCH_ingest.json.
+//
+// Usage:
+//
+//	go test -bench . -benchmem ./internal/core | wcbench
+//	go test -bench 'Replay' -benchmem -count 3 ./internal/core | \
+//	    wcbench -baseline ReplayStringKeyed -new ReplayInterned -o BENCH_ingest.json
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdin, os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "wcbench:", err)
+		os.Exit(1)
+	}
+}
+
+// sample is one parsed benchmark result line.
+type sample struct {
+	iterations int64
+	nsPerOp    float64
+	bytesPerOp float64
+	allocsOp   float64
+	hasMem     bool
+}
+
+// benchResult is the averaged, JSON-facing form of one benchmark.
+type benchResult struct {
+	Runs        int      `json:"runs"`
+	Iterations  int64    `json:"iterations"`
+	NsPerOp     float64  `json:"ns_per_op"`
+	BytesPerOp  *float64 `json:"bytes_per_op,omitempty"`
+	AllocsPerOp *float64 `json:"allocs_per_op,omitempty"`
+}
+
+// report is the emitted JSON document.
+type report struct {
+	Goos       string                  `json:"goos,omitempty"`
+	Goarch     string                  `json:"goarch,omitempty"`
+	Pkg        string                  `json:"pkg,omitempty"`
+	CPU        string                  `json:"cpu,omitempty"`
+	Benchmarks map[string]*benchResult `json:"benchmarks"`
+	Derived    *derived                `json:"derived,omitempty"`
+}
+
+// derived compares a baseline benchmark against its replacement.
+type derived struct {
+	Baseline          string   `json:"baseline"`
+	New               string   `json:"new"`
+	Speedup           float64  `json:"speedup"`
+	AllocReductionPct *float64 `json:"alloc_reduction_pct,omitempty"`
+	BytesReductionPct *float64 `json:"bytes_reduction_pct,omitempty"`
+}
+
+func run(args []string, in io.Reader, out io.Writer) error {
+	fs := flag.NewFlagSet("wcbench", flag.ContinueOnError)
+	var (
+		baseline = fs.String("baseline", "", "benchmark name treated as the before side of the comparison")
+		newName  = fs.String("new", "", "benchmark name treated as the after side of the comparison")
+		output   = fs.String("o", "", "write the JSON report to this path instead of stdout")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if (*baseline == "") != (*newName == "") {
+		return fmt.Errorf("-baseline and -new must be given together")
+	}
+
+	rep := &report{Benchmarks: make(map[string]*benchResult)}
+	samples := make(map[string][]sample)
+	sc := bufio.NewScanner(in)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case strings.HasPrefix(line, "goos:"):
+			rep.Goos = strings.TrimSpace(strings.TrimPrefix(line, "goos:"))
+		case strings.HasPrefix(line, "goarch:"):
+			rep.Goarch = strings.TrimSpace(strings.TrimPrefix(line, "goarch:"))
+		case strings.HasPrefix(line, "pkg:"):
+			rep.Pkg = strings.TrimSpace(strings.TrimPrefix(line, "pkg:"))
+		case strings.HasPrefix(line, "cpu:"):
+			rep.CPU = strings.TrimSpace(strings.TrimPrefix(line, "cpu:"))
+		case strings.HasPrefix(line, "Benchmark"):
+			name, s, err := parseBenchLine(line)
+			if err != nil {
+				return err
+			}
+			samples[name] = append(samples[name], s)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return fmt.Errorf("read input: %w", err)
+	}
+	if len(samples) == 0 {
+		return fmt.Errorf("no benchmark lines found on stdin (expected `go test -bench` output)")
+	}
+
+	for name, ss := range samples {
+		rep.Benchmarks[name] = average(ss)
+	}
+	if *baseline != "" {
+		d, err := derive(rep.Benchmarks, *baseline, *newName)
+		if err != nil {
+			return err
+		}
+		rep.Derived = d
+	}
+
+	w := out
+	if *output != "" {
+		f, err := os.Create(*output)
+		if err != nil {
+			return fmt.Errorf("create report: %w", err)
+		}
+		defer func() {
+			if cerr := f.Close(); cerr != nil {
+				fmt.Fprintln(os.Stderr, "wcbench:", cerr)
+			}
+		}()
+		w = f
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		return fmt.Errorf("encode report: %w", err)
+	}
+	return nil
+}
+
+// parseBenchLine parses one `BenchmarkName  N  X ns/op [Y B/op  Z
+// allocs/op]` line. The -cpu / GOMAXPROCS suffix ("-8") is stripped from
+// the name so repeated runs group together.
+func parseBenchLine(line string) (string, sample, error) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 {
+		return "", sample{}, fmt.Errorf("malformed benchmark line %q", line)
+	}
+	name := strings.TrimPrefix(fields[0], "Benchmark")
+	if i := strings.LastIndex(name, "-"); i > 0 {
+		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			name = name[:i]
+		}
+	}
+	var s sample
+	var err error
+	if s.iterations, err = strconv.ParseInt(fields[1], 10, 64); err != nil {
+		return "", sample{}, fmt.Errorf("bad iteration count in %q: %w", line, err)
+	}
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return "", sample{}, fmt.Errorf("bad value in %q: %w", line, err)
+		}
+		switch fields[i+1] {
+		case "ns/op":
+			s.nsPerOp = v
+		case "B/op":
+			s.bytesPerOp = v
+			s.hasMem = true
+		case "allocs/op":
+			s.allocsOp = v
+			s.hasMem = true
+		}
+	}
+	if s.nsPerOp == 0 {
+		return "", sample{}, fmt.Errorf("no ns/op value in %q", line)
+	}
+	return name, s, nil
+}
+
+// average collapses repeated runs (-count) into one result.
+func average(ss []sample) *benchResult {
+	r := &benchResult{Runs: len(ss)}
+	var ns, bs, as float64
+	hasMem := true
+	for _, s := range ss {
+		r.Iterations += s.iterations
+		ns += s.nsPerOp
+		bs += s.bytesPerOp
+		as += s.allocsOp
+		hasMem = hasMem && s.hasMem
+	}
+	n := float64(len(ss))
+	r.NsPerOp = ns / n
+	if hasMem {
+		b, a := bs/n, as/n
+		r.BytesPerOp, r.AllocsPerOp = &b, &a
+	}
+	return r
+}
+
+// derive computes the before/after comparison between two benchmarks.
+func derive(benches map[string]*benchResult, baseline, newName string) (*derived, error) {
+	b, ok := benches[baseline]
+	if !ok {
+		return nil, fmt.Errorf("baseline benchmark %q not in input (have %s)", baseline, names(benches))
+	}
+	n, ok := benches[newName]
+	if !ok {
+		return nil, fmt.Errorf("new benchmark %q not in input (have %s)", newName, names(benches))
+	}
+	d := &derived{
+		Baseline: baseline,
+		New:      newName,
+		Speedup:  round2(b.NsPerOp / n.NsPerOp),
+	}
+	if b.AllocsPerOp != nil && n.AllocsPerOp != nil && *b.AllocsPerOp > 0 {
+		pct := round2(100 * (1 - *n.AllocsPerOp / *b.AllocsPerOp))
+		d.AllocReductionPct = &pct
+	}
+	if b.BytesPerOp != nil && n.BytesPerOp != nil && *b.BytesPerOp > 0 {
+		pct := round2(100 * (1 - *n.BytesPerOp / *b.BytesPerOp))
+		d.BytesReductionPct = &pct
+	}
+	return d, nil
+}
+
+func names(benches map[string]*benchResult) string {
+	var ns []string
+	for n := range benches {
+		ns = append(ns, n)
+	}
+	return strings.Join(ns, ", ")
+}
+
+// round2 keeps the derived ratios readable in the committed JSON.
+func round2(v float64) float64 { return float64(int64(v*100+0.5)) / 100 }

@@ -1,0 +1,101 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const sampleInput = `goos: linux
+goarch: amd64
+pkg: webcachesim/internal/core
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkReplayStringKeyed-8 	 2000000	       600.0 ns/op	      94 B/op	       1 allocs/op
+BenchmarkReplayStringKeyed-8 	 2000000	       800.0 ns/op	      94 B/op	       1 allocs/op
+BenchmarkReplayInterned-8    	 6000000	       175.0 ns/op	      31 B/op	       0 allocs/op
+BenchmarkReplayInterned-8    	 6000000	       225.0 ns/op	      31 B/op	       0 allocs/op
+PASS
+ok  	webcachesim/internal/core	11.564s
+`
+
+func TestRunDerivesComparison(t *testing.T) {
+	var sb strings.Builder
+	err := run([]string{"-baseline", "ReplayStringKeyed", "-new", "ReplayInterned"},
+		strings.NewReader(sampleInput), &sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep report
+	if err := json.Unmarshal([]byte(sb.String()), &rep); err != nil {
+		t.Fatalf("output is not JSON: %v\n%s", err, sb.String())
+	}
+	if rep.Goos != "linux" || rep.Pkg != "webcachesim/internal/core" {
+		t.Errorf("header = %q %q", rep.Goos, rep.Pkg)
+	}
+	base := rep.Benchmarks["ReplayStringKeyed"]
+	if base == nil || base.Runs != 2 || base.NsPerOp != 700.0 {
+		t.Fatalf("baseline = %+v, want 2 runs averaged to 700 ns/op", base)
+	}
+	if base.AllocsPerOp == nil || *base.AllocsPerOp != 1 {
+		t.Errorf("baseline allocs = %v, want 1", base.AllocsPerOp)
+	}
+	d := rep.Derived
+	if d == nil {
+		t.Fatal("no derived comparison")
+	}
+	if d.Speedup != 3.5 {
+		t.Errorf("speedup = %v, want 3.5 (700/200)", d.Speedup)
+	}
+	if d.AllocReductionPct == nil || *d.AllocReductionPct != 100 {
+		t.Errorf("alloc reduction = %v, want 100", d.AllocReductionPct)
+	}
+}
+
+func TestRunWritesFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bench.json")
+	var sb strings.Builder
+	if err := run([]string{"-o", path}, strings.NewReader(sampleInput), &sb); err != nil {
+		t.Fatal(err)
+	}
+	if sb.Len() != 0 {
+		t.Errorf("wrote to stdout despite -o: %q", sb.String())
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep report
+	if err := json.Unmarshal(data, &rep); err != nil {
+		t.Fatalf("file is not JSON: %v", err)
+	}
+	if len(rep.Benchmarks) != 2 {
+		t.Errorf("benchmarks = %d, want 2", len(rep.Benchmarks))
+	}
+	if rep.Derived != nil {
+		t.Error("derived comparison present without -baseline/-new")
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	tests := []struct {
+		name  string
+		args  []string
+		input string
+	}{
+		{"empty input", nil, "PASS\n"},
+		{"baseline without new", []string{"-baseline", "X"}, sampleInput},
+		{"unknown baseline", []string{"-baseline", "Nope", "-new", "ReplayInterned"}, sampleInput},
+		{"malformed line", nil, "BenchmarkBad 12\n"},
+		{"bad iteration count", nil, "BenchmarkBad x 5 ns/op\n"},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			var sb strings.Builder
+			if err := run(tt.args, strings.NewReader(tt.input), &sb); err == nil {
+				t.Error("expected error")
+			}
+		})
+	}
+}

@@ -1,0 +1,95 @@
+package main
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite the e2e golden file")
+
+// goRun executes one of the sibling commands through `go run`, from the
+// module root.
+func goRun(t *testing.T, pkg string, args ...string) string {
+	t.Helper()
+	cmd := exec.Command("go", append([]string{"run", "webcachesim/cmd/" + pkg}, args...)...)
+	cmd.Dir = filepath.Join("..", "..")
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("go run %s %v: %v\n%s", pkg, args, err, out)
+	}
+	return string(out)
+}
+
+// TestEndToEndInternedRoundTrip drives the full toolchain over the interned
+// (WCT2) trace format: wcgen writes an interned trace, wcsim (in process)
+// sweeps it and writes a run journal, and wcreport summarizes the journal.
+// The simulation table is pinned against a golden file — regenerate with
+// `go test ./cmd/wcsim -run EndToEnd -update`.
+func TestEndToEndInternedRoundTrip(t *testing.T) {
+	if _, err := exec.LookPath("go"); err != nil {
+		t.Skip("go tool not in PATH")
+	}
+	dir := t.TempDir()
+	tracePath := filepath.Join(dir, "trace.wci")
+
+	genOut := goRun(t, "wcgen", "-profile", "dfn", "-requests", "3000", "-seed", "7",
+		"-format", "interned", "-o", tracePath)
+	if !strings.Contains(genOut, "wrote 3000") {
+		t.Fatalf("wcgen output: %s", genOut)
+	}
+	header := make([]byte, 4)
+	f, err := os.Open(tracePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Read(header); err != nil {
+		t.Fatal(err)
+	}
+	_ = f.Close()
+	if !bytes.Equal(header, []byte("WCT2")) {
+		t.Fatalf("trace header = %q, want WCT2 interned magic", header)
+	}
+
+	journalPath := filepath.Join(dir, "run.jsonl")
+	var sb strings.Builder
+	err = run([]string{"-trace", tracePath, "-policies", "lru,gdstar:p",
+		"-sizes", "1MB,4MB", "-csv", "-journal", journalPath}, &sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	// The header line embeds the temp path; golden-compare everything after
+	// it (the deterministic result table).
+	_, table, ok := strings.Cut(out, "\n\n")
+	if !ok {
+		t.Fatalf("unexpected wcsim output shape:\n%s", out)
+	}
+	goldenPath := filepath.Join("testdata", "e2e_interned.golden")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(goldenPath, []byte(table), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	golden, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("%v (regenerate with -update)", err)
+	}
+	if table != string(golden) {
+		t.Errorf("simulation table drifted from golden:\n got:\n%s\nwant:\n%s", table, golden)
+	}
+
+	reportOut := goRun(t, "wcreport", "-journal", journalPath)
+	for _, want := range []string{"2 policies × 2 capacities", "sweep total: 4 cells"} {
+		if !strings.Contains(reportOut, want) {
+			t.Errorf("wcreport journal summary missing %q:\n%s", want, reportOut)
+		}
+	}
+}

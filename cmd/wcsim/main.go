@@ -95,7 +95,7 @@ func run(args []string, out io.Writer) error {
 	}
 
 	fmt.Fprintf(out, "trace: %s — %d requests, %d distinct documents, %.2f GB\n\n",
-		*tracePath, w.NumRequests(), w.NumDocs(), float64(w.DistinctBytes)/(1<<30))
+		*tracePath, w.NumRequests(), w.NumDocs(), float64(w.DistinctBytes())/(1<<30))
 
 	t := report.NewTable("Simulation results", "Policy", "Cache (MB)", "HR", "BHR",
 		"Evictions", "Modifications")
@@ -229,7 +229,7 @@ func parseCapacities(sizes, pcts string, w *core.Workload) ([]int64, error) {
 			if err != nil {
 				return nil, fmt.Errorf("bad percentage %q: %w", part, err)
 			}
-			c := int64(pct / 100 * float64(w.DistinctBytes))
+			c := int64(pct / 100 * float64(w.DistinctBytes()))
 			if c < 1 {
 				c = 1
 			}
@@ -240,7 +240,7 @@ func parseCapacities(sizes, pcts string, w *core.Workload) ([]int64, error) {
 		// Default: the paper's 0.5%–4% grid.
 		var out []int64
 		for _, pct := range []float64{0.5, 1, 2, 4} {
-			out = append(out, int64(pct/100*float64(w.DistinctBytes)))
+			out = append(out, int64(pct/100*float64(w.DistinctBytes())))
 		}
 		return out, nil
 	}

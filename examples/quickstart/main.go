@@ -12,7 +12,6 @@ import (
 	"webcachesim/internal/core"
 	"webcachesim/internal/policy"
 	"webcachesim/internal/synth"
-	"webcachesim/internal/trace"
 )
 
 func main() {
@@ -23,20 +22,22 @@ func main() {
 
 func run() error {
 	// 1. Synthesize a workload calibrated to the paper's DFN trace.
-	reqs, err := synth.Generate(synth.DFNProfile(), synth.Options{Seed: 1, Requests: 100_000})
+	gen, err := synth.NewGenerator(synth.DFNProfile(), synth.Options{Seed: 1, Requests: 100_000})
 	if err != nil {
 		return err
 	}
 
-	// 2. Preprocess it once into an immutable simulation workload
-	//    (dense doc IDs, modification detection, class tagging).
-	w, err := core.BuildWorkload(trace.NewSliceReader(reqs), 0)
+	// 2. Feed the generator straight into the one-pass ingest, which
+	//    freezes it as an immutable columnar workload (dense doc IDs,
+	//    eager class resolution, modification detection) — no
+	//    intermediate request slice.
+	w, err := core.BuildWorkload(gen.Reader(), 0)
 	if err != nil {
 		return err
 	}
-	capacity := int64(0.02 * float64(w.DistinctBytes)) // 2% of trace size
+	capacity := int64(0.02 * float64(w.DistinctBytes())) // 2% of trace size
 	fmt.Printf("workload: %d requests, %d documents, %.0f MB total; cache %.0f MB\n\n",
-		w.NumRequests(), w.NumDocs(), float64(w.DistinctBytes)/(1<<20), float64(capacity)/(1<<20))
+		w.NumRequests(), w.NumDocs(), float64(w.DistinctBytes())/(1<<20), float64(capacity)/(1<<20))
 
 	// 3. Simulate every scheme the paper compares.
 	fmt.Printf("%-8s  %8s  %8s\n", "policy", "HR", "BHR")

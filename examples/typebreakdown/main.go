@@ -37,7 +37,7 @@ func run() error {
 
 	var capacities []int64
 	for _, pct := range []float64{0.5, 1, 2, 4} {
-		capacities = append(capacities, int64(pct/100*float64(w.DistinctBytes)))
+		capacities = append(capacities, int64(pct/100*float64(w.DistinctBytes())))
 	}
 	policies := []policy.Factory{
 		policy.MustFactory(policy.Spec{Scheme: "lru"}),

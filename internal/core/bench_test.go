@@ -14,21 +14,7 @@ import (
 // benchmarks.
 func benchWorkload(b *testing.B, requests int) *Workload {
 	b.Helper()
-	rng := rand.New(rand.NewSource(1))
-	exts := []string{"gif", "html", "mp3", "pdf"}
-	reqs := make([]*trace.Request, 0, requests)
-	for i := 0; i < requests; i++ {
-		id := int(float64(requests/3) * rng.Float64() * rng.Float64())
-		ext := exts[id%len(exts)]
-		size := int64(200 + rng.Intn(50_000))
-		reqs = append(reqs, &trace.Request{
-			URL:          fmt.Sprintf("http://bench/d%d.%s", id, ext),
-			Status:       200,
-			TransferSize: size,
-			DocSize:      size,
-		})
-	}
-	w, err := BuildWorkload(trace.NewSliceReader(reqs), 0)
+	w, err := BuildWorkload(trace.NewSliceReader(benchRequests(requests)), 0)
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -45,12 +31,130 @@ func BenchmarkSimulatorEventThroughput(b *testing.B) {
 			if err != nil {
 				b.Fatal(err)
 			}
+			n := w.NumRequests()
 			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				sim.Process(&w.Events[i%len(w.Events)])
+				ev := w.Event(i % n)
+				sim.Process(&ev)
 			}
 		})
+	}
+}
+
+// benchRequests generates the raw request stream behind benchWorkload, for
+// benchmarks that replay requests without the columnar preprocessing.
+func benchRequests(requests int) []*trace.Request {
+	rng := rand.New(rand.NewSource(1))
+	exts := []string{"gif", "html", "mp3", "pdf"}
+	reqs := make([]*trace.Request, 0, requests)
+	for i := 0; i < requests; i++ {
+		id := int(float64(requests/3) * rng.Float64() * rng.Float64())
+		ext := exts[id%len(exts)]
+		size := int64(200 + rng.Intn(50_000))
+		reqs = append(reqs, &trace.Request{
+			URL:          fmt.Sprintf("http://bench/d%d.%s", id, ext),
+			Status:       200,
+			TransferSize: size,
+			DocSize:      size,
+		})
+	}
+	return reqs
+}
+
+// stringKeyedSim reconstructs the pre-interning replay path for baseline
+// benchmarking: documents keyed by URL strings in maps, the class derived
+// per request, the modification rule applied inline, and a fresh Doc
+// allocated on every insert. It exists only as the "before" side of
+// BenchmarkReplay; the real simulator replays the interned columnar
+// workload.
+type stringKeyedSim struct {
+	capacity int64
+	pol      policy.Policy
+	docs     map[string]*policy.Doc
+	last     map[string]int64
+	used     int64
+}
+
+func newStringKeyedSim(capacity int64, f policy.Factory) *stringKeyedSim {
+	return &stringKeyedSim{
+		capacity: capacity,
+		pol:      f.New(),
+		docs:     make(map[string]*policy.Doc),
+		last:     make(map[string]int64),
+	}
+}
+
+func (s *stringKeyedSim) process(r *trace.Request) {
+	class := r.Classify()
+	size := r.DocSize
+	if size <= 0 {
+		size = r.TransferSize
+	}
+	if size <= 0 {
+		size = 1
+	}
+	modified, size := decideModification(DefaultModifyThreshold, s.last[r.URL], size, r.DocSize > 0)
+	s.last[r.URL] = size
+	doc := s.docs[r.URL]
+	switch {
+	case doc != nil && !modified:
+		doc.Size = size
+		s.pol.Hit(doc)
+		return
+	case doc != nil:
+		s.pol.Remove(doc)
+		s.used -= doc.Size
+		delete(s.docs, r.URL)
+	}
+	if size > s.capacity {
+		return
+	}
+	for s.used+size > s.capacity {
+		victim, ok := s.pol.Evict()
+		if !ok {
+			return
+		}
+		s.used -= victim.Size
+		delete(s.docs, victim.Key)
+	}
+	doc = &policy.Doc{Key: r.URL, Size: size, Class: class}
+	s.docs[r.URL] = doc
+	s.used += size
+	s.pol.Insert(doc)
+}
+
+// BenchmarkReplayStringKeyed is the baseline side of the interning
+// comparison: replaying the raw request stream with URL-keyed maps.
+func BenchmarkReplayStringKeyed(b *testing.B) {
+	reqs := benchRequests(50_000)
+	sim := newStringKeyedSim(4<<20, policy.MustFactory(policy.Spec{Scheme: "lru"}))
+	n := len(reqs)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sim.process(reqs[i%n])
+	}
+}
+
+// BenchmarkReplayInterned replays the same request stream through the
+// interned columnar workload and the production simulator — the pair of
+// numbers recorded in BENCH_ingest.json (see make bench).
+func BenchmarkReplayInterned(b *testing.B) {
+	w := benchWorkload(b, 50_000)
+	sim, err := NewSimulator(w, Config{
+		Capacity: 4 << 20,
+		Policy:   policy.MustFactory(policy.Spec{Scheme: "lru"}),
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	n := w.NumRequests()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ev := w.Event(i % n)
+		sim.Process(&ev)
 	}
 }
 

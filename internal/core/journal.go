@@ -130,9 +130,11 @@ func runJournaled(sim *Simulator, w *Workload, jw *journalWriter, every int64, n
 		Capacity: capacity,
 	})
 	start := now()
-	total := int64(len(w.Events))
-	for i := range w.Events {
-		sim.Process(&w.Events[i])
+	n := w.NumRequests()
+	total := int64(n)
+	for i := 0; i < n; i++ {
+		ev := w.Event(i)
+		sim.Process(&ev)
 		done := int64(i) + 1
 		if done%every == 0 && done < total {
 			elapsedMs, rps := throughput(done, now().Sub(start))

@@ -39,7 +39,8 @@ type Simulator struct {
 	cfg    Config
 	pol    policy.Policy
 	keys   []string
-	docs   []*policy.Doc // DocID -> resident document, nil when absent
+	docs   []*policy.Doc // DocID -> the document's Doc, allocated once and reused
+	in     []bool        // DocID -> currently resident
 	used   int64
 	result Result
 
@@ -70,7 +71,7 @@ func NewSimulator(w *Workload, cfg Config) (*Simulator, error) {
 	case warmupFrac >= 1:
 		return nil, errBadConfig("warmup fraction %v must be < 1", warmupFrac)
 	}
-	warmup := int64(warmupFrac * float64(len(w.Events)))
+	warmup := int64(warmupFrac * float64(w.NumRequests()))
 	pol := cfg.Policy.New()
 	if cfg.SelfCheck {
 		pol = policy.Checked(pol)
@@ -78,8 +79,9 @@ func NewSimulator(w *Workload, cfg Config) (*Simulator, error) {
 	return &Simulator{
 		cfg:    cfg,
 		pol:    pol,
-		keys:   w.Keys,
-		docs:   make([]*policy.Doc, len(w.Keys)),
+		keys:   w.Keys(),
+		docs:   make([]*policy.Doc, w.NumDocs()),
+		in:     make([]bool, w.NumDocs()),
 		warmup: warmup,
 		sample: cfg.SampleEvery,
 		result: Result{
@@ -109,8 +111,10 @@ func (o Outcome) Hit() bool { return o == OutcomeHit }
 
 // Run replays the whole workload and returns the result.
 func (s *Simulator) Run(w *Workload) *Result {
-	for i := range w.Events {
-		s.Process(&w.Events[i])
+	n := w.NumRequests()
+	for i := 0; i < n; i++ {
+		ev := w.Event(i)
+		s.Process(&ev)
 	}
 	return s.Result()
 }
@@ -121,8 +125,8 @@ func (s *Simulator) Process(ev *Event) Outcome {
 	s.processed++
 	measured := s.processed > s.warmup
 
-	resident := s.docs[ev.DocID]
-	hit := resident != nil && !ev.Modified
+	resident := s.in[ev.DocID]
+	hit := resident && !ev.Modified
 
 	if measured {
 		s.count(ev, hit)
@@ -132,23 +136,24 @@ func (s *Simulator) Process(ev *Event) Outcome {
 	switch {
 	case hit:
 		outcome = OutcomeHit
+		doc := s.docs[ev.DocID]
 		// A resident document may have grown through a completed transfer
 		// after an earlier interruption; recharge the difference. Making
 		// room for the growth can evict the document itself, in which case
 		// the policy must not see a Hit for it.
-		if resident.Size != ev.DocSize {
-			s.recharge(resident, ev.DocSize)
+		if doc.Size != ev.DocSize {
+			s.recharge(doc, ev.DocSize)
 		}
-		if s.docs[ev.DocID] == resident {
-			s.pol.Hit(resident)
+		if s.in[ev.DocID] {
+			s.pol.Hit(doc)
 		}
-	case resident != nil:
+	case resident:
 		// Modified: the cached copy is stale; drop and refetch.
 		outcome = OutcomeModified
 		if measured {
 			s.result.Modifications++
 		}
-		s.remove(resident, ev.DocID)
+		s.remove(s.docs[ev.DocID], ev.DocID)
 		s.insert(ev, measured)
 	default:
 		s.insert(ev, measured)
@@ -198,22 +203,32 @@ func (s *Simulator) insert(ev *Event, measured bool) {
 		}
 		s.evicted(victim)
 	}
-	doc := &policy.Doc{Key: s.keys[ev.DocID], ID: ev.DocID, Size: size, Class: ev.Class}
-	s.docs[ev.DocID] = doc
+	// One Doc per document, allocated on first insert and reused across
+	// re-insertions: the hot replay loop allocates nothing for documents
+	// cycling in and out of the cache.
+	doc := s.docs[ev.DocID]
+	if doc == nil {
+		doc = &policy.Doc{Key: s.keys[ev.DocID], ID: ev.DocID, Class: ev.Class}
+		s.docs[ev.DocID] = doc
+	}
+	doc.Size = size
+	s.in[ev.DocID] = true
 	s.used += size
 	s.residentDocs[ev.Class]++
 	s.residentBytes[ev.Class] += size
 	s.pol.Insert(doc)
 }
 
-// evicted settles accounting after the policy returned a victim.
+// evicted settles accounting after the policy returned a victim. The
+// pointer-identity check guards against a broken policy fabricating a Doc
+// that merely shares an ID with a tracked document.
 func (s *Simulator) evicted(victim *policy.Doc) {
 	s.result.Evictions++
 	s.used -= victim.Size
 	s.residentDocs[victim.Class]--
 	s.residentBytes[victim.Class] -= victim.Size
 	if id := victim.ID; s.docs[id] == victim {
-		s.docs[id] = nil
+		s.in[id] = false
 	}
 }
 
@@ -222,7 +237,7 @@ func (s *Simulator) remove(doc *policy.Doc, id int32) {
 	s.used -= doc.Size
 	s.residentDocs[doc.Class]--
 	s.residentBytes[doc.Class] -= doc.Size
-	s.docs[id] = nil
+	s.in[id] = false
 }
 
 // recharge adjusts occupancy when a resident document's recorded size

@@ -92,8 +92,9 @@ func TestSimulatorCapacityEnforced(t *testing.T) {
 	w := build(t, 0, reqs...)
 	const capacity = 20_000
 	s := newSim(t, w, Config{Capacity: capacity, WarmupFraction: -1})
-	for i := range w.Events {
-		s.Process(&w.Events[i])
+	for i := 0; i < w.NumRequests(); i++ {
+		ev := w.Event(i)
+		s.Process(&ev)
 		if s.Used() > capacity {
 			t.Fatalf("after event %d: used %d exceeds capacity %d", i, s.Used(), capacity)
 		}
@@ -252,8 +253,9 @@ func TestSimulatorCapacityInvariantAllPolicies(t *testing.T) {
 	const capacity = 1_000_000
 	for _, f := range policy.StudyFactories() {
 		s := newSim(t, w, Config{Capacity: capacity, Policy: f, WarmupFraction: -1})
-		for i := range w.Events {
-			s.Process(&w.Events[i])
+		for i := 0; i < w.NumRequests(); i++ {
+			ev := w.Event(i)
+			s.Process(&ev)
 			if s.Used() > capacity {
 				t.Fatalf("%s: used %d exceeds capacity after event %d", f.Name, s.Used(), i)
 			}
@@ -301,8 +303,9 @@ func TestProcessOutcomes(t *testing.T) {
 	)
 	s := newSim(t, w, Config{Capacity: 1000, WarmupFraction: -1})
 	want := []Outcome{OutcomeMiss, OutcomeHit, OutcomeModified}
-	for i := range w.Events {
-		if got := s.Process(&w.Events[i]); got != want[i] {
+	for i := 0; i < w.NumRequests(); i++ {
+		ev := w.Event(i)
+		if got := s.Process(&ev); got != want[i] {
 			t.Errorf("event %d outcome = %v, want %v", i, got, want[i])
 		}
 	}

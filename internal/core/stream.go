@@ -5,26 +5,21 @@ import (
 	"fmt"
 	"io"
 
-	"webcachesim/internal/doctype"
 	"webcachesim/internal/trace"
 )
 
 // StreamSimulator simulates directly from a trace.Reader without
 // materializing a Workload — the path for multi-gigabyte traces that do
-// not fit in memory. It performs the same preprocessing inline
-// (modification detection, class resolution) and produces the same Result
-// as BuildWorkload + Simulator; the equivalence is pinned by test.
+// not fit in memory. It performs the same preprocessing inline (the shared
+// ingest pass: interning, eager class resolution, modification detection)
+// and produces the same Result as BuildWorkload + Simulator; the
+// equivalence is pinned by test.
 //
 // Because the total request count is unknown up front, warm-up is
 // specified as an absolute request count rather than a fraction.
 type StreamSimulator struct {
-	sim       *Simulator
-	threshold float64
-
-	ids  map[string]int32
-	keys []string
-	last []int64
-	cls  []byte
+	sim *Simulator
+	ing *ingest
 }
 
 // NewStreamSimulator prepares a streaming simulation. modifyThreshold is
@@ -32,9 +27,6 @@ type StreamSimulator struct {
 // any-change rule). The Config's WarmupFraction must be zero: the stream
 // length is unknown, so warm-up is given to Run as an absolute count.
 func NewStreamSimulator(cfg Config, modifyThreshold float64) (*StreamSimulator, error) {
-	if modifyThreshold == 0 {
-		modifyThreshold = DefaultModifyThreshold
-	}
 	if cfg.Capacity <= 0 {
 		return nil, errBadConfig("capacity %d must be positive", cfg.Capacity)
 	}
@@ -44,10 +36,7 @@ func NewStreamSimulator(cfg Config, modifyThreshold float64) (*StreamSimulator, 
 	if cfg.WarmupFraction != 0 {
 		return nil, errBadConfig("streaming simulation takes warm-up as a request count via Run, not a fraction")
 	}
-	s := &StreamSimulator{
-		threshold: modifyThreshold,
-		ids:       make(map[string]int32, 1024),
-	}
+	s := &StreamSimulator{ing: newIngest(modifyThreshold)}
 	s.sim = &Simulator{
 		cfg:    cfg,
 		pol:    cfg.Policy.New(),
@@ -76,51 +65,15 @@ func (s *StreamSimulator) Run(r trace.Reader, warmupRequests int64) (*Result, er
 
 // Process simulates a single request and reports its disposition.
 func (s *StreamSimulator) Process(req *trace.Request) Outcome {
-	ev := s.annotate(req)
+	ev, newDoc := s.ing.step(req)
+	if newDoc {
+		// Grow the inner simulator's tables in lock step with the interner.
+		s.sim.keys = s.ing.docs.Keys()
+		s.sim.docs = append(s.sim.docs, nil)
+		s.sim.in = append(s.sim.in, false)
+	}
 	return s.sim.Process(&ev)
 }
 
 // Result returns the result accumulated so far.
 func (s *StreamSimulator) Result() *Result { return s.sim.Result() }
-
-// annotate performs the BuildWorkload preprocessing for one request.
-func (s *StreamSimulator) annotate(req *trace.Request) Event {
-	key := req.Key()
-	id, seen := s.ids[key]
-	if !seen {
-		id = int32(len(s.keys))
-		s.ids[key] = id
-		s.keys = append(s.keys, key)
-		s.last = append(s.last, 0)
-		s.cls = append(s.cls, byte(req.Classify()))
-		// Grow the inner simulator's tables in lock step.
-		s.sim.keys = s.keys
-		s.sim.docs = append(s.sim.docs, nil)
-	}
-
-	size := req.DocSize
-	if size <= 0 {
-		size = req.TransferSize
-	}
-	if size <= 0 {
-		size = 1
-	}
-	var prev int64
-	if seen {
-		prev = s.last[id]
-	}
-	modified, docSize := decideModification(s.threshold, prev, size)
-	s.last[id] = docSize
-
-	transfer := req.TransferSize
-	if transfer < 0 {
-		transfer = 0
-	}
-	return Event{
-		DocID:        id,
-		Class:        doctype.Class(s.cls[id]),
-		Modified:     modified,
-		DocSize:      docSize,
-		TransferSize: transfer,
-	}
-}

@@ -101,7 +101,7 @@ func Sweep(w *Workload, cfg SweepConfig) ([]*Result, error) {
 	if now == nil {
 		now = time.Now
 	}
-	tickEvery := journalTickEvery(cfg, int64(len(w.Events)))
+	tickEvery := journalTickEvery(cfg, int64(w.NumRequests()))
 	if cfg.Journal != nil {
 		jw = newJournalWriter(cfg.Journal, now)
 		names := make([]string, len(cfg.Policies))
@@ -114,7 +114,7 @@ func Sweep(w *Workload, cfg SweepConfig) ([]*Result, error) {
 			Capacities:  cfg.Capacities,
 			Parallelism: parallelism,
 			Cells:       len(cells),
-			Requests:    int64(len(w.Events)),
+			Requests:    int64(w.NumRequests()),
 			Documents:   int64(w.NumDocs()),
 		})
 	}
@@ -143,7 +143,7 @@ func Sweep(w *Workload, cfg SweepConfig) ([]*Result, error) {
 	wg.Wait()
 
 	if jw != nil {
-		replayed := int64(len(cells)) * int64(len(w.Events))
+		replayed := int64(len(cells)) * int64(w.NumRequests())
 		elapsedMs, rps := throughput(replayed, now().Sub(sweepStart))
 		jw.emit(JournalRecord{
 			Event:          JournalSweepEnd,

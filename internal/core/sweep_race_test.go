@@ -1,0 +1,80 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"webcachesim/internal/policy"
+	"webcachesim/internal/trace"
+)
+
+// TestSharedTraceConcurrentUseIsRaceFree is the regression pin for the
+// shared-workload lazy-Classify data race: Request.Classify() used to
+// write the derived class back into the shared Request struct, so any two
+// goroutines touching the same trace concurrently raced. The test only
+// proves its point under `go test -race ./internal/core/...` (a CI job);
+// without -race it is a plain smoke test.
+func TestSharedTraceConcurrentUseIsRaceFree(t *testing.T) {
+	// Requests with no recorded Class, so every consumer must derive it —
+	// the exact path that used to perform the lazy write.
+	reqs := make([]*trace.Request, 0, 600)
+	for i := 0; i < 200; i++ {
+		for _, ext := range []string{"gif", "html", "mp3"} {
+			reqs = append(reqs, &trace.Request{
+				URL:          fmt.Sprintf("http://e.com/d%d.%s", i%40, ext),
+				Status:       200,
+				TransferSize: int64(100 + i),
+				DocSize:      int64(100 + i),
+			})
+		}
+	}
+
+	// Two workload builds over the same []*trace.Request at once: with the
+	// old mutating Classify this is a write-write race on Request.Class.
+	var wg sync.WaitGroup
+	workloads := make([]*Workload, 2)
+	for g := range workloads {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			w, err := BuildWorkload(trace.NewSliceReader(reqs), 0)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			workloads[g] = w
+		}(g)
+	}
+	wg.Wait()
+	if t.Failed() {
+		return
+	}
+	if workloads[0].NumRequests() != workloads[1].NumRequests() ||
+		workloads[0].DistinctBytes() != workloads[1].DistinctBytes() {
+		t.Fatal("concurrent builds of the same trace disagree")
+	}
+
+	// A 2-policy Sweep over one shared workload: the cells replay the same
+	// frozen columns concurrently with zero synchronization by
+	// construction.
+	results, err := Sweep(workloads[0], SweepConfig{
+		Policies: []policy.Factory{
+			policy.MustFactory(policy.Spec{Scheme: "lru"}),
+			policy.MustFactory(policy.Spec{Scheme: "gdstar", Cost: policy.PacketCost{}}),
+		},
+		Capacities:  []int64{8 << 10, 64 << 10},
+		Parallelism: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 4 {
+		t.Fatalf("results = %d cells, want 4", len(results))
+	}
+	for _, r := range results {
+		if r.Overall.Requests == 0 {
+			t.Errorf("%s/%d measured no requests", r.Policy, r.Capacity)
+		}
+	}
+}

@@ -30,7 +30,7 @@ const DefaultModifyThreshold = 0.05
 // the class computed, and the modification decision made. Modification
 // detection depends only on the request stream — never on the policy or
 // cache size — so it runs once per trace, and every simulator in a sweep
-// replays the same immutable event slice.
+// replays the same immutable event stream.
 type Event struct {
 	// DocID indexes the workload's document table.
 	DocID int32
@@ -46,40 +46,81 @@ type Event struct {
 	// TransferSize is the number of bytes this request delivered, counted
 	// toward byte hit rate.
 	TransferSize int64
+	// UnixMillis is the request completion time carried through from the
+	// trace (informational; replay never depends on it).
+	UnixMillis int64
 }
 
-// Workload is a preprocessed request stream ready for simulation.
+// Workload is a preprocessed request stream ready for simulation. It is
+// immutable by construction: BuildWorkload resolves document IDs, classes,
+// sizes and modification decisions in one ingest pass, and nothing is
+// written afterwards — the concurrent cells of a Sweep share one Workload
+// with zero synchronization. The stream is stored as parallel columns
+// (structure of arrays) rather than a slice of Events, which keeps each
+// column dense and lets the replay loop touch only the bytes it needs.
 type Workload struct {
-	// Events is the request stream in trace order.
-	Events []Event
-	// Keys maps DocID to the document's URL.
-	Keys []string
-	// ClassOf maps DocID to the document's class (the class of its first
-	// request).
-	ClassOf []doctype.Class
-	// LastSize maps DocID to the document's final recorded size, used to
-	// compute the overall distinct-document volume.
-	LastSize []int64
-	// TotalBytes is the total requested data (sum of transfer sizes).
-	TotalBytes int64
-	// DistinctBytes is the total size of distinct documents at their final
-	// recorded size — the paper's "overall size" of a trace, against which
-	// cache sizes are expressed as percentages.
-	DistinctBytes int64
+	// Per-request columns, in trace order.
+	docID    []int32
+	class    []doctype.Class
+	modified []bool
+	docSize  []int64
+	transfer []int64
+	millis   []int64
+
+	// Per-document tables, indexed by DocID.
+	docs      *trace.Interner
+	classOf   []doctype.Class
+	finalSize []int64
+
+	totalBytes    int64
+	distinctBytes int64
 }
 
 // NumDocs returns the number of distinct documents.
-func (w *Workload) NumDocs() int { return len(w.Keys) }
+func (w *Workload) NumDocs() int { return w.docs.Len() }
 
 // NumRequests returns the number of requests.
-func (w *Workload) NumRequests() int { return len(w.Events) }
+func (w *Workload) NumRequests() int { return len(w.docID) }
 
-// workloadBuilder accumulates documents while scanning a trace.
-type workloadBuilder struct {
-	ids       map[string]int32
-	w         *Workload
-	threshold float64
+// Event gathers row i of the columns into an Event value. The copy is a
+// handful of words; the returned value is the caller's own (Workload
+// columns are never exposed mutably).
+func (w *Workload) Event(i int) Event {
+	return Event{
+		DocID:        w.docID[i],
+		Class:        w.class[i],
+		Modified:     w.modified[i],
+		DocSize:      w.docSize[i],
+		TransferSize: w.transfer[i],
+		UnixMillis:   w.millis[i],
+	}
 }
+
+// Key returns the URL of a document ID.
+func (w *Workload) Key(id int32) string { return w.docs.Key(id) }
+
+// Keys returns the document table in ID order. The slice is shared with
+// the workload and must not be modified.
+func (w *Workload) Keys() []string { return w.docs.Keys() }
+
+// DocID returns the dense ID assigned to a URL; ok is false when the URL
+// does not occur in the workload.
+func (w *Workload) DocID(url string) (id int32, ok bool) { return w.docs.Lookup(url) }
+
+// DocClass returns the class of a document ID (the class of its first
+// request).
+func (w *Workload) DocClass(id int32) doctype.Class { return w.classOf[id] }
+
+// FinalSize returns a document's final recorded size.
+func (w *Workload) FinalSize(id int32) int64 { return w.finalSize[id] }
+
+// TotalBytes returns the total requested data (sum of transfer sizes).
+func (w *Workload) TotalBytes() int64 { return w.totalBytes }
+
+// DistinctBytes returns the total size of distinct documents at their
+// final recorded size — the paper's "overall size" of a trace, against
+// which cache sizes are expressed as percentages.
+func (w *Workload) DistinctBytes() int64 { return w.distinctBytes }
 
 // BuildWorkload scans a preprocessed request stream and produces the
 // immutable workload replayed by simulations. threshold is the relative
@@ -88,14 +129,8 @@ type workloadBuilder struct {
 // "any size change is a modification" rule of Jin & Bestavros, which the
 // paper explicitly deviates from (kept for the ablation study).
 func BuildWorkload(r trace.Reader, threshold float64) (*Workload, error) {
-	if threshold == 0 {
-		threshold = DefaultModifyThreshold
-	}
-	b := &workloadBuilder{
-		ids:       make(map[string]int32, 1024),
-		w:         &Workload{},
-		threshold: threshold,
-	}
+	w := &Workload{}
+	ing := newIngest(threshold)
 	for {
 		req, err := r.Next()
 		if err != nil {
@@ -104,54 +139,76 @@ func BuildWorkload(r trace.Reader, threshold float64) (*Workload, error) {
 			}
 			return nil, fmt.Errorf("core: build workload: %w", err)
 		}
-		b.add(req)
+		ev, _ := ing.step(req)
+		w.docID = append(w.docID, ev.DocID)
+		w.class = append(w.class, ev.Class)
+		w.modified = append(w.modified, ev.Modified)
+		w.docSize = append(w.docSize, ev.DocSize)
+		w.transfer = append(w.transfer, ev.TransferSize)
+		w.millis = append(w.millis, ev.UnixMillis)
+		w.totalBytes += ev.TransferSize
 	}
+	w.docs = ing.docs
+	w.classOf = ing.classOf
+	w.finalSize = ing.last
 	// Tally the distinct-document volume at final sizes.
-	for _, s := range b.w.LastSize {
-		b.w.DistinctBytes += s
+	for _, s := range w.finalSize {
+		w.distinctBytes += s
 	}
-	return b.w, nil
+	return w, nil
 }
 
-func (b *workloadBuilder) add(req *trace.Request) {
-	w := b.w
-	key := req.Key()
-	id, seen := b.ids[key]
-	if !seen {
-		id = int32(len(w.Keys))
-		b.ids[key] = id
-		w.Keys = append(w.Keys, key)
-		w.ClassOf = append(w.ClassOf, req.Classify())
-		w.LastSize = append(w.LastSize, 0)
+// ingest is the one-pass preprocessing shared by BuildWorkload and
+// StreamSimulator: URL interning, eager class resolution (the trace's
+// Request structs are never written to), size inference and the
+// modification decision.
+type ingest struct {
+	docs      *trace.Interner
+	classOf   []doctype.Class
+	last      []int64
+	threshold float64
+}
+
+func newIngest(threshold float64) *ingest {
+	if threshold == 0 {
+		threshold = DefaultModifyThreshold
+	}
+	return &ingest{docs: trace.NewInterner(), threshold: threshold}
+}
+
+// step preprocesses one request into an Event; newDoc reports whether the
+// request introduced a document (its ID is then the highest yet).
+func (g *ingest) step(req *trace.Request) (ev Event, newDoc bool) {
+	known := g.docs.Len()
+	id := g.docs.Intern(req.URL)
+	if newDoc = int(id) == known; newDoc {
+		g.classOf = append(g.classOf, req.Classify())
+		g.last = append(g.last, 0)
 	}
 
 	size := req.DocSize
+	knownFull := size > 0 // the trace recorded the full document size
 	if size <= 0 {
 		size = req.TransferSize
 	}
 	if size <= 0 {
 		size = 1 // zero-byte responses still occupy an entry
 	}
-
-	var prev int64
-	if seen {
-		prev = w.LastSize[id]
-	}
-	modified, docSize := decideModification(b.threshold, prev, size)
-	w.LastSize[id] = docSize
+	modified, docSize := decideModification(g.threshold, g.last[id], size, knownFull)
+	g.last[id] = docSize
 
 	transfer := req.TransferSize
-	if transfer <= 0 {
+	if transfer < 0 {
 		transfer = 0
 	}
-	w.Events = append(w.Events, Event{
+	return Event{
 		DocID:        id,
-		Class:        w.ClassOf[id],
+		Class:        g.classOf[id],
 		Modified:     modified,
 		DocSize:      docSize,
 		TransferSize: transfer,
-	})
-	w.TotalBytes += transfer
+		UnixMillis:   req.UnixMillis,
+	}, newDoc
 }
 
 // decideModification applies the paper's Section 4.1 rule to a document's
@@ -161,10 +218,23 @@ func (b *workloadBuilder) add(req *trace.Request) {
 // interrupted transfer, and the document keeps its largest observed size.
 // A negative threshold selects the Jin & Bestavros any-change rule. prev
 // of zero means the document has not been seen.
-func decideModification(threshold float64, prev, size int64) (modified bool, docSize int64) {
+//
+// knownFull reports whether the observed size is a recorded full document
+// size rather than one inferred from the bytes transferred. An inferred
+// size that comes in *below* the history maximum is a near-complete
+// aborted transfer, not a smaller document: it neither modifies the
+// document nor shrinks its recorded size. Without this guard a 97%-read
+// abort would fall inside the modification window and ratchet the
+// recorded size down.
+func decideModification(threshold float64, prev, size int64, knownFull bool) (modified bool, docSize int64) {
 	docSize = size
 	if prev <= 0 {
 		return false, docSize
+	}
+	if !knownFull && size < prev {
+		// Aborted transfer of a known-larger document: unchanged, and the
+		// recorded size never shrinks.
+		return false, prev
 	}
 	delta := math.Abs(float64(size-prev)) / float64(prev)
 	switch {

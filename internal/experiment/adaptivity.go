@@ -26,13 +26,13 @@ func (e *Env) runFigure1() (*Output, error) {
 	if err != nil {
 		return nil, err
 	}
-	capacity := int64(figure1CapacityPct / 100 * float64(w.DistinctBytes))
+	capacity := int64(figure1CapacityPct / 100 * float64(w.DistinctBytes()))
 	if capacity < 1<<20 {
 		capacity = 1 << 20
 	}
 	sampleEvery := e.opts.SampleEvery
 	if sampleEvery <= 0 {
-		sampleEvery = int64(len(w.Events) / 200)
+		sampleEvery = int64(w.NumRequests() / 200)
 		if sampleEvery < 1 {
 			sampleEvery = 1
 		}
@@ -214,11 +214,11 @@ func (e *Env) adaptivityMMAppBytes(profile string) (gdShare, lruShare float64, e
 	if err != nil {
 		return 0, 0, err
 	}
-	capacity := int64(figure1CapacityPct / 100 * float64(w.DistinctBytes))
+	capacity := int64(figure1CapacityPct / 100 * float64(w.DistinctBytes()))
 	if capacity < 1<<20 {
 		capacity = 1 << 20
 	}
-	sampleEvery := int64(len(w.Events) / 100)
+	sampleEvery := int64(w.NumRequests() / 100)
 	if sampleEvery < 1 {
 		sampleEvery = 1
 	}

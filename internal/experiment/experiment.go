@@ -221,7 +221,7 @@ func (e *Env) Capacities(w *core.Workload) []int64 {
 	out := make([]int64, 0, len(e.opts.CacheSizePcts))
 	seen := make(map[int64]bool, len(e.opts.CacheSizePcts))
 	for _, pct := range e.opts.CacheSizePcts {
-		c := int64(pct / 100 * float64(w.DistinctBytes))
+		c := int64(pct / 100 * float64(w.DistinctBytes()))
 		if c < 1<<20 {
 			c = 1 << 20
 		}

@@ -49,7 +49,7 @@ func (e *Env) runFiltering() (*Output, error) {
 		if err != nil {
 			return nil, err
 		}
-		childCap := int64(0.02 * float64(w.DistinctBytes))
+		childCap := int64(0.02 * float64(w.DistinctBytes()))
 		if childCap < 1<<20 {
 			childCap = 1 << 20
 		}

@@ -18,7 +18,7 @@ func TestGoldenDeterminism(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	capacity := int64(0.02 * float64(w.DistinctBytes))
+	capacity := int64(0.02 * float64(w.DistinctBytes()))
 
 	type golden struct {
 		spec     string

@@ -11,7 +11,7 @@ func benchDocs(n int) []*Doc {
 	rng := rand.New(rand.NewSource(1))
 	docs := make([]*Doc, n)
 	for i := range docs {
-		docs[i] = &Doc{Key: fmt.Sprintf("d%d", i), Size: int64(64 + rng.Intn(100_000))}
+		docs[i] = &Doc{Key: fmt.Sprintf("d%d", i), ID: int32(i), Size: int64(64 + rng.Intn(100_000))}
 	}
 	return docs
 }
@@ -71,15 +71,12 @@ func BenchmarkTypeAwareOps(b *testing.B) {
 
 func BenchmarkBetaEstimatorObserve(b *testing.B) {
 	e := NewBetaEstimator()
-	keys := make([]string, 10_000)
-	for i := range keys {
-		keys[i] = fmt.Sprintf("k%d", i)
-	}
+	const numDocs = 10_000
 	rng := rand.New(rand.NewSource(3))
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		e.Observe(keys[rng.Intn(len(keys))])
+		e.Observe(int32(rng.Intn(numDocs)))
 	}
 }
 

@@ -30,7 +30,7 @@ const (
 // window fits are blended by an exponentially weighted moving average so
 // that β adapts without jitter.
 type BetaEstimator struct {
-	lastSeen   map[string]int64
+	lastSeen   map[int32]int64
 	hist       *stats.LogHistogram
 	clock      int64
 	nextRefit  int64
@@ -49,7 +49,7 @@ func NewBetaEstimator() *BetaEstimator {
 		panic(err)
 	}
 	return &BetaEstimator{
-		lastSeen:   make(map[string]int64, 1024),
+		lastSeen:   make(map[int32]int64, 1024),
 		hist:       hist,
 		refitEvery: defaultRefitEvery,
 		beta:       1,
@@ -65,13 +65,15 @@ func (e *BetaEstimator) SetWindow(n int64) {
 	}
 }
 
-// Observe records a reference to the document identified by key.
-func (e *BetaEstimator) Observe(key string) {
+// Observe records a reference to the document identified by its dense doc
+// ID (see Doc.ID for the keying contract). Integer keys hash as a machine
+// word, which matters: Observe sits on GD*'s per-request hot path.
+func (e *BetaEstimator) Observe(id int32) {
 	e.clock++
-	if last, ok := e.lastSeen[key]; ok {
+	if last, ok := e.lastSeen[id]; ok {
 		e.hist.Add(float64(e.clock - last))
 	}
-	e.lastSeen[key] = e.clock
+	e.lastSeen[id] = e.clock
 	if e.nextRefit == 0 {
 		e.nextRefit = e.refitEvery
 	}

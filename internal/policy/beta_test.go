@@ -1,7 +1,6 @@
 package policy
 
 import (
-	"fmt"
 	"math"
 	"math/rand"
 	"testing"
@@ -15,7 +14,7 @@ func TestBetaEstimatorDefaults(t *testing.T) {
 	if e.Fitted() {
 		t.Error("fresh estimator claims to be fitted")
 	}
-	e.Observe("a")
+	e.Observe(1)
 	if e.Observed() != 1 || e.Tracked() != 1 {
 		t.Errorf("Observed=%d Tracked=%d, want 1,1", e.Observed(), e.Tracked())
 	}
@@ -31,10 +30,12 @@ func feedPowerLawStream(e *BetaEstimator, beta float64, n int, seed int64) float
 		oneMinus := 1 - beta
 		return int64(math.Pow(u*(math.Pow(maxDist, oneMinus)-1)+1, 1/oneMinus))
 	}
-	// Schedule re-references on a virtual timeline.
+	// Schedule re-references on a virtual timeline. Documents take IDs
+	// 0..59; filler one-shot documents use the ID space above fillerBase.
+	const fillerBase = 1 << 16
 	type ev struct {
 		at  int64
-		doc string
+		doc int32
 	}
 	heapLess := func(a, b ev) bool { return a.at < b.at }
 	var pending []ev
@@ -47,15 +48,15 @@ func feedPowerLawStream(e *BetaEstimator, beta float64, n int, seed int64) float
 	// Few enough documents that queueing on the single-request-per-tick
 	// timeline does not distort the scheduled distances.
 	for d := 0; d < 60; d++ {
-		push(ev{at: int64(rng.Intn(500)), doc: fmt.Sprintf("doc%d", d)})
+		push(ev{at: int64(rng.Intn(500)), doc: int32(d)})
 	}
 	var clock int64
-	filler := 0
+	filler := int32(0)
 	for i := 0; i < n && len(pending) > 0; i++ {
 		next := pending[0]
 		if clock < next.at {
 			filler++
-			e.Observe(fmt.Sprintf("fill%d", filler))
+			e.Observe(fillerBase + filler)
 			clock++
 			continue
 		}
@@ -99,7 +100,7 @@ func TestBetaEstimatorClamped(t *testing.T) {
 	// over and over) gives a degenerate single-bucket histogram: the fit
 	// fails or clamps, but beta must stay within bounds.
 	for i := 0; i < 10_000; i++ {
-		e.Observe("same")
+		e.Observe(7)
 	}
 	if b := e.Beta(); b < betaFloor || b > betaCeil {
 		t.Errorf("beta %v escaped clamp [%v, %v]", b, betaFloor, betaCeil)
@@ -113,7 +114,7 @@ func TestBetaEstimatorPrunes(t *testing.T) {
 	// pruning were broken.
 	total := int(pruneDistance*2 + 10)
 	for i := 0; i < total; i++ {
-		e.Observe(fmt.Sprintf("u%d", i))
+		e.Observe(int32(i))
 	}
 	if e.Tracked() >= total {
 		t.Errorf("Tracked = %d, want pruned below %d", e.Tracked(), total)

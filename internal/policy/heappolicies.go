@@ -234,7 +234,7 @@ func (p *GDStar) value(doc *Doc, refs int64) float64 {
 // Insert implements Policy.
 func (p *GDStar) Insert(doc *Doc) {
 	if p.estimator != nil {
-		p.estimator.Observe(doc.Key)
+		p.estimator.Observe(doc.ID)
 	}
 	m := &heapMeta{refs: 1}
 	m.item = p.queue.Push(doc, p.value(doc, 1))
@@ -244,7 +244,7 @@ func (p *GDStar) Insert(doc *Doc) {
 // Hit implements Policy.
 func (p *GDStar) Hit(doc *Doc) {
 	if p.estimator != nil {
-		p.estimator.Observe(doc.Key)
+		p.estimator.Observe(doc.ID)
 	}
 	m, ok := doc.meta.(*heapMeta)
 	if !ok {

@@ -18,14 +18,20 @@ import (
 )
 
 // Doc is a cached document as seen by a replacement policy. The simulator
-// allocates one Doc per resident document and passes the same pointer to
-// every policy call; policies hang their private bookkeeping off the meta
-// field.
+// allocates one Doc per distinct document and passes the same pointer to
+// every policy call — including across an evict/re-insert cycle of the
+// same document; policies hang their private bookkeeping off the meta
+// field and must reset it on Insert.
 type Doc struct {
-	// Key identifies the document (its URL).
+	// Key is the document's URL, kept for reporting and debugging. Policies
+	// must not use it as an identity key — use ID, which is dense and hashes
+	// as a machine word.
 	Key string
-	// ID is an opaque caller-assigned identifier (the simulator's dense
-	// document index). Policies never interpret it.
+	// ID is the document's dense identity: callers assign each distinct
+	// document a unique small integer (the simulator uses the workload's
+	// interned doc ID; the proxy interns URLs the same way). This is the
+	// keying contract for policy state that outlives residency, such as
+	// GD*'s inter-reference tracking.
 	ID int32
 	// Size is the document size in bytes charged against cache capacity.
 	Size int64

@@ -9,8 +9,13 @@ import (
 	"webcachesim/internal/doctype"
 )
 
+// testDocID hands each test Doc a distinct dense ID, as the Doc.ID keying
+// contract requires of callers.
+var testDocID int32
+
 func doc(key string, size int64) *Doc {
-	return &Doc{Key: key, Size: size, Class: doctype.Other}
+	testDocID++
+	return &Doc{Key: key, ID: testDocID, Size: size, Class: doctype.Other}
 }
 
 // allPolicies returns one fresh instance of every scheme for contract

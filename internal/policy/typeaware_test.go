@@ -21,7 +21,8 @@ func newTA(t *testing.T, inner string) *TypeAware {
 }
 
 func classDoc(key string, cl doctype.Class, size int64) *Doc {
-	return &Doc{Key: key, Class: cl, Size: size}
+	testDocID++
+	return &Doc{Key: key, ID: testDocID, Class: cl, Size: size}
 }
 
 func TestTypeAwareContract(t *testing.T) {

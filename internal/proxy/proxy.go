@@ -115,6 +115,7 @@ type Server struct {
 	mu      sync.Mutex
 	pol     policy.Policy
 	entries map[string]*entry
+	ids     *trace.Interner // URL -> dense doc ID (the Doc.ID keying contract)
 	used    int64
 	stats   Stats
 	logw    *trace.SquidWriter
@@ -144,6 +145,7 @@ func New(cfg Config) (*Server, error) {
 		now:       cfg.Now,
 		pol:       cfg.Policy.New(),
 		entries:   make(map[string]*entry, 1024),
+		ids:       trace.NewInterner(),
 		metrics:   newServerMetrics(reg),
 	}
 	s.registerGauges(reg)
@@ -315,10 +317,13 @@ func containsToken(header, token string) bool {
 	return false
 }
 
-// insert stores an entry, evicting as needed.
+// insert stores an entry, evicting as needed. The document is assigned
+// its dense ID here, under the lock, so policies keying on Doc.ID (GD*'s
+// estimator) see one stable ID per URL across refetches.
 func (s *Server) insert(e *entry) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	e.doc.ID = s.ids.Intern(e.doc.Key)
 	if old, ok := s.entries[e.doc.Key]; ok {
 		s.pol.Remove(old.doc)
 		s.used -= old.doc.Size

@@ -1,0 +1,24 @@
+package synth
+
+import (
+	"io"
+
+	"webcachesim/internal/trace"
+)
+
+// Reader adapts the generator to the trace.Reader interface, so a
+// synthetic trace can feed core.BuildWorkload (or any other trace
+// consumer) directly — interned at ingest, with no intermediate
+// []*trace.Request materialized.
+func (g *Generator) Reader() trace.Reader { return generatorReader{g} }
+
+type generatorReader struct{ g *Generator }
+
+// Next implements trace.Reader; the end of the configured request count is
+// a clean io.EOF.
+func (r generatorReader) Next() (*trace.Request, error) {
+	if req := r.g.Next(); req != nil {
+		return req, nil
+	}
+	return nil, io.EOF
+}

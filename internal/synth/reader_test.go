@@ -1,0 +1,35 @@
+package synth
+
+import (
+	"io"
+	"reflect"
+	"testing"
+)
+
+// TestReaderMatchesGenerate pins the trace.Reader adapter: pulling the
+// generator through Reader() yields the identical stream Generate
+// materializes, ending in a clean io.EOF.
+func TestReaderMatchesGenerate(t *testing.T) {
+	opts := Options{Seed: 5, Requests: 500}
+	want, err := Generate(DFNProfile(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := NewGenerator(DFNProfile(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := g.Reader()
+	for i, w := range want {
+		req, err := r.Next()
+		if err != nil {
+			t.Fatalf("request %d: %v", i, err)
+		}
+		if !reflect.DeepEqual(*req, *w) {
+			t.Fatalf("request %d:\n got %+v\nwant %+v", i, *req, *w)
+		}
+	}
+	if _, err := r.Next(); err != io.EOF {
+		t.Errorf("after %d requests: err = %v, want io.EOF", len(want), err)
+	}
+}

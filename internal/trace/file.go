@@ -18,6 +18,9 @@ const (
 	FormatSquid Format = "squid"
 	// FormatBinary is the compact binary format (WCT1).
 	FormatBinary Format = "binary"
+	// FormatInterned is the interned binary format (WCT2): string tables
+	// carried inline, documents classified eagerly at write time.
+	FormatInterned Format = "interned"
 	// FormatCLF is the Common Log Format of origin servers (Apache), with
 	// combined-format suffix fields tolerated.
 	FormatCLF Format = "clf"
@@ -33,6 +36,8 @@ func ParseFormat(s string) (Format, error) {
 		return FormatSquid, nil
 	case "binary", "bin", "wct", "wct1":
 		return FormatBinary, nil
+	case "interned", "wct2", "wci":
+		return FormatInterned, nil
 	case "clf", "common", "combined", "apache":
 		return FormatCLF, nil
 	case "", "auto":
@@ -89,6 +94,8 @@ func OpenFile(path string, format Format) (*FileReader, error) {
 	switch format {
 	case FormatBinary:
 		fr.Reader = NewBinaryReader(br)
+	case FormatInterned:
+		fr.Reader = NewInternedReader(br)
 	case FormatSquid:
 		fr.Reader = NewSquidReader(br)
 	case FormatCLF:
@@ -104,8 +111,13 @@ func OpenFile(path string, format Format) (*FileReader, error) {
 // compact format; a first line shaped like `... [date] "request" ...`
 // selects CLF; anything else is treated as a Squid native log.
 func sniffFormat(br *bufio.Reader) Format {
-	if head, err := br.Peek(4); err == nil && len(head) == 4 && [4]byte(head) == binaryMagic {
-		return FormatBinary
+	if head, err := br.Peek(4); err == nil && len(head) == 4 {
+		switch [4]byte(head) {
+		case binaryMagic:
+			return FormatBinary
+		case internedMagic:
+			return FormatInterned
+		}
 	}
 	head, _ := br.Peek(4096)
 	line := string(head)
@@ -150,14 +162,17 @@ func (fw *FileWriter) Close() error {
 }
 
 // CreateFile creates a trace file for writing. A ".gz" path suffix enables
-// gzip compression; FormatAuto picks binary for ".wct"/".bin" extensions
-// and squid otherwise.
+// gzip compression; FormatAuto picks interned for ".wci", binary for
+// ".wct"/".bin", and squid otherwise.
 func CreateFile(path string, format Format) (*FileWriter, error) {
 	if format == FormatAuto {
 		base := strings.TrimSuffix(path, ".gz")
-		if strings.HasSuffix(base, ".wct") || strings.HasSuffix(base, ".bin") {
+		switch {
+		case strings.HasSuffix(base, ".wci"):
+			format = FormatInterned
+		case strings.HasSuffix(base, ".wct") || strings.HasSuffix(base, ".bin"):
 			format = FormatBinary
-		} else {
+		default:
 			format = FormatSquid
 		}
 	}
@@ -175,6 +190,9 @@ func CreateFile(path string, format Format) (*FileWriter, error) {
 	switch format {
 	case FormatBinary:
 		w := NewBinaryWriter(dst)
+		fw.Writer, fw.flush = w, w.Flush
+	case FormatInterned:
+		w := NewInternedWriter(dst)
 		fw.Writer, fw.flush = w, w.Flush
 	case FormatSquid:
 		w := NewSquidWriter(dst)

@@ -1,0 +1,48 @@
+package trace
+
+// Interner assigns dense int32 identifiers to document URLs (and any other
+// repeated string domain, such as clients or methods). IDs are allocated in
+// first-seen order starting from zero, so an Interner doubles as the
+// string table of the interned workload and binary formats: Key(id) is the
+// inverse of Intern(key) and the table is reproducible from the stream.
+//
+// The zero value is not ready for use; call NewInterner.
+type Interner struct {
+	ids  map[string]int32
+	keys []string
+}
+
+// NewInterner returns an empty interner.
+func NewInterner() *Interner {
+	return &Interner{ids: make(map[string]int32)}
+}
+
+// Intern returns the dense ID for key, assigning the next free ID on first
+// sight.
+func (in *Interner) Intern(key string) int32 {
+	if id, ok := in.ids[key]; ok {
+		return id
+	}
+	id := int32(len(in.keys))
+	in.ids[key] = id
+	in.keys = append(in.keys, key)
+	return id
+}
+
+// Lookup returns the ID for key without assigning one; ok is false when the
+// key has never been interned.
+func (in *Interner) Lookup(key string) (id int32, ok bool) {
+	id, ok = in.ids[key]
+	return id, ok
+}
+
+// Key returns the string for a previously assigned ID. It panics on an ID
+// that was never assigned, matching slice-bounds semantics.
+func (in *Interner) Key(id int32) string { return in.keys[id] }
+
+// Len returns the number of distinct keys interned so far.
+func (in *Interner) Len() int { return len(in.keys) }
+
+// Keys returns the backing table in ID order. The caller must not modify
+// the returned slice; it is shared with the interner.
+func (in *Interner) Keys() []string { return in.keys }

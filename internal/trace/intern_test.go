@@ -1,0 +1,57 @@
+package trace
+
+import "testing"
+
+func TestInternerAssignsDenseFirstSeenIDs(t *testing.T) {
+	in := NewInterner()
+	if in.Len() != 0 {
+		t.Fatalf("new interner Len = %d, want 0", in.Len())
+	}
+	a := in.Intern("http://e.com/a")
+	b := in.Intern("http://e.com/b")
+	a2 := in.Intern("http://e.com/a")
+	c := in.Intern("http://e.com/c")
+	if a != 0 || b != 1 || c != 2 {
+		t.Errorf("IDs = %d, %d, %d, want dense 0, 1, 2", a, b, c)
+	}
+	if a2 != a {
+		t.Errorf("re-interning returned %d, want %d", a2, a)
+	}
+	if in.Len() != 3 {
+		t.Errorf("Len = %d, want 3", in.Len())
+	}
+}
+
+func TestInternerKeyInvertsIntern(t *testing.T) {
+	in := NewInterner()
+	keys := []string{"x", "", "a long key with spaces", "x/y"}
+	for _, k := range keys {
+		id := in.Intern(k)
+		if got := in.Key(id); got != k {
+			t.Errorf("Key(Intern(%q)) = %q", k, got)
+		}
+	}
+	table := in.Keys()
+	if len(table) != len(keys) {
+		t.Fatalf("Keys len = %d, want %d", len(table), len(keys))
+	}
+	for i, k := range keys {
+		if table[i] != k {
+			t.Errorf("Keys()[%d] = %q, want %q", i, table[i], k)
+		}
+	}
+}
+
+func TestInternerLookupDoesNotAssign(t *testing.T) {
+	in := NewInterner()
+	in.Intern("present")
+	if id, ok := in.Lookup("present"); !ok || id != 0 {
+		t.Errorf("Lookup(present) = %d, %v, want 0, true", id, ok)
+	}
+	if _, ok := in.Lookup("absent"); ok {
+		t.Error("Lookup invented an ID for an unseen key")
+	}
+	if in.Len() != 1 {
+		t.Errorf("Lookup grew the table: Len = %d, want 1", in.Len())
+	}
+}

@@ -4,17 +4,16 @@ import (
 	"errors"
 	"fmt"
 	"io"
-
-	"webcachesim/internal/container/pqueue"
 )
 
 // MergeReader interleaves several request streams into one stream ordered
 // by timestamp — the tool for combining per-day log files or the logs of
 // sibling proxies into a single trace. Each source must itself be
-// time-ordered; ties are broken by source order, so merging is
-// deterministic.
+// time-ordered; ties are broken by source order (every pending request of
+// an earlier source precedes any equal-timestamp request of a later one),
+// so merging is deterministic regardless of read interleaving.
 type MergeReader struct {
-	queue   pqueue.Queue[mergeSource]
+	heads   []mergeSource // min-heap on (head.UnixMillis, index)
 	primed  bool
 	sources []Reader
 }
@@ -43,19 +42,35 @@ func (m *MergeReader) Next() (*Request, error) {
 			}
 		}
 	}
-	item, err := m.queue.PopMin()
-	if err != nil {
+	if len(m.heads) == 0 {
 		return nil, io.EOF
 	}
-	s := item.Value
+	s := m.heads[0]
 	req := s.head
-	if err := m.push(s.reader, s.index); err != nil {
-		return nil, err
+	// Refill from the same source so its next request competes for the
+	// spot its predecessor just vacated. With at most one pending head per
+	// source, ordering within a source is preserved by construction, and
+	// the (timestamp, source index) heap order makes equal-timestamp runs
+	// drain source by source.
+	next, err := s.reader.Next()
+	switch {
+	case err == nil:
+		m.heads[0].head = next
+		m.siftDown(0)
+	case errors.Is(err, io.EOF):
+		last := len(m.heads) - 1
+		m.heads[0] = m.heads[last]
+		m.heads = m.heads[:last]
+		if len(m.heads) > 0 {
+			m.siftDown(0)
+		}
+	default:
+		return nil, fmt.Errorf("trace: merge source %d: %w", s.index, err)
 	}
 	return req, nil
 }
 
-// push reads the next head from a source and enqueues it; a source at EOF
+// push reads the first head from a source and enqueues it; a source at EOF
 // is dropped.
 func (m *MergeReader) push(src Reader, index int) error {
 	req, err := src.Next()
@@ -65,9 +80,46 @@ func (m *MergeReader) push(src Reader, index int) error {
 		}
 		return fmt.Errorf("trace: merge source %d: %w", index, err)
 	}
-	// Priority is the timestamp; among equal stamps, pqueue's FIFO tie
-	// break preserves push order, and sources are pushed in index order
-	// when primed.
-	m.queue.Push(mergeSource{reader: src, head: req, index: index}, float64(req.UnixMillis))
+	m.heads = append(m.heads, mergeSource{reader: src, head: req, index: index})
+	m.siftUp(len(m.heads) - 1)
 	return nil
+}
+
+// less orders heap entries by timestamp, then by source index, pinning the
+// documented tie-break structurally rather than by insertion order.
+func (m *MergeReader) less(a, b int) bool {
+	ha, hb := m.heads[a], m.heads[b]
+	if ha.head.UnixMillis != hb.head.UnixMillis {
+		return ha.head.UnixMillis < hb.head.UnixMillis
+	}
+	return ha.index < hb.index
+}
+
+func (m *MergeReader) siftUp(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !m.less(i, parent) {
+			return
+		}
+		m.heads[i], m.heads[parent] = m.heads[parent], m.heads[i]
+		i = parent
+	}
+}
+
+func (m *MergeReader) siftDown(i int) {
+	n := len(m.heads)
+	for {
+		smallest := i
+		if l := 2*i + 1; l < n && m.less(l, smallest) {
+			smallest = l
+		}
+		if r := 2*i + 2; r < n && m.less(r, smallest) {
+			smallest = r
+		}
+		if smallest == i {
+			return
+		}
+		m.heads[i], m.heads[smallest] = m.heads[smallest], m.heads[i]
+		i = smallest
+	}
 }

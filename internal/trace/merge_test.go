@@ -109,3 +109,81 @@ func TestMergeManyRandomSources(t *testing.T) {
 		}
 	}
 }
+
+// TestMergeEqualTimestampRunsDrainBySource pins the exact case the old
+// priority-queue tie break got wrong: after popping source A's head, A's
+// next equal-timestamp request must still precede source B's already
+// queued head. Global FIFO insertion order produced A1, B1, A2 here.
+func TestMergeEqualTimestampRunsDrainBySource(t *testing.T) {
+	a := []*Request{
+		{UnixMillis: 5, URL: "a1"},
+		{UnixMillis: 5, URL: "a2"},
+	}
+	b := []*Request{{UnixMillis: 5, URL: "b1"}}
+	got, err := ReadAll(NewMergeReader(NewSliceReader(a), NewSliceReader(b)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"a1", "a2", "b1"}
+	for i, r := range got {
+		if r.URL != want[i] {
+			t.Fatalf("order = [%s %s %s], want %v", got[0].URL, got[1].URL, got[2].URL, want)
+		}
+	}
+}
+
+// TestMergeStableOrderProperty is the property pin for the documented
+// contract: the merge equals a stable sort of all requests by
+// (timestamp, source index, intra-source position). Sources are generated
+// with heavy timestamp collisions so ties dominate.
+func TestMergeStableOrderProperty(t *testing.T) {
+	type tagged struct {
+		ts     int64
+		source int
+		pos    int
+	}
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 50; trial++ {
+		numSources := 2 + rng.Intn(5)
+		var want []tagged
+		var sources []Reader
+		for s := 0; s < numSources; s++ {
+			n := rng.Intn(40)
+			reqs := make([]*Request, n)
+			ts := int64(rng.Intn(3))
+			for i := 0; i < n; i++ {
+				ts += int64(rng.Intn(3)) // frequent zero increments => ties
+				reqs[i] = &Request{
+					UnixMillis: ts,
+					URL:        "http://e.com/s" + strconv.Itoa(s) + "p" + strconv.Itoa(i),
+					Status:     200,
+				}
+				want = append(want, tagged{ts: ts, source: s, pos: i})
+			}
+			sources = append(sources, NewSliceReader(reqs))
+		}
+		sort.SliceStable(want, func(i, j int) bool {
+			if want[i].ts != want[j].ts {
+				return want[i].ts < want[j].ts
+			}
+			if want[i].source != want[j].source {
+				return want[i].source < want[j].source
+			}
+			return want[i].pos < want[j].pos
+		})
+		merged, err := ReadAll(NewMergeReader(sources...))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(merged) != len(want) {
+			t.Fatalf("trial %d: merged %d, want %d", trial, len(merged), len(want))
+		}
+		for i, w := range want {
+			wantURL := "http://e.com/s" + strconv.Itoa(w.source) + "p" + strconv.Itoa(w.pos)
+			if merged[i].UnixMillis != w.ts || merged[i].URL != wantURL {
+				t.Fatalf("trial %d position %d: got (%d, %s), want (%d, %s)",
+					trial, i, merged[i].UnixMillis, merged[i].URL, w.ts, wantURL)
+			}
+		}
+	}
+}

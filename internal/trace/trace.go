@@ -1,9 +1,12 @@
 // Package trace defines the proxy request-stream model used throughout the
 // study and implements the trace formats and the preprocessing rules of
 // Section 2 of the paper: parsing of Squid native access logs (the format
-// both the DFN and NLANR RTP traces were recorded in), a compact binary
-// format for fast repeated simulation, and the cacheability filter
-// (CGI/query heuristics plus the HTTP status-code whitelist).
+// both the DFN and NLANR RTP traces were recorded in), compact binary
+// formats for fast repeated simulation (WCT1, and the interned WCT2 whose
+// string tables match the simulator's dense document IDs), the URL
+// interner itself, a timestamp-ordered merge with a stable tie-break, and
+// the cacheability filter (CGI/query heuristics plus the HTTP status-code
+// whitelist).
 package trace
 
 import (
@@ -35,8 +38,10 @@ type Request struct {
 	// ContentType is the MIME type from the response header ("" if the
 	// proxy did not record one).
 	ContentType string
-	// Class caches the document classification. A zero (Unknown) class is
-	// resolved lazily by Classify.
+	// Class is the document classification if the trace recorded one. A
+	// zero (Unknown) class means the producer left classification to the
+	// consumer; Classify derives it without mutating the request, so
+	// Requests can be shared across goroutines once constructed.
 	Class doctype.Class
 	// Client identifies the requesting client (opaque; used only by
 	// characterization).
@@ -45,13 +50,17 @@ type Request struct {
 	Method string
 }
 
-// Classify returns the request's document class, computing and caching it
-// from the content type and URL on first use.
+// Classify returns the request's document class, deriving it from the
+// content type and URL when the Class field is unset. Classify is pure: it
+// never writes to the request, so a []*Request shared by concurrent
+// simulation cells stays race-free. Callers that want the class resolved
+// once should store the result themselves (core.BuildWorkload does this
+// eagerly at ingest time).
 func (r *Request) Classify() doctype.Class {
-	if r.Class == doctype.Unknown {
-		r.Class = doctype.Classify(r.ContentType, r.URL)
+	if r.Class != doctype.Unknown {
+		return r.Class
 	}
-	return r.Class
+	return doctype.Classify(r.ContentType, r.URL)
 }
 
 // Key returns the document identity used by caches and characterization.

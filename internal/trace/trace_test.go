@@ -55,15 +55,20 @@ func TestCacheable(t *testing.T) {
 	}
 }
 
-func TestClassifyCachesClass(t *testing.T) {
+func TestClassifyIsPure(t *testing.T) {
 	r := &Request{URL: "http://e.com/a.gif"}
 	if got := r.Classify(); got != doctype.Image {
 		t.Fatalf("Classify = %v, want Image", got)
 	}
-	// Mutating the URL must not change the cached class.
-	r.URL = "http://e.com/a.pdf"
-	if got := r.Classify(); got != doctype.Image {
-		t.Errorf("Classify after mutation = %v, want cached Image", got)
+	// Classify must not write the derived class back: requests are shared
+	// across goroutines, and the old lazy-caching write was a data race.
+	if r.Class != doctype.Unknown {
+		t.Errorf("Classify mutated the request: Class = %v", r.Class)
+	}
+	// A class the producer recorded wins over derivation.
+	r.Class = doctype.HTML
+	if got := r.Classify(); got != doctype.HTML {
+		t.Errorf("Classify ignored the recorded class: %v", got)
 	}
 }
 
