@@ -20,18 +20,27 @@ test:
 	$(GO) test ./...
 
 # The core tree includes the shared-workload race regression test
-# (sweep_race_test.go), which only proves its point under -race.
+# (sweep_race_test.go), which only proves its point under -race; the MRC
+# scan runs concurrently with the per-cell fan-out, so it rides along.
 race:
-	$(GO) test -race ./internal/core/... ./internal/policy/...
+	$(GO) test -race ./internal/core/... ./internal/policy/... ./internal/mrc/...
 
 # Replay-path benchmark: the interned columnar workload against the
-# string-keyed baseline, recorded as JSON (see cmd/wcbench).
+# string-keyed baseline (BENCH_ingest.json), then the full-grid sweep in
+# its fast configuration — one-pass MRC for LRU plus 1/8 document
+# sampling — against per-cell replay of every cell (BENCH_mrc.json). See
+# cmd/wcbench and docs/MRC.md.
 bench:
 	$(GO) test -run '^$$' -bench '^BenchmarkReplay(StringKeyed|Interned)$$' \
 		-benchmem -count 3 ./internal/core | \
 		$(GO) run ./cmd/wcbench -baseline ReplayStringKeyed -new ReplayInterned \
 		-o BENCH_ingest.json
 	@cat BENCH_ingest.json
+	$(GO) test -run '^$$' -bench '^BenchmarkSweepGrid(PerCell|Fast)$$' \
+		-count 3 ./internal/core | \
+		$(GO) run ./cmd/wcbench -baseline SweepGridPerCell -new SweepGridFast \
+		-o BENCH_mrc.json
+	@cat BENCH_mrc.json
 
 # Short fuzz budget per trace-decoder target; CI runs the same loop.
 fuzz-smoke:

@@ -27,7 +27,7 @@ func summarizeJournal(path string, out io.Writer, markdown bool) error {
 	}
 
 	var start, end *core.JournalRecord
-	var runs []core.JournalRecord
+	var runs, mrcPasses []core.JournalRecord
 	progress := 0
 	for i := range recs {
 		switch recs[i].Event {
@@ -39,14 +39,28 @@ func summarizeJournal(path string, out io.Writer, markdown bool) error {
 			end = &recs[i]
 		case core.JournalRunEnd:
 			runs = append(runs, recs[i])
+		case core.JournalMRCPass:
+			mrcPasses = append(mrcPasses, recs[i])
 		case core.JournalProgress:
 			progress++
 		}
 	}
 	if start != nil {
-		fmt.Fprintf(out, "journal: %s — %d policies × %d capacities over %d requests (%d documents), parallelism %d\n\n",
+		fmt.Fprintf(out, "journal: %s — %d policies × %d capacities over %d requests (%d documents), parallelism %d\n",
 			path, len(start.Policies), len(start.Capacities),
 			start.Requests, start.Documents, start.Parallelism)
+		if start.SampleRate > 0 {
+			fmt.Fprintf(out, "note: approximate sweep — spatial document sampling at R=%.4g, capacities scaled to match\n",
+				start.SampleRate)
+		}
+		fmt.Fprintln(out)
+	}
+	for _, m := range mrcPasses {
+		fmt.Fprintf(out, "mrc pass: %s served %d capacities from one stack-distance scan (%.2fs wall, %.0f kreq/s)\n",
+			m.Policy, len(m.Capacities), m.ElapsedMs/1000, m.RequestsPerSec/1000)
+	}
+	if len(mrcPasses) > 0 {
+		fmt.Fprintln(out)
 	}
 
 	t := report.NewTable("Run journal summary", "Policy", "Cache (MB)",

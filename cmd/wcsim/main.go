@@ -7,6 +7,7 @@
 //	wcsim -trace t.wct.gz [-policies lru,lfuda,gds:1,gdstar:p]
 //	      [-sizes 64MB,256MB,1GB | -size-pcts 0.5,1,2,4] [-warmup 0.1]
 //	      [-by-class] [-csv] [-occupancy N] [-check] [-journal run.jsonl]
+//	      [-sample-rate 0.125]
 package main
 
 import (
@@ -48,6 +49,7 @@ func run(args []string, out io.Writer) error {
 		par      = fs.Int("parallelism", 0, "max concurrent simulations (0 = GOMAXPROCS)")
 		check    = fs.Bool("check", false, "run policies under the runtime contract checker (slower; aborts on the first violation)")
 		journal  = fs.String("journal", "", "write a JSONL run journal (progress, throughput, wall-clock per cell) to this path; summarize with wcreport -journal")
+		sample   = fs.Float64("sample-rate", 0, "simulate only this fraction of documents (spatial hash sampling, 0<R<1) with capacities scaled to match; results are approximate (docs/MRC.md)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -69,12 +71,16 @@ func run(args []string, out io.Writer) error {
 		return err
 	}
 
+	if *sample < 0 || *sample > 1 {
+		return fmt.Errorf("-sample-rate %v must be within [0, 1] (0 disables, 1 is a full replay)", *sample)
+	}
 	sweepCfg := core.SweepConfig{
 		Policies:       factories,
 		Capacities:     capacities,
 		WarmupFraction: *warmup,
 		Parallelism:    *par,
 		SelfCheck:      *check,
+		SampleRate:     *sample,
 	}
 	var journalFile *os.File
 	if *journal != "" {
@@ -96,6 +102,10 @@ func run(args []string, out io.Writer) error {
 
 	fmt.Fprintf(out, "trace: %s — %d requests, %d distinct documents, %.2f GB\n\n",
 		*tracePath, w.NumRequests(), w.NumDocs(), float64(w.DistinctBytes())/(1<<30))
+	if len(results) > 0 && results[0].SampleRate > 0 {
+		fmt.Fprintf(out, "note: approximate results — spatial document sampling at R=%.4g, capacities scaled to match\n\n",
+			results[0].SampleRate)
+	}
 
 	t := report.NewTable("Simulation results", "Policy", "Cache (MB)", "HR", "BHR",
 		"Evictions", "Modifications")

@@ -1,0 +1,52 @@
+// Package fenwick implements a binary-indexed (Fenwick) tree over int64
+// values: point updates and prefix sums in O(log n). It is the substrate
+// of the one-pass miss-ratio-curve engine in internal/mrc, where one tree
+// indexed by last-access position accumulates distinct-document counts and
+// a second accumulates resident bytes, turning every reuse-distance query
+// into two prefix sums.
+package fenwick
+
+// Tree is a fixed-size binary-indexed tree over int64. The zero value is
+// unusable; create trees with New. Tree is not safe for concurrent use.
+type Tree struct {
+	// nodes uses the conventional 1-based layout: nodes[i] covers the
+	// half-open index range (i - lsb(i), i].
+	nodes []int64
+}
+
+// New returns a tree over indices [0, n) with all values zero.
+func New(n int) *Tree {
+	return &Tree{nodes: make([]int64, n+1)}
+}
+
+// Len returns the number of indexed positions.
+func (t *Tree) Len() int { return len(t.nodes) - 1 }
+
+// Add adds delta to the value at index i.
+func (t *Tree) Add(i int, delta int64) {
+	for i++; i < len(t.nodes); i += i & -i {
+		t.nodes[i] += delta
+	}
+}
+
+// Sum returns the sum of values at indices [0, i). Sum(0) is 0 and
+// Sum(Len()) is the total.
+func (t *Tree) Sum(i int) int64 {
+	var s int64
+	for ; i > 0; i -= i & -i {
+		s += t.nodes[i]
+	}
+	return s
+}
+
+// Range returns the sum of values at indices [lo, hi). An empty or
+// inverted range sums to zero.
+func (t *Tree) Range(lo, hi int) int64 {
+	if hi <= lo {
+		return 0
+	}
+	return t.Sum(hi) - t.Sum(lo)
+}
+
+// Total returns the sum over all indices.
+func (t *Tree) Total() int64 { return t.Sum(t.Len()) }

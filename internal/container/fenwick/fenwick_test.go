@@ -1,0 +1,66 @@
+package fenwick
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestTreeAgainstNaiveSums(t *testing.T) {
+	const n = 257
+	rng := rand.New(rand.NewSource(1))
+	tree := New(n)
+	naive := make([]int64, n)
+	for step := 0; step < 5000; step++ {
+		i := rng.Intn(n)
+		delta := int64(rng.Intn(2001) - 1000)
+		tree.Add(i, delta)
+		naive[i] += delta
+
+		lo, hi := rng.Intn(n+1), rng.Intn(n+1)
+		var want int64
+		for j := lo; j < hi; j++ {
+			want += naive[j]
+		}
+		if got := tree.Range(lo, hi); got != want {
+			t.Fatalf("step %d: Range(%d, %d) = %d, want %d", step, lo, hi, got, want)
+		}
+	}
+	var total int64
+	for _, v := range naive {
+		total += v
+	}
+	if got := tree.Total(); got != total {
+		t.Fatalf("Total() = %d, want %d", got, total)
+	}
+}
+
+func TestTreeEdges(t *testing.T) {
+	tree := New(4)
+	if tree.Len() != 4 {
+		t.Fatalf("Len = %d, want 4", tree.Len())
+	}
+	if got := tree.Sum(0); got != 0 {
+		t.Errorf("Sum(0) = %d, want 0", got)
+	}
+	tree.Add(0, 7)
+	tree.Add(3, 5)
+	if got := tree.Sum(4); got != 12 {
+		t.Errorf("Sum(4) = %d, want 12", got)
+	}
+	if got := tree.Range(2, 2); got != 0 {
+		t.Errorf("empty range = %d, want 0", got)
+	}
+	if got := tree.Range(3, 1); got != 0 {
+		t.Errorf("inverted range = %d, want 0", got)
+	}
+	if got := tree.Range(1, 4); got != 5 {
+		t.Errorf("Range(1,4) = %d, want 5", got)
+	}
+}
+
+func TestTreeEmpty(t *testing.T) {
+	tree := New(0)
+	if tree.Len() != 0 || tree.Total() != 0 {
+		t.Fatalf("empty tree: Len=%d Total=%d", tree.Len(), tree.Total())
+	}
+}

@@ -212,3 +212,83 @@ func BenchmarkSweepJournaled(b *testing.B) {
 		}
 	}
 }
+
+// benchCleanWorkload builds an MRC-exact workload (fixed per-document
+// sizes, no modifications) for the grid benchmarks: ~100k requests over
+// ~20k documents, sizes small enough that every document fits even the
+// smallest sample-scaled capacity.
+func benchCleanWorkload(b *testing.B) *Workload {
+	b.Helper()
+	rng := rand.New(rand.NewSource(3))
+	const requests, docs = 100_000, 20_000
+	exts := []string{"gif", "html", "mp3", "pdf"}
+	sizes := make([]int64, docs)
+	for i := range sizes {
+		sizes[i] = int64(200 + rng.Intn(8000))
+	}
+	reqs := make([]*trace.Request, 0, requests)
+	for i := 0; i < requests; i++ {
+		id := int(float64(docs) * rng.Float64() * rng.Float64())
+		reqs = append(reqs, &trace.Request{
+			URL:          fmt.Sprintf("http://bench/d%d.%s", id, exts[id%len(exts)]),
+			Status:       200,
+			TransferSize: sizes[id],
+			DocSize:      sizes[id],
+		})
+	}
+	w, err := BuildWorkload(trace.NewSliceReader(reqs), 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return w
+}
+
+// benchGridCapacities is the 8-point capacity grid of the MRC benchmarks:
+// 1 MB to 128 MB, geometric.
+func benchGridCapacities() []int64 {
+	caps := make([]int64, 8)
+	for i := range caps {
+		caps[i] = 1 << (20 + i)
+	}
+	return caps
+}
+
+// BenchmarkSweepGridPerCell is the baseline side of BENCH_mrc.json: a
+// 6-policy × 8-capacity sweep where every cell — LRU included — is a full
+// per-cell replay of the whole trace.
+func BenchmarkSweepGridPerCell(b *testing.B) {
+	w := benchCleanWorkload(b)
+	cfg := SweepConfig{
+		Policies:   policy.StudyFactories(),
+		Capacities: benchGridCapacities(),
+		PerCellLRU: true,
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Sweep(w, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSweepGridFast runs the same grid in the sweep's fast
+// configuration: LRU cells collapse into one exact stack-distance scan,
+// and the heap policies replay a 1/8 spatial document sample against
+// scaled capacities. The BENCH_mrc.json speedup is this benchmark against
+// BenchmarkSweepGridPerCell; exact-mode fidelity is pinned separately by
+// TestSweepMRCFastPathMatchesPerCell and sampling error by
+// TestSweepSampledApproximatesExact.
+func BenchmarkSweepGridFast(b *testing.B) {
+	w := benchCleanWorkload(b)
+	cfg := SweepConfig{
+		Policies:   policy.StudyFactories(),
+		Capacities: benchGridCapacities(),
+		SampleRate: 0.125,
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Sweep(w, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -26,6 +26,11 @@ import (
 const (
 	// JournalSweepStart opens the journal: the grid being swept.
 	JournalSweepStart = "sweep_start"
+	// JournalMRCPass records that one policy's cells were computed by the
+	// one-pass stack-distance engine instead of per-cell replay, with the
+	// (possibly sample-scaled) capacities covered and the cost of the
+	// scan.
+	JournalMRCPass = "mrc_pass"
 	// JournalRunStart marks one policy × capacity cell starting.
 	JournalRunStart = "run_start"
 	// JournalProgress is a periodic per-run tick with throughput so far.
@@ -49,13 +54,17 @@ type JournalRecord struct {
 	UnixMs int64 `json:"unixMs"`
 
 	// Policies, Capacities, Parallelism and Cells describe the grid
-	// (sweep_start only).
+	// (sweep_start; mrc_pass reuses Capacities for the set one scan
+	// covered).
 	Policies    []string `json:"policies,omitempty"`
 	Capacities  []int64  `json:"capacities,omitempty"`
 	Parallelism int      `json:"parallelism,omitempty"`
 	Cells       int      `json:"cells,omitempty"`
 	// Documents is the workload's distinct-document count (sweep_start).
 	Documents int64 `json:"documents,omitempty"`
+	// SampleRate is the document sampling rate of an approximate sweep
+	// (sweep_start; zero for exact sweeps).
+	SampleRate float64 `json:"sampleRate,omitempty"`
 
 	// Policy and Capacity identify the cell (run_start, progress,
 	// run_end).
@@ -220,6 +229,10 @@ func validateJournalRecord(rec JournalRecord, first bool) error {
 	case JournalSweepStart:
 		if len(rec.Policies) == 0 || len(rec.Capacities) == 0 {
 			return fmt.Errorf("%s without policies/capacities", rec.Event)
+		}
+	case JournalMRCPass:
+		if rec.Policy == "" || len(rec.Capacities) == 0 {
+			return fmt.Errorf("%s without policy/capacities", rec.Event)
 		}
 	case JournalRunStart, JournalProgress, JournalRunEnd:
 		if rec.Policy == "" || rec.Capacity <= 0 {

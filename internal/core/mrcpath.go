@@ -1,0 +1,54 @@
+package core
+
+import (
+	"webcachesim/internal/doctype"
+	"webcachesim/internal/mrc"
+)
+
+// This file adapts the one-pass LRU miss-ratio-curve engine
+// (internal/mrc) to the sweep: a Source view over the workload columns
+// and the conversion from a per-capacity Curve to the Result shape the
+// per-cell simulator produces. Sweep engages the engine automatically
+// when Workload.MRCExact guarantees bit-identical results; see
+// docs/MRC.md.
+
+// mrcSource exposes the workload's request columns to the stack-distance
+// scan without copying them into Events.
+type mrcSource struct{ w *Workload }
+
+func (s mrcSource) NumRequests() int { return s.w.NumRequests() }
+func (s mrcSource) NumDocs() int     { return s.w.NumDocs() }
+
+func (s mrcSource) Request(i int) mrc.Request {
+	return mrc.Request{
+		DocID:        s.w.docID[i],
+		Class:        s.w.class[i],
+		Modified:     s.w.modified[i],
+		DocSize:      s.w.docSize[i],
+		TransferSize: s.w.transfer[i],
+	}
+}
+
+// mrcResult converts one capacity's curve into the Result a per-cell LRU
+// simulation of the same configuration would have produced.
+func mrcResult(cv *mrc.Curve, policyName string, warmup int64) *Result {
+	r := &Result{
+		Policy:         policyName,
+		Capacity:       cv.Capacity,
+		WarmupRequests: warmup,
+		Evictions:      cv.Evictions,
+		Modifications:  cv.Modifications,
+		Uncachable:     cv.Uncachable,
+	}
+	for _, c := range doctype.Classes {
+		cnt := cv.ByClass[c]
+		r.ByClass[c] = Counts{
+			Requests: cnt.Requests,
+			Hits:     cnt.Hits,
+			ReqBytes: cnt.ReqBytes,
+			HitBytes: cnt.HitBytes,
+		}
+		r.Overall.add(r.ByClass[c])
+	}
+	return r
+}

@@ -100,4 +100,11 @@ type Result struct {
 	// Occupancy is the Figure 1 time series (empty unless sampling was
 	// enabled).
 	Occupancy []OccupancySample `json:"occupancy,omitempty"`
+	// SampleRate, when nonzero, marks an approximate result computed from
+	// a spatially hash-sampled fraction of the workload's documents (see
+	// SweepConfig.SampleRate); SampledCapacity is the scaled-down
+	// capacity actually simulated, while Capacity always names the
+	// configured full-trace size.
+	SampleRate      float64 `json:"sampleRate,omitempty"`
+	SampledCapacity int64   `json:"sampledCapacity,omitempty"`
 }

@@ -1,0 +1,80 @@
+package core
+
+import (
+	"webcachesim/internal/doctype"
+	"webcachesim/internal/trace"
+)
+
+// Sample returns a spatially hash-sampled copy of the workload containing
+// only the documents whose URL hash falls below rate (SHARDS-style
+// sampling: Waldspurger et al., "Efficient MRC Construction with SHARDS").
+// Keeping or dropping whole documents — never individual requests —
+// preserves each kept document's reuse pattern exactly, so a cache of
+// capacity C over the full trace is approximated by a cache of capacity
+// rate·C over the sample. Rates outside (0, 1) return the receiver
+// unchanged.
+//
+// Sampling is deterministic: the same workload and rate always select the
+// same documents, and a rate of 1 or more is an exact passthrough.
+func (w *Workload) Sample(rate float64) *Workload {
+	if rate <= 0 || rate >= 1 {
+		return w
+	}
+	keys := w.docs.Keys()
+	keep := make([]bool, len(keys))
+	newID := make([]int32, len(keys))
+	docs := trace.NewInterner()
+	for id, key := range keys {
+		if trace.SampledIn(key, rate) {
+			keep[id] = true
+			newID[id] = docs.Intern(key)
+		}
+	}
+
+	s := &Workload{
+		docs:      docs,
+		classOf:   make([]doctype.Class, docs.Len()),
+		finalSize: make([]int64, docs.Len()),
+	}
+	for id := range keys {
+		if keep[id] {
+			s.classOf[newID[id]] = w.classOf[id]
+			s.finalSize[newID[id]] = w.finalSize[id]
+		}
+	}
+	for _, sz := range s.finalSize {
+		s.distinctBytes += sz
+	}
+
+	// Filter the request columns, recomputing the stream statistics (the
+	// MRC exactness gate must reflect the sampled stream, not the full
+	// one: dropping documents can remove every size-growth event).
+	lastSize := make([]int64, docs.Len())
+	for i, id := range w.docID {
+		if !keep[id] {
+			continue
+		}
+		nid := newID[id]
+		size := w.docSize[i]
+		s.docID = append(s.docID, nid)
+		s.class = append(s.class, w.class[i])
+		s.modified = append(s.modified, w.modified[i])
+		s.docSize = append(s.docSize, size)
+		s.transfer = append(s.transfer, w.transfer[i])
+		s.millis = append(s.millis, w.millis[i])
+		s.totalBytes += w.transfer[i]
+		if prev := lastSize[nid]; prev > 0 {
+			if !w.modified[i] && size != prev {
+				s.sizeRecharge = true
+			}
+			if size < prev {
+				s.sizeShrink = true
+			}
+		}
+		lastSize[nid] = size
+		if size > s.maxDocSize {
+			s.maxDocSize = size
+		}
+	}
+	return s
+}

@@ -34,6 +34,23 @@ const DefaultWarmupFraction = 0.10
 // ErrBadConfig reports an invalid simulation configuration.
 var ErrBadConfig = errors.New("core: invalid config")
 
+// resolveWarmup turns a warmup fraction into a request count over a
+// workload of n requests, applying the Config.WarmupFraction conventions
+// (0 selects the paper's default, negative selects no warmup). It is
+// shared by the per-cell simulator and the one-pass MRC fast path so both
+// measure exactly the same window.
+func resolveWarmup(frac float64, n int) (int64, error) {
+	switch {
+	case frac == 0:
+		frac = DefaultWarmupFraction
+	case frac < 0:
+		frac = 0
+	case frac >= 1:
+		return 0, errBadConfig("warmup fraction %v must be < 1", frac)
+	}
+	return int64(frac * float64(n)), nil
+}
+
 // Simulator replays a Workload against one policy at one cache size.
 type Simulator struct {
 	cfg    Config
@@ -62,16 +79,10 @@ func NewSimulator(w *Workload, cfg Config) (*Simulator, error) {
 	if cfg.Policy.New == nil {
 		return nil, errBadConfig("policy factory is nil")
 	}
-	warmupFrac := cfg.WarmupFraction
-	switch {
-	case warmupFrac == 0:
-		warmupFrac = DefaultWarmupFraction
-	case warmupFrac < 0:
-		warmupFrac = 0
-	case warmupFrac >= 1:
-		return nil, errBadConfig("warmup fraction %v must be < 1", warmupFrac)
+	warmup, err := resolveWarmup(cfg.WarmupFraction, w.NumRequests())
+	if err != nil {
+		return nil, err
 	}
-	warmup := int64(warmupFrac * float64(w.NumRequests()))
 	pol := cfg.Policy.New()
 	if cfg.SelfCheck {
 		pol = policy.Checked(pol)

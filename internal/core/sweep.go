@@ -8,6 +8,7 @@ import (
 	"sync"
 	"time"
 
+	"webcachesim/internal/mrc"
 	"webcachesim/internal/policy"
 )
 
@@ -18,7 +19,8 @@ func errBadConfig(format string, args ...any) error {
 // SweepConfig describes a policy × cache-size grid, the shape of every
 // performance figure in the paper.
 type SweepConfig struct {
-	// Policies lists the replacement schemes to compare.
+	// Policies lists the replacement schemes to compare. Names must be
+	// unique: results and journal records are keyed by name.
 	Policies []policy.Factory
 	// Capacities lists the cache sizes in bytes.
 	Capacities []int64
@@ -31,6 +33,17 @@ type SweepConfig struct {
 	Parallelism int
 	// SelfCheck is passed through to each run (see Config).
 	SelfCheck bool
+	// SampleRate, when in (0, 1), replays only a spatially hash-sampled
+	// fraction of the documents against capacities scaled by the rate
+	// (see Workload.Sample). Results are approximate — each carries the
+	// rate and the scaled capacity actually simulated — but cost shrinks
+	// roughly in proportion to the rate. Values outside (0, 1) replay the
+	// full trace exactly.
+	SampleRate float64
+	// PerCellLRU forces LRU cells through per-cell simulation even when
+	// the one-pass MRC engine would produce identical results. Meant for
+	// benchmarks and cross-checks; leave false otherwise.
+	PerCellLRU bool
 	// Journal, when set, receives the sweep's run journal: one JSON
 	// object per line recording grid shape, per-run progress ticks,
 	// throughput and wall-clock cost (see JournalRecord and
@@ -51,6 +64,14 @@ type SweepConfig struct {
 // workload, fanning the independent runs out across goroutines, and
 // returns the results ordered by policy (grid order), then capacity
 // (ascending).
+//
+// LRU cells take a fast path when the one-pass stack-distance engine
+// (internal/mrc) is provably bit-exact for this workload and grid: all of
+// a policy's capacities are then computed from a single scan instead of
+// one full replay per cell. The fast path requires more than one
+// capacity, no occupancy sampling, no self-checking, and a stream passing
+// Workload.MRCExact; PerCellLRU disables it. The journal records an
+// mrc_pass event for each policy served this way.
 func Sweep(w *Workload, cfg SweepConfig) ([]*Result, error) {
 	if len(cfg.Policies) == 0 {
 		return nil, errBadConfig("no policies")
@@ -58,6 +79,66 @@ func Sweep(w *Workload, cfg SweepConfig) ([]*Result, error) {
 	if len(cfg.Capacities) == 0 {
 		return nil, errBadConfig("no capacities")
 	}
+	// Results and journal records are keyed by policy name, so names must
+	// be unique; the rank map doubles as the final ordering index.
+	rank := make(map[string]int, len(cfg.Policies))
+	for i, f := range cfg.Policies {
+		if f.New == nil {
+			return nil, errBadConfig("policy %q factory is nil", f.Name)
+		}
+		if _, dup := rank[f.Name]; dup {
+			return nil, errBadConfig("duplicate policy name %q", f.Name)
+		}
+		rank[f.Name] = i
+	}
+	for _, c := range cfg.Capacities {
+		if c <= 0 {
+			return nil, errBadConfig("capacity %d must be positive", c)
+		}
+	}
+
+	// Sampled mode: replay the hash-selected documents against
+	// proportionally scaled capacities.
+	rate := cfg.SampleRate
+	sampled := rate > 0 && rate < 1
+	runW, runCaps := w, cfg.Capacities
+	if sampled {
+		runW = w.Sample(rate)
+		runCaps = make([]int64, len(cfg.Capacities))
+		for i, c := range cfg.Capacities {
+			sc := int64(rate * float64(c))
+			if sc < 1 {
+				sc = 1
+			}
+			runCaps[i] = sc
+		}
+	}
+	warmup, err := resolveWarmup(cfg.WarmupFraction, runW.NumRequests())
+	if err != nil {
+		return nil, err
+	}
+
+	// Decide which policies the MRC engine serves. The type probe (rather
+	// than a name match) keeps renamed LRU factories on the fast path and
+	// wrapped ones — TypeAware(LRU), Checked(LRU) — off it.
+	minCap := runCaps[0]
+	for _, c := range runCaps[1:] {
+		if c < minCap {
+			minCap = c
+		}
+	}
+	viaMRC := make([]bool, len(cfg.Policies))
+	anyMRC := false
+	if !cfg.PerCellLRU && cfg.SampleEvery == 0 && !cfg.SelfCheck &&
+		len(cfg.Capacities) > 1 && runW.MRCExact(minCap) {
+		for i, f := range cfg.Policies {
+			if _, ok := f.New().(*policy.LRU); ok {
+				viaMRC[i] = true
+				anyMRC = true
+			}
+		}
+	}
+
 	type cell struct {
 		policyIdx int
 		capIdx    int
@@ -69,11 +150,16 @@ func Sweep(w *Workload, cfg SweepConfig) ([]*Result, error) {
 		}
 	}
 
-	// Validate configurations up front so the fan-out cannot fail.
+	// Validate the per-cell configurations up front so the fan-out cannot
+	// fail. MRC-served cells have no simulator (sims[i] stays nil).
 	sims := make([]*Simulator, len(cells))
+	perCellRuns := 0
 	for i, c := range cells {
-		sim, err := NewSimulator(w, Config{
-			Capacity:       cfg.Capacities[c.capIdx],
+		if viaMRC[c.policyIdx] {
+			continue
+		}
+		sim, err := NewSimulator(runW, Config{
+			Capacity:       runCaps[c.capIdx],
 			Policy:         cfg.Policies[c.policyIdx],
 			WarmupFraction: cfg.WarmupFraction,
 			SampleEvery:    cfg.SampleEvery,
@@ -84,6 +170,7 @@ func Sweep(w *Workload, cfg SweepConfig) ([]*Result, error) {
 				cfg.Policies[c.policyIdx].Name, cfg.Capacities[c.capIdx], err)
 		}
 		sims[i] = sim
+		perCellRuns++
 	}
 
 	parallelism := cfg.Parallelism
@@ -101,7 +188,7 @@ func Sweep(w *Workload, cfg SweepConfig) ([]*Result, error) {
 	if now == nil {
 		now = time.Now
 	}
-	tickEvery := journalTickEvery(cfg, int64(w.NumRequests()))
+	tickEvery := journalTickEvery(cfg, int64(runW.NumRequests()))
 	if cfg.Journal != nil {
 		jw = newJournalWriter(cfg.Journal, now)
 		names := make([]string, len(cfg.Policies))
@@ -112,13 +199,55 @@ func Sweep(w *Workload, cfg SweepConfig) ([]*Result, error) {
 			Event:       JournalSweepStart,
 			Policies:    names,
 			Capacities:  cfg.Capacities,
+			SampleRate:  cfg.SampleRate,
 			Parallelism: parallelism,
 			Cells:       len(cells),
-			Requests:    int64(w.NumRequests()),
-			Documents:   int64(w.NumDocs()),
+			Requests:    int64(runW.NumRequests()),
+			Documents:   int64(runW.NumDocs()),
 		})
 	}
 	sweepStart := now()
+
+	// The single MRC scan runs concurrently with the per-cell fan-out.
+	var (
+		mrcWG     sync.WaitGroup
+		mrcCurves map[int64]*mrc.Curve
+		mrcErr    error
+	)
+	if anyMRC {
+		mrcWG.Add(1)
+		go func() {
+			defer mrcWG.Done()
+			start := now()
+			curves, err := mrc.ComputeLRU(mrcSource{runW}, mrc.Config{
+				Capacities:     runCaps,
+				WarmupRequests: warmup,
+			})
+			if err != nil {
+				mrcErr = err
+				return
+			}
+			mrcCurves = make(map[int64]*mrc.Curve, len(curves))
+			for _, cv := range curves {
+				mrcCurves[cv.Capacity] = cv
+			}
+			if jw != nil {
+				elapsedMs, rps := throughput(int64(runW.NumRequests()), now().Sub(start))
+				for i, f := range cfg.Policies {
+					if viaMRC[i] {
+						jw.emit(JournalRecord{
+							Event:          JournalMRCPass,
+							Policy:         f.Name,
+							Capacities:     runCaps,
+							Requests:       int64(runW.NumRequests()),
+							ElapsedMs:      elapsedMs,
+							RequestsPerSec: rps,
+						})
+					}
+				}
+			}
+		}()
+	}
 
 	results := make([]*Result, len(cells))
 	var wg sync.WaitGroup
@@ -129,21 +258,46 @@ func Sweep(w *Workload, cfg SweepConfig) ([]*Result, error) {
 			defer wg.Done()
 			for i := range work {
 				if jw != nil {
-					results[i] = runJournaled(sims[i], w, jw, tickEvery, now)
+					results[i] = runJournaled(sims[i], runW, jw, tickEvery, now)
 				} else {
-					results[i] = sims[i].Run(w)
+					results[i] = sims[i].Run(runW)
 				}
 			}
 		}()
 	}
 	for i := range cells {
-		work <- i
+		if sims[i] != nil {
+			work <- i
+		}
 	}
 	close(work)
 	wg.Wait()
+	mrcWG.Wait()
+	if mrcErr != nil {
+		return nil, fmt.Errorf("core: sweep mrc pass: %w", mrcErr)
+	}
+
+	for i, c := range cells {
+		if viaMRC[c.policyIdx] {
+			results[i] = mrcResult(mrcCurves[runCaps[c.capIdx]],
+				cfg.Policies[c.policyIdx].Name, warmup)
+		}
+	}
+	if sampled {
+		// Results report the configured full-trace capacity; the scaled
+		// capacity actually simulated and the rate mark them approximate.
+		for i, c := range cells {
+			results[i].SampleRate = rate
+			results[i].SampledCapacity = runCaps[c.capIdx]
+			results[i].Capacity = cfg.Capacities[c.capIdx]
+		}
+	}
 
 	if jw != nil {
-		replayed := int64(len(cells)) * int64(w.NumRequests())
+		replayed := int64(perCellRuns) * int64(runW.NumRequests())
+		if anyMRC {
+			replayed += int64(runW.NumRequests()) // the one MRC scan
+		}
 		elapsedMs, rps := throughput(replayed, now().Sub(sweepStart))
 		jw.emit(JournalRecord{
 			Event:          JournalSweepEnd,
@@ -162,23 +316,13 @@ func Sweep(w *Workload, cfg SweepConfig) ([]*Result, error) {
 	ordered := make([]*Result, len(results))
 	copy(ordered, results)
 	sort.SliceStable(ordered, func(i, j int) bool {
-		pi := policyRank(cfg.Policies, ordered[i].Policy)
-		pj := policyRank(cfg.Policies, ordered[j].Policy)
+		pi, pj := rank[ordered[i].Policy], rank[ordered[j].Policy]
 		if pi != pj {
 			return pi < pj
 		}
 		return ordered[i].Capacity < ordered[j].Capacity
 	})
 	return ordered, nil
-}
-
-func policyRank(fs []policy.Factory, name string) int {
-	for i, f := range fs {
-		if f.Name == name {
-			return i
-		}
-	}
-	return len(fs)
 }
 
 // Curve extracts the (capacity, value) series for one policy from sweep

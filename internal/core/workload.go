@@ -74,6 +74,12 @@ type Workload struct {
 
 	totalBytes    int64
 	distinctBytes int64
+
+	// maxDocSize, sizeRecharge and sizeShrink gate the one-pass MRC fast
+	// path; see MRCExact and docs/MRC.md.
+	maxDocSize   int64
+	sizeRecharge bool
+	sizeShrink   bool
 }
 
 // NumDocs returns the number of distinct documents.
@@ -122,6 +128,35 @@ func (w *Workload) TotalBytes() int64 { return w.totalBytes }
 // which cache sizes are expressed as percentages.
 func (w *Workload) DistinctBytes() int64 { return w.distinctBytes }
 
+// MaxDocSize returns the largest per-event document size in the stream.
+func (w *Workload) MaxDocSize() int64 { return w.maxDocSize }
+
+// MRCExact reports whether the one-pass LRU stack-distance engine
+// (internal/mrc) is bit-exact against per-cell simulation for every cache
+// capacity of at least minCapacity bytes. Three stream conditions must
+// hold:
+//
+//   - No document exceeds the capacity: the simulator never inserts such
+//     documents, while the stack model has no per-capacity insertion
+//     decision.
+//   - No document's recorded size changes without a modification: the
+//     simulator's recharge path adjusts a resident copy in place and can
+//     evict documents — including the recharged one — in an order the
+//     stack model does not reproduce.
+//   - No document's recorded size ever decreases: a shrink lowers the
+//     stack depth of every document beneath it, and the stack model would
+//     resurrect previously evicted documents that now "fit" — something a
+//     demand-eviction cache cannot do.
+//
+// All other transitions (re-references, equal-size or growing
+// modifications) only ever deepen the stack, and demand eviction from the
+// recency tail restores the residents-are-a-stack-prefix invariant
+// exactly. On traces failing the test the engine is still a close
+// approximation; see docs/MRC.md.
+func (w *Workload) MRCExact(minCapacity int64) bool {
+	return !w.sizeRecharge && !w.sizeShrink && w.maxDocSize <= minCapacity
+}
+
 // BuildWorkload scans a preprocessed request stream and produces the
 // immutable workload replayed by simulations. threshold is the relative
 // size-change bound below which a change counts as a modification; pass 0
@@ -151,6 +186,9 @@ func BuildWorkload(r trace.Reader, threshold float64) (*Workload, error) {
 	w.docs = ing.docs
 	w.classOf = ing.classOf
 	w.finalSize = ing.last
+	w.maxDocSize = ing.maxDocSize
+	w.sizeRecharge = ing.sizeRecharge
+	w.sizeShrink = ing.sizeShrink
 	// Tally the distinct-document volume at final sizes.
 	for _, s := range w.finalSize {
 		w.distinctBytes += s
@@ -167,6 +205,11 @@ type ingest struct {
 	classOf   []doctype.Class
 	last      []int64
 	threshold float64
+
+	// Workload statistics gathered along the way (see Workload.MRCExact).
+	maxDocSize   int64
+	sizeRecharge bool
+	sizeShrink   bool
 }
 
 func newIngest(threshold float64) *ingest {
@@ -195,7 +238,19 @@ func (g *ingest) step(req *trace.Request) (ev Event, newDoc bool) {
 		size = 1 // zero-byte responses still occupy an entry
 	}
 	modified, docSize := decideModification(g.threshold, g.last[id], size, knownFull)
+	// Stream statistics for the MRC exactness gate (Workload.MRCExact).
+	if prev := g.last[id]; !newDoc {
+		if !modified && docSize != prev {
+			g.sizeRecharge = true
+		}
+		if docSize < prev {
+			g.sizeShrink = true
+		}
+	}
 	g.last[id] = docSize
+	if docSize > g.maxDocSize {
+		g.maxDocSize = docSize
+	}
 
 	transfer := req.TransferSize
 	if transfer < 0 {

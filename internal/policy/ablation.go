@@ -40,7 +40,8 @@ func (p *GDSRenorm) value(doc *Doc) float64 {
 
 // Insert implements Policy.
 func (p *GDSRenorm) Insert(doc *Doc) {
-	m := &heapMeta{refs: 1}
+	m := &doc.hm
+	*m = heapMeta{refs: 1}
 	m.item = p.queue.Push(doc, p.value(doc))
 	doc.meta = m
 }

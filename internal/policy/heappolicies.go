@@ -7,7 +7,10 @@ import (
 )
 
 // heapMeta is the bookkeeping that the value-based schemes hang off a Doc:
-// the heap handle plus the document's reference count.
+// the heap handle plus the document's reference count. It lives embedded
+// in the Doc (Doc.hm) rather than heap-allocated per insert — documents
+// cycle in and out of a cache constantly, and the embedded slot makes
+// re-insertion allocation-free.
 type heapMeta struct {
 	item *pqueue.Item[*Doc]
 	refs int64
@@ -55,7 +58,8 @@ func (*LFUDA) Name() string { return "LFU-DA" }
 
 // Insert implements Policy: key = 1 + L.
 func (p *LFUDA) Insert(doc *Doc) {
-	m := &heapMeta{refs: 1}
+	m := &doc.hm
+	*m = heapMeta{refs: 1}
 	m.item = p.queue.Push(doc, 1+p.age)
 	doc.meta = m
 }
@@ -134,7 +138,8 @@ func (p *GDS) value(doc *Doc) float64 {
 
 // Insert implements Policy.
 func (p *GDS) Insert(doc *Doc) {
-	m := &heapMeta{refs: 1}
+	m := &doc.hm
+	*m = heapMeta{refs: 1}
 	m.item = p.queue.Push(doc, p.value(doc))
 	doc.meta = m
 }
@@ -236,7 +241,8 @@ func (p *GDStar) Insert(doc *Doc) {
 	if p.estimator != nil {
 		p.estimator.Observe(doc.ID)
 	}
-	m := &heapMeta{refs: 1}
+	m := &doc.hm
+	*m = heapMeta{refs: 1}
 	m.item = p.queue.Push(doc, p.value(doc, 1))
 	doc.meta = m
 }
@@ -296,7 +302,8 @@ func (*LFU) Name() string { return "LFU" }
 
 // Insert implements Policy.
 func (p *LFU) Insert(doc *Doc) {
-	m := &heapMeta{refs: 1}
+	m := &doc.hm
+	*m = heapMeta{refs: 1}
 	m.item = p.queue.Push(doc, 1)
 	doc.meta = m
 }
@@ -351,7 +358,8 @@ func (*Size) Name() string { return "SIZE" }
 // Insert implements Policy: priority is the negated size, so the largest
 // document is the heap minimum.
 func (p *Size) Insert(doc *Doc) {
-	m := &heapMeta{refs: 1}
+	m := &doc.hm
+	*m = heapMeta{refs: 1}
 	m.item = p.queue.Push(doc, -float64(doc.Size))
 	doc.meta = m
 }

@@ -41,6 +41,13 @@ type Doc struct {
 
 	// meta holds policy-private state (heap handle, list element, counts).
 	meta any
+
+	// hm is the heap-based schemes' bookkeeping, embedded by value so
+	// Insert allocates nothing; meta points at it while such a scheme
+	// tracks the document. A Doc is tracked by at most one policy at a
+	// time (the simulator runs one policy per replay), so one slot
+	// suffices.
+	hm heapMeta
 }
 
 // Policy decides the eviction order of cached documents.
