@@ -22,8 +22,11 @@ test:
 # The core tree includes the shared-workload race regression test
 # (sweep_race_test.go), which only proves its point under -race; the MRC
 # scan runs concurrently with the per-cell fan-out, so it rides along.
+# The serving stack (cache, flight, proxy, load) is concurrent by design
+# and carries its own regression tests that only bite under -race.
 race:
-	$(GO) test -race ./internal/core/... ./internal/policy/... ./internal/mrc/...
+	$(GO) test -race ./internal/core/... ./internal/policy/... ./internal/mrc/... \
+		./internal/cache/... ./internal/flight/... ./internal/proxy/... ./internal/load/...
 
 # Replay-path benchmark: the interned columnar workload against the
 # string-keyed baseline (BENCH_ingest.json), then the full-grid sweep in
@@ -41,11 +44,16 @@ bench:
 		$(GO) run ./cmd/wcbench -baseline SweepGridPerCell -new SweepGridFast \
 		-o BENCH_mrc.json
 	@cat BENCH_mrc.json
+	$(GO) test -run '^$$' -bench '^BenchmarkProxy(SingleLock|Sharded)$$' \
+		-count 3 ./internal/proxy | \
+		$(GO) run ./cmd/wcbench -baseline ProxySingleLock/c8 -new ProxySharded/c8 \
+		-o BENCH_proxy.json
+	@cat BENCH_proxy.json
 
 # Short fuzz budget per trace-decoder target; CI runs the same loop.
 fuzz-smoke:
-	for target in FuzzParseSquidLine FuzzParseCLFLine FuzzBinaryReader; do \
-		$(GO) test -run="^$$target$$" -fuzz="^$$target$$" -fuzztime=20s ./internal/trace || exit 1; \
+	for target in FuzzParseSquidLine FuzzParseCLFLine FuzzBinaryReader FuzzInternedReader; do \
+		$(GO) test -run="^$$target$$" -fuzz="^$$target$$" -fuzztime=30s ./internal/trace || exit 1; \
 	done
 
 # End-to-end observability smoke: generate a tiny trace, sweep it with a

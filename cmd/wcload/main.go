@@ -1,0 +1,120 @@
+// Command wcload drives a running wcproxy with a closed-loop request
+// replay and reports throughput, exact latency percentiles, and
+// client-side cache-outcome tallies as JSON.
+//
+// The request stream comes from a recorded trace file (-trace, any format
+// wcsim accepts) or from the synthetic workload generator (-profile,
+// -requests, -seed — the same knobs as wcgen). Each of the -concurrency
+// clients issues its next request only after the previous one completes,
+// so concurrency is the number of outstanding requests and throughput is
+// measured, not imposed.
+//
+// Usage:
+//
+//	wcload -target http://127.0.0.1:8080 -profile dfn -requests 10000 \
+//	       [-concurrency 8] [-mode reverse|forward] [-seed 1] [-o report.json]
+//	wcload -target http://127.0.0.1:8080 -trace access.wct.gz
+//
+// In reverse mode (default) each trace URL's path and query are sent to
+// the target host, matching a wcproxy started with -origin. In forward
+// mode the absolute trace URL is sent with the target as an HTTP proxy.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net/url"
+	"os"
+	"time"
+
+	"webcachesim/internal/load"
+	"webcachesim/internal/synth"
+	"webcachesim/internal/trace"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "wcload:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("wcload", flag.ContinueOnError)
+	var (
+		target      = fs.String("target", "", "proxy base URL to load (required)")
+		tracePath   = fs.String("trace", "", "trace file to replay (overrides -profile)")
+		profile     = fs.String("profile", "dfn", "synthetic workload profile (dfn or rtp)")
+		requests    = fs.Int("requests", 10000, "request count (synthetic source; caps a trace too)")
+		seed        = fs.Int64("seed", 1, "synthetic generation seed")
+		clients     = fs.Int("clients", 0, "synthetic client population (0 = single client)")
+		concurrency = fs.Int("concurrency", 1, "closed-loop client goroutines")
+		mode        = fs.String("mode", "reverse", "addressing mode: reverse or forward")
+		timeout     = fs.Duration("timeout", 15*time.Second, "per-request timeout")
+		out         = fs.String("o", "", "report output path (default stdout)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *target == "" {
+		return fmt.Errorf("-target is required")
+	}
+	targetURL, err := url.Parse(*target)
+	if err != nil {
+		return fmt.Errorf("bad -target: %w", err)
+	}
+	m, err := load.ParseMode(*mode)
+	if err != nil {
+		return err
+	}
+
+	var source trace.Reader
+	if *tracePath != "" {
+		f, err := trace.OpenFile(*tracePath, trace.FormatAuto)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		source = f
+	} else {
+		prof, err := synth.ProfileByName(*profile)
+		if err != nil {
+			return err
+		}
+		gen, err := synth.NewGenerator(prof, synth.Options{
+			Seed:     *seed,
+			Requests: *requests,
+			Clients:  *clients,
+		})
+		if err != nil {
+			return err
+		}
+		source = gen.Reader()
+	}
+
+	rep, err := load.Run(load.Config{
+		Target:      targetURL,
+		Source:      source,
+		Mode:        m,
+		Concurrency: *concurrency,
+		Requests:    *requests,
+		Timeout:     *timeout,
+	})
+	if err != nil {
+		return err
+	}
+
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rep)
+}

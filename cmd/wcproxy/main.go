@@ -12,8 +12,9 @@
 // Usage:
 //
 //	wcproxy -listen :3128 [-origin http://upstream] [-capacity 256MB]
-//	        [-policy gdstar:p] [-log access.log] [-stats-every 30s]
-//	        [-admin :9090]
+//	        [-policy gdstar:p] [-shards 16] [-log access.log]
+//	        [-stats-every 30s] [-admin :9090] [-fetch-timeout 15s]
+//	        [-fetch-retries 2] [-retry-backoff 50ms]
 package main
 
 import (
@@ -48,9 +49,13 @@ func run(args []string) error {
 		parent     = fs.String("parent", "", "parent proxy URL for upstream fetches (cache_peer)")
 		capacity   = fs.String("capacity", "256MB", "cache capacity")
 		policySpec = fs.String("policy", "lru", "replacement policy spec (scheme[:cost])")
+		shards     = fs.Int("shards", 0, "cache shard count, rounded up to a power of two (0 = default; 1 = exact single-policy eviction order)")
 		logPath    = fs.String("log", "", "Squid-format access log path")
 		statsEvery = fs.Duration("stats-every", 30*time.Second, "statistics print interval (0 disables)")
 		admin      = fs.String("admin", "", "admin listen address for /metrics, /stats and /debug/pprof (disabled when empty)")
+		fetchTO    = fs.Duration("fetch-timeout", proxy.DefaultFetchTimeout, "per-attempt origin fetch timeout")
+		retries    = fs.Int("fetch-retries", proxy.DefaultFetchRetries, "origin fetch retries after a transport failure (-1 disables)")
+		backoff    = fs.Duration("retry-backoff", proxy.DefaultRetryBackoff, "base retry backoff (doubled per retry, jittered ±50%)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -70,7 +75,15 @@ func run(args []string) error {
 	}
 
 	reg := metrics.NewRegistry()
-	cfg := proxy.Config{Capacity: capBytes, Policy: factory, Metrics: reg}
+	cfg := proxy.Config{
+		Capacity:     capBytes,
+		Policy:       factory,
+		Metrics:      reg,
+		Shards:       *shards,
+		FetchTimeout: *fetchTO,
+		FetchRetries: *retries,
+		RetryBackoff: *backoff,
+	}
 	if *origin != "" {
 		u, err := url.Parse(*origin)
 		if err != nil {
@@ -106,7 +119,8 @@ func run(args []string) error {
 	go func() {
 		errCh <- httpServer.ListenAndServe()
 	}()
-	fmt.Printf("wcproxy: %s policy, %s cache, listening on %s\n", factory.Name, *capacity, *listen)
+	fmt.Printf("wcproxy: %s policy, %s cache, %d shards, listening on %s\n",
+		factory.Name, *capacity, srv.Shards(), *listen)
 
 	var adminServer *http.Server
 	if *admin != "" {

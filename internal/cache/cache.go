@@ -1,0 +1,341 @@
+// Package cache implements the proxy's concurrent object store: a sharded
+// in-memory cache whose eviction order is decided by the replacement
+// policies from internal/policy, with a single global byte budget shared
+// by all shards.
+//
+// Keys are spread across N power-of-two shards by trace.Hash64; each shard
+// owns a mutex, an entry map, and a private policy instance, so lookups on
+// different shards never contend. Capacity, by contrast, is global: one
+// atomic counter holds the resident byte total, and an insert reserves its
+// bytes with a compare-and-swap loop before the entry becomes visible.
+// The reservation either fits under the budget or forces an eviction —
+// from the inserting key's home shard first, then sweeping the other
+// shards — so the resident total NEVER exceeds the configured capacity,
+// under any interleaving. That invariant is what the property and race
+// tests in this package pin down.
+//
+// The price of sharding is that eviction order is policy-exact only
+// within a shard: the victim is chosen by the policy of whichever shard
+// gives one up, not by a globally ordered priority. With one shard the
+// cache degrades to the exact single-policy semantics the paper's
+// simulator models (and the proxy tests that assert exact LRU order run
+// that way); with many shards the order is a per-shard approximation,
+// which is the standard trade in production caches. See docs/PROXY.md.
+package cache
+
+import (
+	"fmt"
+	"math/bits"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"webcachesim/internal/policy"
+	"webcachesim/internal/trace"
+)
+
+// DefaultShards is the shard count used when Config.Shards is zero. 16 is
+// enough to make shard-lock collisions rare at the concurrency a single
+// proxy process sees, while keeping per-shard policy state warm.
+const DefaultShards = 16
+
+// maxShards bounds the shard count; beyond this the per-shard maps are so
+// sparse that sharding only wastes memory.
+const maxShards = 1 << 12
+
+// Entry is one cached object. Body and the header fields are immutable
+// after Set — concurrent readers serve them without copying. Doc carries
+// the policy-facing identity (key, dense ID, size, class).
+type Entry struct {
+	Doc         *policy.Doc
+	Body        []byte
+	ContentType string
+	Status      int
+	// Expires, when non-zero, is the instant the entry becomes stale.
+	// The cache itself does not expire entries — a stale entry stays
+	// resident until evicted — the caller decides what staleness means
+	// (the proxy revalidates, and serves stale only when the origin is
+	// down).
+	Expires time.Time
+}
+
+// Config parameterizes a Cache.
+type Config struct {
+	// Capacity is the global byte budget; it must be positive.
+	Capacity int64
+	// Shards is the shard count, rounded up to a power of two
+	// (DefaultShards when 0).
+	Shards int
+	// Policy builds one replacement-policy instance per shard; LRU when
+	// unset.
+	Policy policy.Factory
+	// OnEvict, when set, observes every eviction. It is called with the
+	// victim's shard lock held: it must be fast and must not call back
+	// into the cache.
+	OnEvict func(*Entry)
+}
+
+// Cache is the sharded store. All methods are safe for concurrent use.
+type Cache struct {
+	capacity  int64
+	used      atomic.Int64
+	evictions atomic.Int64
+	rejects   atomic.Int64
+	onEvict   func(*Entry)
+	mask      uint64
+	shards    []shard
+}
+
+// shard is one lock domain: a map of resident entries and the policy that
+// orders them for eviction. used mirrors the shard's share of the global
+// byte total so accounting can be cross-checked shard by shard.
+type shard struct {
+	mu      sync.Mutex
+	pol     policy.Policy
+	entries map[string]*Entry
+	ids     *trace.Interner
+	used    int64
+	index   int // position in Cache.shards, for the eviction sweep
+}
+
+// New creates a cache.
+func New(cfg Config) (*Cache, error) {
+	if cfg.Capacity <= 0 {
+		return nil, fmt.Errorf("cache: capacity %d must be positive", cfg.Capacity)
+	}
+	if cfg.Policy.New == nil {
+		cfg.Policy = policy.MustFactory(policy.Spec{Scheme: "lru"})
+	}
+	n := cfg.Shards
+	if n <= 0 {
+		n = DefaultShards
+	}
+	if n > maxShards {
+		return nil, fmt.Errorf("cache: shard count %d exceeds %d", n, maxShards)
+	}
+	if n&(n-1) != 0 {
+		n = 1 << bits.Len(uint(n)) // round up to a power of two
+	}
+	c := &Cache{
+		capacity: cfg.Capacity,
+		onEvict:  cfg.OnEvict,
+		mask:     uint64(n - 1),
+		shards:   make([]shard, n),
+	}
+	for i := range c.shards {
+		c.shards[i] = shard{
+			pol:     cfg.Policy.New(),
+			entries: make(map[string]*Entry, 64),
+			ids:     trace.NewInterner(),
+			index:   i,
+		}
+	}
+	return c, nil
+}
+
+// shardFor maps a key to its home shard.
+func (c *Cache) shardFor(key string) *shard {
+	return &c.shards[trace.Hash64(key)&c.mask]
+}
+
+// Get returns the entry for key, recording a policy hit when resident.
+func (c *Cache) Get(key string) (*Entry, bool) {
+	sh := c.shardFor(key)
+	sh.mu.Lock()
+	e, ok := sh.entries[key]
+	if ok {
+		sh.pol.Hit(e.Doc)
+	}
+	sh.mu.Unlock()
+	return e, ok
+}
+
+// Peek returns the entry for key without touching the replacement policy —
+// for introspection and tests, not for serving traffic.
+func (c *Cache) Peek(key string) (*Entry, bool) {
+	sh := c.shardFor(key)
+	sh.mu.Lock()
+	e, ok := sh.entries[key]
+	sh.mu.Unlock()
+	return e, ok
+}
+
+// Set inserts an entry under key, evicting as needed to respect the byte
+// budget. It reports false — and caches nothing — when the object cannot
+// be admitted: larger than the whole budget, or the budget is held by
+// bytes no shard can free (every shard drained of victims while
+// concurrent reservations keep the budget full). A false return is not an
+// error; the object is simply served uncached, and Rejects counts it.
+//
+// e.Doc.Key must equal key; Set assigns e.Doc.ID from the shard's
+// interner, so a URL keeps one stable dense ID across evict/refetch
+// cycles — the keying contract policies such as GD* rely on.
+func (c *Cache) Set(key string, e *Entry) bool {
+	size := e.Doc.Size
+	if size > c.capacity {
+		c.rejects.Add(1)
+		return false
+	}
+
+	// Drop any previous version first so its bytes are free for the
+	// reservation below. A concurrent Set on the same key can interleave
+	// here; the insert phase resolves that by replacing whatever version
+	// it finds (last writer wins).
+	home := c.shardFor(key)
+	c.removeFrom(home, key)
+
+	if !c.reserve(size, home) {
+		c.rejects.Add(1)
+		return false
+	}
+
+	home.mu.Lock()
+	if old, ok := home.entries[key]; ok {
+		home.pol.Remove(old.Doc)
+		home.used -= old.Doc.Size
+		c.used.Add(-old.Doc.Size)
+	}
+	e.Doc.ID = home.ids.Intern(key)
+	home.entries[key] = e
+	home.used += size
+	home.pol.Insert(e.Doc)
+	home.mu.Unlock()
+	return true
+}
+
+// reserve claims size bytes of the global budget, evicting until the
+// claim fits. The compare-and-swap is the no-overshoot guarantee: the
+// budget is only ever raised by a CAS that proves the new total is within
+// capacity, so concurrent inserts cannot jointly overshoot. It reports
+// false when the budget cannot be freed (no shard has a victim left).
+func (c *Cache) reserve(size int64, home *shard) bool {
+	for {
+		cur := c.used.Load()
+		if cur+size <= c.capacity {
+			if c.used.CompareAndSwap(cur, cur+size) {
+				return true
+			}
+			continue // lost the race; re-read the budget
+		}
+		if !c.evictOne(home) {
+			return false
+		}
+	}
+}
+
+// evictOne frees one victim, asking the home shard's policy first and then
+// sweeping the other shards in index order. Only one shard lock is held at
+// a time, so concurrent inserts stealing from each other's shards cannot
+// deadlock. It reports false when every shard is empty.
+func (c *Cache) evictOne(home *shard) bool {
+	if home.evictVictim(c) {
+		return true
+	}
+	for i := 1; i < len(c.shards); i++ {
+		if c.shards[(home.index+i)&int(c.mask)].evictVictim(c) {
+			return true
+		}
+	}
+	return false
+}
+
+// evictVictim asks the shard's policy for one victim and releases its
+// bytes. It reports false when the policy tracks nothing.
+func (sh *shard) evictVictim(c *Cache) bool {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	victim, ok := sh.pol.Evict()
+	if !ok {
+		return false
+	}
+	e, ok := sh.entries[victim.Key]
+	if !ok || e.Doc != victim {
+		// The policy gave up a document the shard no longer maps — a
+		// contract violation (policies are exercised against
+		// policy.Checked in their own tests). Count nothing; the entry
+		// map, not the policy, is the accounting ground truth.
+		return true
+	}
+	delete(sh.entries, victim.Key)
+	sh.used -= victim.Size
+	c.used.Add(-victim.Size)
+	c.evictions.Add(1)
+	if c.onEvict != nil {
+		c.onEvict(e)
+	}
+	return true
+}
+
+// Remove deletes the entry under key, reporting whether it was resident.
+func (c *Cache) Remove(key string) bool {
+	return c.removeFrom(c.shardFor(key), key)
+}
+
+func (c *Cache) removeFrom(sh *shard, key string) bool {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	e, ok := sh.entries[key]
+	if !ok {
+		return false
+	}
+	sh.pol.Remove(e.Doc)
+	delete(sh.entries, key)
+	sh.used -= e.Doc.Size
+	c.used.Add(-e.Doc.Size)
+	return true
+}
+
+// Used returns the resident byte total (including bytes reserved by
+// in-flight inserts).
+func (c *Cache) Used() int64 { return c.used.Load() }
+
+// Capacity returns the configured byte budget.
+func (c *Cache) Capacity() int64 { return c.capacity }
+
+// Evictions returns the number of replacement victims so far.
+func (c *Cache) Evictions() int64 { return c.evictions.Load() }
+
+// Rejects returns the number of Set calls refused for want of budget.
+func (c *Cache) Rejects() int64 { return c.rejects.Load() }
+
+// Shards returns the shard count.
+func (c *Cache) Shards() int { return len(c.shards) }
+
+// Len returns the number of resident entries across all shards.
+func (c *Cache) Len() int {
+	n := 0
+	for i := range c.shards {
+		sh := &c.shards[i]
+		sh.mu.Lock()
+		n += len(sh.entries)
+		sh.mu.Unlock()
+	}
+	return n
+}
+
+// Each calls fn for every resident entry, one shard at a time (the
+// snapshot is per-shard consistent, not globally atomic). fn must not call
+// back into the cache.
+func (c *Cache) Each(fn func(key string, e *Entry)) {
+	for i := range c.shards {
+		sh := &c.shards[i]
+		sh.mu.Lock()
+		for k, e := range sh.entries {
+			fn(k, e)
+		}
+		sh.mu.Unlock()
+	}
+}
+
+// ShardUsed returns each shard's resident byte count — the per-shard view
+// the accounting invariant (sum == Used, quiescent) is checked against.
+func (c *Cache) ShardUsed() []int64 {
+	out := make([]int64, len(c.shards))
+	for i := range c.shards {
+		sh := &c.shards[i]
+		sh.mu.Lock()
+		out[i] = sh.used
+		sh.mu.Unlock()
+	}
+	return out
+}

@@ -1,0 +1,90 @@
+// Package flight implements call coalescing ("singleflight"): concurrent
+// callers asking for the same key share one execution of the underlying
+// function and all receive its result. The proxy uses a Group to collapse
+// simultaneous cache misses on one URL into a single origin fetch — the
+// thundering-herd suppression a shared cache in front of a slow origin
+// needs to stay closed-loop stable.
+//
+// The implementation is stdlib-only and deliberately small: a mutex, a map
+// of in-flight calls, and a WaitGroup per call. Unlike the extended
+// golang.org/x/sync version there is no channel variant and no Forget;
+// a call's result is shared only with callers that arrive while it is in
+// flight, never memoized beyond that.
+package flight
+
+import (
+	"fmt"
+	"sync"
+)
+
+// call is one in-flight (or just-completed) execution of fn for a key.
+type call struct {
+	wg  sync.WaitGroup
+	val any
+	err error
+}
+
+// Group coalesces duplicate concurrent calls by key. The zero value is
+// ready to use. A Group must not be copied after first use.
+type Group struct {
+	mu sync.Mutex
+	m  map[string]*call
+}
+
+// Do executes fn, making sure only one execution per key is in flight at a
+// time. Callers that arrive while an execution is in flight wait for it
+// and receive the same value and error; shared reports whether this caller
+// joined another caller's execution (true for the waiters, always false
+// for the executing caller). Counting shared results therefore counts
+// exactly the calls that were coalesced away — the accounting the proxy's
+// wcproxy_coalesced_total metric reconciles against.
+//
+// If fn panics, the panic is propagated to the executing caller and the
+// waiters receive an error — they cannot be unwound through a foreign
+// stack, but they must not hang.
+func (g *Group) Do(key string, fn func() (any, error)) (v any, err error, shared bool) {
+	g.mu.Lock()
+	if g.m == nil {
+		g.m = make(map[string]*call)
+	}
+	if c, ok := g.m[key]; ok {
+		g.mu.Unlock()
+		c.wg.Wait()
+		return c.val, c.err, true
+	}
+	c := &call{}
+	c.wg.Add(1)
+	g.m[key] = c
+	g.mu.Unlock()
+
+	panicked := true
+	defer func() {
+		if panicked {
+			// Reached only when fn panicked: release the waiters with an
+			// error before the panic unwinds through this frame.
+			c.err = fmt.Errorf("flight: call for %q panicked", key)
+			g.finish(key, c)
+		}
+	}()
+	c.val, c.err = fn()
+	panicked = false
+	g.finish(key, c)
+	return c.val, c.err, false
+}
+
+// finish publishes the call's result and retires it from the in-flight
+// map, releasing every waiter.
+func (g *Group) finish(key string, c *call) {
+	g.mu.Lock()
+	delete(g.m, key)
+	g.mu.Unlock()
+	c.wg.Done()
+}
+
+// InFlight returns the number of keys currently executing — useful for
+// tests and for a load-shedding heuristic, not required for correctness.
+func (g *Group) InFlight() int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return len(g.m)
+}

@@ -1,0 +1,140 @@
+package flight
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestDoSequential(t *testing.T) {
+	var g Group
+	v, err, shared := g.Do("k", func() (any, error) { return "val", nil })
+	if v != "val" || err != nil || shared {
+		t.Errorf("Do = (%v, %v, %v), want (val, nil, false)", v, err, shared)
+	}
+	// A second call after the first completed executes again — no
+	// memoization.
+	calls := 0
+	for i := 0; i < 3; i++ {
+		_, _, _ = g.Do("k", func() (any, error) { calls++; return nil, nil })
+	}
+	if calls != 3 {
+		t.Errorf("sequential calls executed %d times, want 3", calls)
+	}
+	if g.InFlight() != 0 {
+		t.Errorf("InFlight = %d after completion, want 0", g.InFlight())
+	}
+}
+
+func TestDoError(t *testing.T) {
+	var g Group
+	boom := errors.New("boom")
+	_, err, _ := g.Do("k", func() (any, error) { return nil, boom })
+	if !errors.Is(err, boom) {
+		t.Errorf("err = %v, want boom", err)
+	}
+}
+
+func TestDoCoalescesConcurrent(t *testing.T) {
+	var g Group
+	var execs atomic.Int64
+	release := make(chan struct{})
+	const waiters = 16
+
+	var wg sync.WaitGroup
+	results := make([]any, waiters)
+	sharedCount := atomic.Int64{}
+	started := make(chan struct{}, waiters)
+	for i := 0; i < waiters; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			started <- struct{}{}
+			v, err, shared := g.Do("url", func() (any, error) {
+				execs.Add(1)
+				<-release // hold the call open until every goroutine joined
+				return "body", nil
+			})
+			if err != nil {
+				t.Errorf("err = %v", err)
+			}
+			results[i] = v
+			if shared {
+				sharedCount.Add(1)
+			}
+		}(i)
+	}
+	for i := 0; i < waiters; i++ {
+		<-started
+	}
+	// All goroutines have at least reached Do; give the stragglers a beat
+	// to block on the in-flight call, then release it.
+	time.Sleep(10 * time.Millisecond)
+	close(release)
+	wg.Wait()
+
+	if n := execs.Load(); n != 1 {
+		t.Fatalf("fn executed %d times, want 1", n)
+	}
+	for i, v := range results {
+		if v != "body" {
+			t.Errorf("caller %d got %v, want body", i, v)
+		}
+	}
+	if sharedCount.Load() != waiters-1 {
+		t.Errorf("shared reported by %d callers, want %d (every caller but the executing leader)",
+			sharedCount.Load(), waiters-1)
+	}
+}
+
+func TestDoDistinctKeysDoNotCoalesce(t *testing.T) {
+	var g Group
+	var execs atomic.Int64
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_, _, _ = g.Do(string(rune('a'+i)), func() (any, error) {
+				execs.Add(1)
+				time.Sleep(5 * time.Millisecond)
+				return nil, nil
+			})
+		}(i)
+	}
+	wg.Wait()
+	if n := execs.Load(); n != 4 {
+		t.Errorf("fn executed %d times, want 4 (one per key)", n)
+	}
+}
+
+func TestDoPanicReleasesWaiters(t *testing.T) {
+	var g Group
+	entered := make(chan struct{})
+	done := make(chan error, 1)
+	go func() {
+		defer func() { _ = recover() }()
+		_, _, _ = g.Do("k", func() (any, error) {
+			close(entered)
+			time.Sleep(10 * time.Millisecond)
+			panic("origin exploded")
+		})
+	}()
+	<-entered
+	go func() {
+		_, err, _ := g.Do("k", func() (any, error) { return nil, nil })
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		// The waiter must either share the panicking call's error or — if
+		// it arrived after the call retired — run its own fn successfully.
+		if err != nil && g.InFlight() != 0 {
+			t.Errorf("in-flight map not drained after panic: %d", g.InFlight())
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("waiter hung after leader panicked")
+	}
+}

@@ -1,0 +1,302 @@
+// Package load is a closed-loop HTTP load generator for the caching
+// proxy. It replays a request stream — a recorded trace or the synthetic
+// workload generator — against a running proxy with a configurable number
+// of concurrent clients, and reports throughput, exact latency
+// percentiles, and client-side cache-outcome tallies read from the
+// proxy's X-Cache and X-Coalesced response headers.
+//
+// "Closed-loop" means each client issues its next request only after the
+// previous one completes: concurrency is the number of outstanding
+// requests, and throughput is an output, not an input. That is the mode
+// that makes miss coalescing observable — clients pile onto the same URL
+// only when the origin is the bottleneck, exactly as in production.
+//
+// The package is the engine behind cmd/wcload and is driven directly by
+// the end-to-end tests, which reconcile its client-side tallies against
+// the proxy's /metrics counters.
+package load
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"net/url"
+	"sort"
+	"sync"
+	"time"
+
+	"webcachesim/internal/trace"
+)
+
+// Mode selects how replayed URLs are addressed to the target.
+type Mode int
+
+const (
+	// Reverse sends each request's path and query to the target host —
+	// the shape for a proxy running with -origin (reverse mode).
+	Reverse Mode = iota
+	// Forward sends the trace's absolute URL using the target as an HTTP
+	// proxy — the shape for a forward proxy.
+	Forward
+)
+
+// ParseMode parses "reverse" or "forward".
+func ParseMode(s string) (Mode, error) {
+	switch s {
+	case "reverse":
+		return Reverse, nil
+	case "forward":
+		return Forward, nil
+	}
+	return 0, fmt.Errorf("load: unknown mode %q (want reverse or forward)", s)
+}
+
+// Config parameterizes a load run.
+type Config struct {
+	// Target is the proxy under load; required.
+	Target *url.URL
+	// Source supplies the requests to replay; required. Only the URL
+	// field is consulted.
+	Source trace.Reader
+	// Mode addresses requests to the target (Reverse by default).
+	Mode Mode
+	// Concurrency is the number of closed-loop clients (1 when 0).
+	Concurrency int
+	// Requests caps the replay when positive; otherwise the source is
+	// drained.
+	Requests int
+	// Timeout bounds each request (15s when 0).
+	Timeout time.Duration
+	// Transport overrides the HTTP transport, for tests. In Forward mode
+	// the default transport routes through Target as an HTTP proxy.
+	Transport http.RoundTripper
+}
+
+// Tally is the client-side view of cache outcomes, derived from response
+// headers: Hits+Misses == Requests, and Stale and Coalesced are subsets
+// of Misses. Reconciling these against the proxy's own counters is the
+// end-to-end correctness check.
+type Tally struct {
+	Requests  int64 `json:"requests"`
+	Hits      int64 `json:"hits"`
+	Misses    int64 `json:"misses"`
+	Stale     int64 `json:"stale"`
+	Coalesced int64 `json:"coalesced"`
+	// Errors counts attempts that produced no HTTP response (transport
+	// failures). Any response, whatever its status, counts as a Request.
+	Errors int64 `json:"errors"`
+	// Bytes is the total body bytes received.
+	Bytes int64 `json:"bytes"`
+}
+
+// Latency summarizes the per-request latency distribution in
+// milliseconds. Percentiles are exact (computed from every sample), not
+// estimated.
+type Latency struct {
+	Mean float64 `json:"meanMs"`
+	P50  float64 `json:"p50Ms"`
+	P90  float64 `json:"p90Ms"`
+	P99  float64 `json:"p99Ms"`
+	Max  float64 `json:"maxMs"`
+}
+
+// Report is the result of a load run.
+type Report struct {
+	Tally       Tally   `json:"tally"`
+	Concurrency int     `json:"concurrency"`
+	Seconds     float64 `json:"seconds"`
+	// Throughput is completed requests per second of wall time.
+	Throughput float64 `json:"throughputRps"`
+	HitRate    float64 `json:"hitRate"`
+	Latency    Latency `json:"latency"`
+}
+
+// worker accumulates results privately; tallies merge after the run, so
+// the hot loop takes no locks.
+type worker struct {
+	tally     Tally
+	latencies []time.Duration
+}
+
+// Run replays the configured source against the target and blocks until
+// the replay completes. It fails fast on configuration errors; transport
+// errors during the run are tallied, not fatal.
+func Run(cfg Config) (*Report, error) {
+	if cfg.Target == nil {
+		return nil, errors.New("load: Target is required")
+	}
+	if cfg.Source == nil {
+		return nil, errors.New("load: Source is required")
+	}
+	conc := cfg.Concurrency
+	if conc <= 0 {
+		conc = 1
+	}
+	timeout := cfg.Timeout
+	if timeout <= 0 {
+		timeout = 15 * time.Second
+	}
+	transport := cfg.Transport
+	if transport == nil {
+		if cfg.Mode == Forward {
+			transport = &http.Transport{Proxy: http.ProxyURL(cfg.Target)}
+		} else {
+			transport = http.DefaultTransport
+		}
+	}
+	client := &http.Client{Transport: transport, Timeout: timeout}
+
+	// The feeder drains the source into a channel the clients pull from;
+	// a closed-loop client issues its next request only when the previous
+	// one finished.
+	urls := make(chan string, conc)
+	feedErr := make(chan error, 1)
+	go func() {
+		defer close(urls)
+		sent := 0
+		for cfg.Requests <= 0 || sent < cfg.Requests {
+			req, err := cfg.Source.Next()
+			if err == io.EOF {
+				feedErr <- nil
+				return
+			}
+			if err != nil {
+				feedErr <- fmt.Errorf("load: reading source: %w", err)
+				return
+			}
+			urls <- req.URL
+			sent++
+		}
+		feedErr <- nil
+	}()
+
+	workers := make([]*worker, conc)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for i := range workers {
+		w := &worker{}
+		workers[i] = w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for raw := range urls {
+				w.do(client, cfg, raw)
+			}
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	if err := <-feedErr; err != nil {
+		return nil, err
+	}
+
+	return assemble(workers, conc, elapsed), nil
+}
+
+// do issues one request and tallies its outcome.
+func (w *worker) do(client *http.Client, cfg Config, raw string) {
+	target, err := requestURL(cfg, raw)
+	if err != nil {
+		w.tally.Errors++
+		return
+	}
+	begin := time.Now()
+	resp, err := client.Get(target)
+	if err != nil {
+		w.tally.Errors++
+		return
+	}
+	n, _ := io.Copy(io.Discard, resp.Body)
+	_ = resp.Body.Close()
+	w.latencies = append(w.latencies, time.Since(begin))
+
+	w.tally.Requests++
+	w.tally.Bytes += n
+	switch resp.Header.Get("X-Cache") {
+	case "HIT":
+		w.tally.Hits++
+	case "STALE":
+		w.tally.Misses++
+		w.tally.Stale++
+	default:
+		w.tally.Misses++
+		if resp.Header.Get("X-Coalesced") == "1" {
+			w.tally.Coalesced++
+		}
+	}
+}
+
+// requestURL maps a trace URL onto the target per the addressing mode.
+func requestURL(cfg Config, raw string) (string, error) {
+	if cfg.Mode == Forward {
+		return raw, nil
+	}
+	u, err := url.Parse(raw)
+	if err != nil {
+		return "", err
+	}
+	mapped := *cfg.Target
+	mapped.Path = u.Path
+	mapped.RawQuery = u.RawQuery
+	return mapped.String(), nil
+}
+
+// assemble merges the workers' private tallies into the final report.
+func assemble(workers []*worker, conc int, elapsed time.Duration) *Report {
+	var all []time.Duration
+	rep := &Report{Concurrency: conc, Seconds: elapsed.Seconds()}
+	for _, w := range workers {
+		rep.Tally.Requests += w.tally.Requests
+		rep.Tally.Hits += w.tally.Hits
+		rep.Tally.Misses += w.tally.Misses
+		rep.Tally.Stale += w.tally.Stale
+		rep.Tally.Coalesced += w.tally.Coalesced
+		rep.Tally.Errors += w.tally.Errors
+		rep.Tally.Bytes += w.tally.Bytes
+		all = append(all, w.latencies...)
+	}
+	if elapsed > 0 {
+		rep.Throughput = float64(rep.Tally.Requests) / elapsed.Seconds()
+	}
+	if rep.Tally.Requests > 0 {
+		rep.HitRate = float64(rep.Tally.Hits) / float64(rep.Tally.Requests)
+	}
+	rep.Latency = summarize(all)
+	return rep
+}
+
+// summarize computes exact percentiles over every recorded latency.
+func summarize(all []time.Duration) Latency {
+	if len(all) == 0 {
+		return Latency{}
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	var sum time.Duration
+	for _, d := range all {
+		sum += d
+	}
+	ms := func(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
+	return Latency{
+		Mean: ms(sum / time.Duration(len(all))),
+		P50:  ms(percentile(all, 0.50)),
+		P90:  ms(percentile(all, 0.90)),
+		P99:  ms(percentile(all, 0.99)),
+		Max:  ms(all[len(all)-1]),
+	}
+}
+
+// percentile returns the q-th percentile of a sorted sample using the
+// nearest-rank method: the smallest value with at least q·n samples at or
+// below it.
+func percentile(sorted []time.Duration, q float64) time.Duration {
+	rank := int(math.Ceil(q * float64(len(sorted))))
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > len(sorted) {
+		rank = len(sorted)
+	}
+	return sorted[rank-1]
+}

@@ -1,0 +1,81 @@
+package load
+
+import (
+	"net/url"
+	"testing"
+	"time"
+)
+
+func TestParseMode(t *testing.T) {
+	if m, err := ParseMode("reverse"); err != nil || m != Reverse {
+		t.Errorf("ParseMode(reverse) = %v, %v", m, err)
+	}
+	if m, err := ParseMode("forward"); err != nil || m != Forward {
+		t.Errorf("ParseMode(forward) = %v, %v", m, err)
+	}
+	if _, err := ParseMode("sideways"); err == nil {
+		t.Error("ParseMode(sideways) should fail")
+	}
+}
+
+func TestRequestURLReverse(t *testing.T) {
+	target, _ := url.Parse("http://127.0.0.1:9999")
+	got, err := requestURL(Config{Target: target, Mode: Reverse},
+		"http://dfn.synth.example/html/d42?x=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := "http://127.0.0.1:9999/html/d42?x=1"; got != want {
+		t.Errorf("requestURL = %q, want %q", got, want)
+	}
+}
+
+func TestRequestURLForward(t *testing.T) {
+	target, _ := url.Parse("http://127.0.0.1:9999")
+	raw := "http://dfn.synth.example/html/d42"
+	got, err := requestURL(Config{Target: target, Mode: Forward}, raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != raw {
+		t.Errorf("requestURL = %q, want original URL %q", got, raw)
+	}
+}
+
+func TestPercentileNearestRank(t *testing.T) {
+	sorted := []time.Duration{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+	cases := []struct {
+		q    float64
+		want time.Duration
+	}{
+		{0.50, 5},
+		{0.90, 9},
+		{0.99, 10},
+		{1.00, 10},
+		{0.01, 1},
+	}
+	for _, tc := range cases {
+		if got := percentile(sorted, tc.q); got != tc.want {
+			t.Errorf("percentile(%.2f) = %d, want %d", tc.q, got, tc.want)
+		}
+	}
+	if got := percentile([]time.Duration{7}, 0.5); got != 7 {
+		t.Errorf("single sample: got %d", got)
+	}
+}
+
+func TestSummarizeEmpty(t *testing.T) {
+	if l := summarize(nil); l != (Latency{}) {
+		t.Errorf("summarize(nil) = %+v, want zero", l)
+	}
+}
+
+func TestRunValidatesConfig(t *testing.T) {
+	if _, err := Run(Config{}); err == nil {
+		t.Error("Run without Target should fail")
+	}
+	target, _ := url.Parse("http://127.0.0.1:1")
+	if _, err := Run(Config{Target: target}); err == nil {
+		t.Error("Run without Source should fail")
+	}
+}

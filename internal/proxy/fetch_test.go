@@ -1,0 +1,296 @@
+package proxy
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"webcachesim/internal/cache"
+	"webcachesim/internal/metrics"
+)
+
+// fakeClock is an injectable, advanceable time source for expiry tests.
+type fakeClock struct {
+	mu  sync.Mutex
+	now time.Time
+}
+
+func newFakeClock() *fakeClock {
+	return &fakeClock{now: time.Unix(1_700_000_000, 0)}
+}
+
+func (c *fakeClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+func (c *fakeClock) Advance(d time.Duration) {
+	c.mu.Lock()
+	c.now = c.now.Add(d)
+	c.mu.Unlock()
+}
+
+func metricsText(t *testing.T, reg *metrics.Registry) string {
+	t.Helper()
+	var sb strings.Builder
+	if err := reg.WriteText(&sb); err != nil {
+		t.Fatal(err)
+	}
+	return sb.String()
+}
+
+// TestStaleOnError walks the full stale-on-error lifecycle: a response
+// cached under max-age goes stale, the origin dies, and the proxy serves
+// the expired copy (X-Cache: STALE) instead of failing; once the origin
+// recovers, a refetch makes the entry fresh again.
+func TestStaleOnError(t *testing.T) {
+	origin := newFakeOrigin()
+	origin.respHeader = http.Header{"Cache-Control": []string{"max-age=60"}}
+	clock := newFakeClock()
+	reg := metrics.NewRegistry()
+	p, err := New(Config{
+		Capacity:     1 << 20,
+		Transport:    origin,
+		Now:          clock.Now,
+		Metrics:      reg,
+		FetchRetries: -1, // keep the dead-origin phase fast
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	get := func() *httptest.ResponseRecorder {
+		rr := httptest.NewRecorder()
+		p.ServeHTTP(rr, absReq("/a.gif"))
+		return rr
+	}
+
+	if rr := get(); rr.Header().Get("X-Cache") != "MISS" {
+		t.Fatalf("initial: X-Cache = %q, want MISS", rr.Header().Get("X-Cache"))
+	}
+	clock.Advance(30 * time.Second) // still within max-age
+	if rr := get(); rr.Header().Get("X-Cache") != "HIT" {
+		t.Fatalf("fresh: X-Cache = %q, want HIT", rr.Header().Get("X-Cache"))
+	}
+
+	clock.Advance(31 * time.Second) // past max-age
+	origin.setFailing(true)
+	rr := get()
+	if rr.Code != http.StatusOK {
+		t.Fatalf("stale: status = %d, want 200", rr.Code)
+	}
+	if rr.Header().Get("X-Cache") != "STALE" {
+		t.Fatalf("stale: X-Cache = %q, want STALE", rr.Header().Get("X-Cache"))
+	}
+	if want := "origin-body-of-/a.gif"; rr.Body.String() != want {
+		t.Fatalf("stale body = %q, want %q", rr.Body.String(), want)
+	}
+	if st := p.Stats(); st.StaleServed != 1 {
+		t.Errorf("StaleServed = %d, want 1", st.StaleServed)
+	}
+	if out := metricsText(t, reg); !strings.Contains(out, "wcproxy_stale_served_total 1") {
+		t.Errorf("exposition missing stale counter:\n%s", out)
+	}
+
+	origin.setFailing(false)
+	if rr := get(); rr.Header().Get("X-Cache") != "MISS" {
+		t.Fatalf("recover: X-Cache = %q, want MISS (revalidating refetch)", rr.Header().Get("X-Cache"))
+	}
+	if rr := get(); rr.Header().Get("X-Cache") != "HIT" {
+		t.Fatalf("refreshed: X-Cache = %q, want HIT", rr.Header().Get("X-Cache"))
+	}
+}
+
+// TestStaleMissWithoutCachedCopy pins the negative case: with nothing
+// cached and the origin down, the proxy has no fallback and must 502.
+func TestStaleMissWithoutCachedCopy(t *testing.T) {
+	origin := newFakeOrigin()
+	origin.setFailing(true)
+	p, err := New(Config{Capacity: 1 << 20, Transport: origin, FetchRetries: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rr := httptest.NewRecorder()
+	p.ServeHTTP(rr, absReq("/never-seen.gif"))
+	if rr.Code != http.StatusBadGateway {
+		t.Fatalf("status = %d, want 502", rr.Code)
+	}
+}
+
+// TestFetchRetrySucceedsAfterFailures pins the retry loop: with the first
+// two attempts failing, the third succeeds; the client sees a plain miss,
+// and the two backoff sleeps fall inside the jitter envelope
+// [0.5, 1.5) × (base << attempt-1).
+func TestFetchRetrySucceedsAfterFailures(t *testing.T) {
+	origin := newFakeOrigin()
+	origin.failFirst = 2
+	reg := metrics.NewRegistry()
+	const base = 40 * time.Millisecond
+	p, err := New(Config{
+		Capacity:     1 << 20,
+		Transport:    origin,
+		Metrics:      reg,
+		FetchRetries: 2,
+		RetryBackoff: base,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var slept []time.Duration
+	p.sleep = func(d time.Duration) { slept = append(slept, d) }
+
+	rr := httptest.NewRecorder()
+	p.ServeHTTP(rr, absReq("/r.gif"))
+	if rr.Code != http.StatusOK {
+		t.Fatalf("status = %d, want 200", rr.Code)
+	}
+	if rr.Header().Get("X-Cache") != "MISS" {
+		t.Errorf("X-Cache = %q, want MISS", rr.Header().Get("X-Cache"))
+	}
+	if got := origin.fetches("/r.gif"); got != 3 {
+		t.Errorf("origin saw %d attempts, want 3", got)
+	}
+	if len(slept) != 2 {
+		t.Fatalf("recorded %d backoff sleeps, want 2: %v", len(slept), slept)
+	}
+	for i, d := range slept {
+		lo := time.Duration(float64(base<<i) * 0.5)
+		hi := time.Duration(float64(base<<i) * 1.5)
+		if d < lo || d >= hi {
+			t.Errorf("backoff %d = %v, want in [%v, %v)", i+1, d, lo, hi)
+		}
+	}
+	out := metricsText(t, reg)
+	for _, want := range []string{
+		"wcproxy_origin_retries_total 2",
+		"wcproxy_origin_errors_total 2",
+		"wcproxy_hits_total 0",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q", want)
+		}
+	}
+}
+
+// TestFetchRetriesExhausted pins the give-up path: every attempt fails,
+// the configured budget (1 + retries) is spent exactly, and the client
+// gets a 502.
+func TestFetchRetriesExhausted(t *testing.T) {
+	origin := newFakeOrigin()
+	origin.setFailing(true)
+	reg := metrics.NewRegistry()
+	p, err := New(Config{Capacity: 1 << 20, Transport: origin, Metrics: reg, FetchRetries: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.sleep = func(time.Duration) {}
+
+	rr := httptest.NewRecorder()
+	p.ServeHTTP(rr, absReq("/gone.gif"))
+	if rr.Code != http.StatusBadGateway {
+		t.Fatalf("status = %d, want 502", rr.Code)
+	}
+	if got := origin.fetches("/gone.gif"); got != 3 {
+		t.Errorf("origin saw %d attempts, want 3 (1 + 2 retries)", got)
+	}
+	out := metricsText(t, reg)
+	for _, want := range []string{
+		"wcproxy_origin_errors_total 3",
+		"wcproxy_origin_retries_total 2",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q", want)
+		}
+	}
+}
+
+// TestFetchTimeout pins the per-attempt deadline: an origin that never
+// answers is cut off by FetchTimeout rather than hanging the request.
+func TestFetchTimeout(t *testing.T) {
+	origin := newFakeOrigin()
+	origin.mu.Lock()
+	origin.block["/hang.gif"] = make(chan struct{}) // never closed
+	origin.mu.Unlock()
+	p, err := New(Config{
+		Capacity:     1 << 20,
+		Transport:    origin,
+		FetchTimeout: 30 * time.Millisecond,
+		FetchRetries: -1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	rr := httptest.NewRecorder()
+	p.ServeHTTP(rr, absReq("/hang.gif"))
+	if rr.Code != http.StatusBadGateway {
+		t.Fatalf("status = %d, want 502", rr.Code)
+	}
+	if waited := time.Since(start); waited > 5*time.Second {
+		t.Errorf("request took %v; timeout did not bound the fetch", waited)
+	}
+}
+
+// TestBackoffBounds checks the jitter envelope arithmetic directly.
+func TestBackoffBounds(t *testing.T) {
+	const base = 50 * time.Millisecond
+	for attempt := 1; attempt <= 4; attempt++ {
+		for i := 0; i < 100; i++ {
+			d := backoff(base, attempt)
+			lo := time.Duration(float64(base<<(attempt-1)) * 0.5)
+			hi := time.Duration(float64(base<<(attempt-1)) * 1.5)
+			if d < lo || d >= hi {
+				t.Fatalf("backoff(%v, %d) = %v, want in [%v, %v)", base, attempt, d, lo, hi)
+			}
+		}
+	}
+}
+
+// TestExpiry covers the freshness-deadline derivation from response
+// headers.
+func TestExpiry(t *testing.T) {
+	now := time.Unix(1_700_000_000, 0).UTC()
+	httpDate := now.Add(90 * time.Second).Format(http.TimeFormat)
+	cases := []struct {
+		name string
+		hdr  http.Header
+		want time.Time
+	}{
+		{"no headers", http.Header{}, time.Time{}},
+		{"max-age", http.Header{"Cache-Control": {"max-age=60"}}, now.Add(60 * time.Second)},
+		{"s-maxage wins", http.Header{"Cache-Control": {"max-age=60, s-maxage=30"}}, now.Add(30 * time.Second)},
+		{"with other directives", http.Header{"Cache-Control": {"public, max-age=120"}}, now.Add(120 * time.Second)},
+		{"case-insensitive", http.Header{"Cache-Control": {"Max-Age=10"}}, now.Add(10 * time.Second)},
+		{"negative rejected", http.Header{"Cache-Control": {"max-age=-5"}}, time.Time{}},
+		{"garbage rejected", http.Header{"Cache-Control": {"max-age=soon"}}, time.Time{}},
+		{"expires header", http.Header{"Expires": {httpDate}}, now.Add(90 * time.Second)},
+		{"max-age beats expires", http.Header{"Cache-Control": {"max-age=60"}, "Expires": {httpDate}}, now.Add(60 * time.Second)},
+		{"bad expires", http.Header{"Expires": {"not a date"}}, time.Time{}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got := expiry(tc.hdr, now)
+			if !got.Equal(tc.want) {
+				t.Errorf("expiry(%v) = %v, want %v", tc.hdr, got, tc.want)
+			}
+		})
+	}
+}
+
+// TestFresh pins the zero-Expires contract: entries without expiry
+// metadata never go stale.
+func TestFresh(t *testing.T) {
+	now := time.Unix(1_700_000_000, 0)
+	if !fresh(&cache.Entry{}, now) {
+		t.Error("zero Expires must never be stale")
+	}
+	if !fresh(&cache.Entry{Expires: now.Add(time.Second)}, now) {
+		t.Error("future Expires must be fresh")
+	}
+	if fresh(&cache.Entry{Expires: now.Add(-time.Second)}, now) {
+		t.Error("past Expires must be stale")
+	}
+}

@@ -16,6 +16,16 @@ type serverMetrics struct {
 	originErrors *metrics.Counter
 	uncacheable  *metrics.Counter
 
+	// coalesced counts misses that shared another request's origin fetch;
+	// staleServed counts expired copies served because the origin was
+	// down; originRetries counts backoff-spaced re-attempts;
+	// cacheRejects counts cacheable responses the store could not admit
+	// under its byte budget.
+	coalesced     *metrics.Counter
+	staleServed   *metrics.Counter
+	originRetries *metrics.Counter
+	cacheRejects  *metrics.Counter
+
 	// hitBytes is the traffic served from cache — the bytes the origin
 	// did not have to send; originBytes is what was fetched upstream.
 	hitBytes    *metrics.Counter
@@ -47,6 +57,14 @@ func newServerMetrics(reg *metrics.Registry) *serverMetrics {
 			"Upstream fetches that failed."),
 		uncacheable: reg.NewCounter("wcproxy_uncacheable_total",
 			"Fetched responses not stored (status, URL heuristics, size or Cache-Control)."),
+		coalesced: reg.NewCounter("wcproxy_coalesced_total",
+			"Misses that shared another request's in-flight origin fetch."),
+		staleServed: reg.NewCounter("wcproxy_stale_served_total",
+			"Requests answered with an expired cached copy because the origin was unreachable."),
+		originRetries: reg.NewCounter("wcproxy_origin_retries_total",
+			"Origin fetch re-attempts after a transport failure (backoff-spaced)."),
+		cacheRejects: reg.NewCounter("wcproxy_cache_rejects_total",
+			"Cacheable responses the store refused for want of byte budget."),
 		hitBytes: reg.NewCounter("wcproxy_hit_bytes_total",
 			"Body bytes served from cache (origin traffic saved)."),
 		originBytes: reg.NewCounter("wcproxy_origin_bytes_total",
@@ -69,8 +87,9 @@ func newServerMetrics(reg *metrics.Registry) *serverMetrics {
 	return m
 }
 
-// registerGauges exposes the server's live occupancy. Scrapes take the
-// server mutex briefly, exactly like the Stats endpoint.
+// registerGauges exposes the store's live occupancy. The byte gauge is a
+// single atomic load; the object count briefly takes each shard lock in
+// turn, exactly like the Stats endpoint.
 func (s *Server) registerGauges(reg *metrics.Registry) {
 	reg.NewGaugeFunc("wcproxy_cache_used_bytes",
 		"Bytes of cached response bodies currently resident.",
@@ -81,4 +100,7 @@ func (s *Server) registerGauges(reg *metrics.Registry) {
 	reg.NewGaugeFunc("wcproxy_cache_capacity_bytes",
 		"Configured cache capacity.",
 		func() float64 { return float64(s.cfg.Capacity) })
+	reg.NewGaugeFunc("wcproxy_cache_shards",
+		"Cache shard count (per-shard locks and policy instances).",
+		func() float64 { return float64(s.store.Shards()) })
 }

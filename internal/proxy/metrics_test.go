@@ -95,8 +95,16 @@ func TestMetricsCountEvictions(t *testing.T) {
 }
 
 func TestMetricsCountOriginErrors(t *testing.T) {
-	srv, reg, origin := newInstrumented(t, 1<<20)
+	origin := httptest.NewServer(http.HandlerFunc(func(http.ResponseWriter, *http.Request) {}))
+	u, _ := url.Parse(origin.URL)
 	origin.Close() // every fetch now fails
+	reg := metrics.NewRegistry()
+	// Retries disabled: this test pins the per-attempt error accounting;
+	// the retry path has its own tests.
+	srv, err := proxy.New(proxy.Config{Capacity: 1 << 20, Origin: u, Metrics: reg, FetchRetries: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
 	rr := get(t, srv, "/x.gif")
 	if rr.Code != http.StatusBadGateway {
 		t.Fatalf("status = %d, want 502", rr.Code)

@@ -4,17 +4,30 @@
 // proxy emits Squid-native access logs that feed straight back into the
 // trace parser, characterization, and simulator.
 //
+// The serving path is built for concurrency: objects live in a sharded
+// store (internal/cache) whose per-shard locks keep lookups on distinct
+// URLs from contending, concurrent misses on one URL collapse into a
+// single origin fetch (internal/flight), and the origin fetch itself is
+// hardened — per-attempt timeout, bounded retries with jittered
+// exponential backoff, and a stale-on-error fallback that serves an
+// expired cached copy when the origin is unreachable. No lock is ever
+// held across an origin round trip, so a slow origin on one URL cannot
+// delay cache hits on any other. See docs/PROXY.md for the design.
+//
 // The proxy applies the same cacheability rules the paper's preprocessing
 // assumes (GET only, the Section 2 status-code whitelist, the CGI/query
-// heuristics) plus Cache-Control: no-store. Consistency protocols
-// (expiration, revalidation) are out of scope, as in the paper: the proxy
-// studies replacement only.
+// heuristics) plus Cache-Control: no-store. Expiration is honored only as
+// far as stale-on-error needs it: an entry past its max-age/Expires is
+// revalidated by refetching, and served anyway if the origin is down.
+// Full consistency protocols remain out of scope, as in the paper.
 package proxy
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"io"
+	"math/rand/v2"
 	"net/http"
 	"net/url"
 	"strconv"
@@ -22,7 +35,9 @@ import (
 	"sync"
 	"time"
 
+	"webcachesim/internal/cache"
 	"webcachesim/internal/doctype"
+	"webcachesim/internal/flight"
 	"webcachesim/internal/metrics"
 	"webcachesim/internal/policy"
 	"webcachesim/internal/trace"
@@ -31,12 +46,26 @@ import (
 // DefaultMaxObjectBytes bounds the size of a single cached response body.
 const DefaultMaxObjectBytes = 8 << 20
 
+// Default fetch-robustness parameters; see Config.
+const (
+	DefaultFetchTimeout = 15 * time.Second
+	DefaultFetchRetries = 2
+	DefaultRetryBackoff = 50 * time.Millisecond
+)
+
 // Config parameterizes a proxy server.
 type Config struct {
 	// Capacity is the cache size in bytes; it must be positive.
 	Capacity int64
-	// Policy builds the replacement scheme; LRU when unset.
+	// Policy builds the replacement scheme; LRU when unset. Each cache
+	// shard runs its own instance.
 	Policy policy.Factory
+	// Shards is the cache shard count, rounded up to a power of two
+	// (cache.DefaultShards when 0). One shard reproduces the exact
+	// single-policy eviction order the simulator models; more shards
+	// scale lookups across cores at the cost of per-shard (approximate)
+	// eviction order.
+	Shards int
 	// Origin, when set, turns the proxy into a reverse proxy: every
 	// request is rewritten to the origin. When nil, the proxy acts as a
 	// forward proxy and requires absolute-form request URLs.
@@ -53,6 +82,19 @@ type Config struct {
 	// MaxObjectBytes bounds a single cached object
 	// (DefaultMaxObjectBytes when 0).
 	MaxObjectBytes int64
+	// FetchTimeout bounds each origin fetch attempt, round trip plus body
+	// read (DefaultFetchTimeout when 0). The fetch runs on a detached
+	// context: its result is shared by every coalesced waiter, so it must
+	// not die with the first client that disconnects.
+	FetchTimeout time.Duration
+	// FetchRetries is the number of additional attempts after a failed
+	// origin fetch (DefaultFetchRetries when 0; negative disables
+	// retries). Attempts are spaced by jittered exponential backoff.
+	FetchRetries int
+	// RetryBackoff is the base delay before the first retry; each further
+	// retry doubles it, and every delay is jittered by ±50%
+	// (DefaultRetryBackoff when 0).
+	RetryBackoff time.Duration
 	// Now supplies timestamps (time.Now when nil); injectable for tests.
 	Now func() time.Time
 	// Metrics, when set, receives the proxy's exported instrumentation
@@ -75,6 +117,13 @@ type Stats struct {
 	HitBytes int64 `json:"hitBytes"`
 	// Evictions counts replacement victims.
 	Evictions int64 `json:"evictions"`
+	// Coalesced counts misses that shared another request's origin fetch
+	// instead of issuing their own; they are included in the miss count.
+	Coalesced int64 `json:"coalesced"`
+	// StaleServed counts requests answered with an expired cached copy
+	// because the origin was unreachable; they are included in the miss
+	// count.
+	StaleServed int64 `json:"staleServed"`
 	// ByClass breaks requests and hits down by document class.
 	ByClass [doctype.NumClasses + 1]struct {
 		Requests int64 `json:"requests"`
@@ -98,27 +147,33 @@ func (s Stats) ByteHitRate() float64 {
 	return float64(s.HitBytes) / float64(s.ReqBytes)
 }
 
-// entry is one cached response.
-type entry struct {
-	doc         *policy.Doc
-	body        []byte
-	contentType string
-	status      int
-}
+// serveResult classifies how a request was answered, for headers and
+// accounting. Requests = hits + misses; coalesced and stale-served are
+// sub-categories of miss.
+type serveResult int
+
+const (
+	resultHit       serveResult = iota // fresh copy served from cache
+	resultMiss                         // fetched from the origin by this request
+	resultCoalesced                    // shared another request's origin fetch
+	resultStale                        // origin down; expired copy served
+)
 
 // Server is the caching proxy; it implements http.Handler.
 type Server struct {
 	cfg       Config
 	transport http.RoundTripper
 	now       func() time.Time
+	store     *cache.Cache
+	fetches   flight.Group
+	sleep     func(time.Duration) // retry backoff; injectable for tests
 
-	mu      sync.Mutex
-	pol     policy.Policy
-	entries map[string]*entry
-	ids     *trace.Interner // URL -> dense doc ID (the Doc.ID keying contract)
-	used    int64
-	stats   Stats
-	logw    *trace.SquidWriter
+	// mu guards only the cold accounting below — never any part of the
+	// serving or fetching path.
+	mu    sync.Mutex
+	stats Stats
+	logw  *trace.SquidWriter
+
 	metrics *serverMetrics
 }
 
@@ -135,6 +190,18 @@ func New(cfg Config) (*Server, error) {
 	if cfg.MaxObjectBytes <= 0 {
 		cfg.MaxObjectBytes = DefaultMaxObjectBytes
 	}
+	if cfg.FetchTimeout <= 0 {
+		cfg.FetchTimeout = DefaultFetchTimeout
+	}
+	if cfg.FetchRetries == 0 {
+		cfg.FetchRetries = DefaultFetchRetries
+	}
+	if cfg.FetchRetries < 0 {
+		cfg.FetchRetries = 0
+	}
+	if cfg.RetryBackoff <= 0 {
+		cfg.RetryBackoff = DefaultRetryBackoff
+	}
 	reg := cfg.Metrics
 	if reg == nil {
 		reg = metrics.NewRegistry()
@@ -143,11 +210,19 @@ func New(cfg Config) (*Server, error) {
 		cfg:       cfg,
 		transport: cfg.Transport,
 		now:       cfg.Now,
-		pol:       cfg.Policy.New(),
-		entries:   make(map[string]*entry, 1024),
-		ids:       trace.NewInterner(),
+		sleep:     time.Sleep,
 		metrics:   newServerMetrics(reg),
 	}
+	store, err := cache.New(cache.Config{
+		Capacity: cfg.Capacity,
+		Shards:   cfg.Shards,
+		Policy:   cfg.Policy,
+		OnEvict:  func(*cache.Entry) { s.metrics.evictions.Inc() },
+	})
+	if err != nil {
+		return nil, fmt.Errorf("proxy: %w", err)
+	}
+	s.store = store
 	s.registerGauges(reg)
 	if cfg.Parent != nil {
 		parent := cfg.Parent
@@ -170,23 +245,20 @@ func New(cfg Config) (*Server, error) {
 // Stats returns a snapshot of the proxy's counters.
 func (s *Server) Stats() Stats {
 	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.stats
+	st := s.stats
+	s.mu.Unlock()
+	st.Evictions = s.store.Evictions()
+	return st
 }
 
 // Used returns the current cache occupancy in bytes.
-func (s *Server) Used() int64 {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.used
-}
+func (s *Server) Used() int64 { return s.store.Used() }
 
 // Len returns the number of cached objects.
-func (s *Server) Len() int {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return len(s.entries)
-}
+func (s *Server) Len() int { return s.store.Len() }
+
+// Shards returns the cache shard count.
+func (s *Server) Shards() int { return s.store.Shards() }
 
 // ServeHTTP implements http.Handler.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
@@ -201,17 +273,35 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	}
 	key := target.String()
 
-	if e := s.lookup(key); e != nil {
-		s.serve(w, r, key, e, true)
+	if e, ok := s.store.Get(key); ok {
+		if fresh(e, s.now()) {
+			s.serve(w, r, key, e, resultHit)
+			return
+		}
+		// Expired: revalidate by refetching (coalesced like any miss);
+		// if the origin is down, fall back to the stale copy.
+		fetched, res, ferr := s.fetchShared(target, r.Header)
+		if ferr != nil {
+			s.serve(w, r, key, e, resultStale)
+			return
+		}
+		s.serve(w, r, key, fetched, res)
 		return
 	}
 
-	e, err := s.fetch(target, r)
+	e, res, err := s.fetchShared(target, r.Header)
 	if err != nil {
 		http.Error(w, fmt.Sprintf("upstream: %v", err), http.StatusBadGateway)
 		return
 	}
-	s.serve(w, r, key, e, false)
+	s.serve(w, r, key, e, res)
+}
+
+// fresh reports whether the entry is within its freshness lifetime (an
+// entry without expiry metadata never goes stale — replacement, not
+// consistency, retires it, as in the paper).
+func fresh(e *cache.Entry, now time.Time) bool {
+	return e.Expires.IsZero() || now.Before(e.Expires)
 }
 
 // targetURL resolves the upstream URL for a request.
@@ -234,27 +324,64 @@ func (s *Server) targetURL(r *http.Request) (*url.URL, error) {
 	return nil, errors.New("proxy: relative request without Host")
 }
 
-// lookup returns the cached entry for key and records the policy hit, or
-// nil on a miss.
-func (s *Server) lookup(key string) *entry {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	e, ok := s.entries[key]
-	if !ok {
-		return nil
+// fetchShared funnels the fetch for one URL through the singleflight
+// group: concurrent misses on the same key share a single origin round
+// trip, and only the caller that actually executed it counts as the miss
+// leader.
+func (s *Server) fetchShared(target *url.URL, hdr http.Header) (*cache.Entry, serveResult, error) {
+	v, err, shared := s.fetches.Do(target.String(), func() (any, error) {
+		return s.fetchWithRetry(target, hdr)
+	})
+	res := resultMiss
+	if shared {
+		res = resultCoalesced
 	}
-	s.pol.Hit(e.doc)
-	return e
+	if err != nil {
+		return nil, res, err
+	}
+	return v.(*cache.Entry), res, nil
 }
 
-// fetch retrieves the document from upstream and caches it when the
-// response is cacheable under the paper's rules.
-func (s *Server) fetch(target *url.URL, orig *http.Request) (*entry, error) {
-	req, err := http.NewRequestWithContext(orig.Context(), http.MethodGet, target.String(), nil)
+// fetchWithRetry performs the origin fetch with bounded retries and
+// jittered exponential backoff, storing the result when cacheable. Only
+// transport-level failures are retried; any HTTP response — whatever its
+// status — is the origin's answer and is returned as-is.
+func (s *Server) fetchWithRetry(target *url.URL, hdr http.Header) (*cache.Entry, error) {
+	var lastErr error
+	for attempt := 0; attempt <= s.cfg.FetchRetries; attempt++ {
+		if attempt > 0 {
+			s.metrics.originRetries.Inc()
+			s.sleep(backoff(s.cfg.RetryBackoff, attempt))
+		}
+		e, err := s.fetchOnce(target, hdr)
+		if err == nil {
+			return e, nil
+		}
+		lastErr = err
+	}
+	return nil, lastErr
+}
+
+// backoff returns the delay before the given retry attempt (1-based):
+// base doubled per attempt, jittered uniformly over ±50% so synchronized
+// retry waves decorrelate.
+func backoff(base time.Duration, attempt int) time.Duration {
+	d := base << (attempt - 1)
+	return time.Duration((0.5 + rand.Float64()) * float64(d))
+}
+
+// fetchOnce performs one origin fetch attempt under the per-attempt
+// timeout and caches the response when it is cacheable under the paper's
+// rules. The context is detached from any client request: the result is
+// shared by every coalesced waiter.
+func (s *Server) fetchOnce(target *url.URL, hdr http.Header) (*cache.Entry, error) {
+	ctx, cancel := context.WithTimeout(context.Background(), s.cfg.FetchTimeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, target.String(), nil)
 	if err != nil {
 		return nil, err
 	}
-	req.Header = orig.Header.Clone()
+	req.Header = hdr.Clone()
 	fetchStart := s.now()
 	resp, err := s.transport.RoundTrip(req)
 	if err != nil {
@@ -269,25 +396,77 @@ func (s *Server) fetch(target *url.URL, orig *http.Request) (*entry, error) {
 		s.metrics.originErrors.Inc()
 		return nil, err
 	}
-	s.metrics.originSeconds.Observe(s.now().Sub(fetchStart).Seconds())
+	now := s.now()
+	s.metrics.originSeconds.Observe(now.Sub(fetchStart).Seconds())
 	s.metrics.originBytes.Add(int64(len(body)))
 	s.metrics.objectBytes.Observe(float64(len(body)))
-	e := &entry{
-		doc: &policy.Doc{
-			Key:   target.String(),
+	key := target.String()
+	e := &cache.Entry{
+		Doc: &policy.Doc{
+			Key:   key,
 			Size:  int64(len(body)),
-			Class: doctype.Classify(resp.Header.Get("Content-Type"), target.String()),
+			Class: doctype.Classify(resp.Header.Get("Content-Type"), key),
 		},
-		body:        body,
-		contentType: resp.Header.Get("Content-Type"),
-		status:      resp.StatusCode,
+		Body:        body,
+		ContentType: resp.Header.Get("Content-Type"),
+		Status:      resp.StatusCode,
+		Expires:     expiry(resp.Header, now),
 	}
-	if s.cacheable(target.String(), resp, int64(len(body))) {
-		s.insert(e)
+	if s.cacheable(key, resp, int64(len(body))) {
+		if !s.store.Set(key, e) {
+			s.metrics.cacheRejects.Inc()
+		}
 	} else {
 		s.metrics.uncacheable.Inc()
 	}
 	return e, nil
+}
+
+// expiry derives an entry's freshness deadline from Cache-Control max-age
+// (s-maxage preferred, as for a shared cache) or the Expires header. The
+// zero time means "never stale".
+func expiry(h http.Header, now time.Time) time.Time {
+	cc := h.Get("Cache-Control")
+	if cc != "" {
+		if secs, ok := maxAge(cc, "s-maxage"); ok {
+			return now.Add(time.Duration(secs) * time.Second)
+		}
+		if secs, ok := maxAge(cc, "max-age"); ok {
+			return now.Add(time.Duration(secs) * time.Second)
+		}
+	}
+	if exp := h.Get("Expires"); exp != "" {
+		if t, err := http.ParseTime(exp); err == nil {
+			return t
+		}
+	}
+	return time.Time{}
+}
+
+// maxAge extracts a non-negative `directive=N` seconds value from a
+// Cache-Control header.
+func maxAge(cc, directive string) (int64, bool) {
+	for _, part := range strings.Split(cc, ",") {
+		part = strings.TrimSpace(part)
+		rest, ok := cutPrefixFold(part, directive)
+		if !ok || !strings.HasPrefix(rest, "=") {
+			continue
+		}
+		secs, err := strconv.ParseInt(strings.TrimSpace(rest[1:]), 10, 64)
+		if err != nil || secs < 0 {
+			return 0, false
+		}
+		return secs, true
+	}
+	return 0, false
+}
+
+// cutPrefixFold is strings.CutPrefix under ASCII case folding.
+func cutPrefixFold(s, prefix string) (string, bool) {
+	if len(s) < len(prefix) || !strings.EqualFold(s[:len(prefix)], prefix) {
+		return s, false
+	}
+	return s[len(prefix):], true
 }
 
 // cacheable applies the Section 2 preprocessing rules plus no-store.
@@ -317,47 +496,25 @@ func containsToken(header, token string) bool {
 	return false
 }
 
-// insert stores an entry, evicting as needed. The document is assigned
-// its dense ID here, under the lock, so policies keying on Doc.ID (GD*'s
-// estimator) see one stable ID per URL across refetches.
-func (s *Server) insert(e *entry) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	e.doc.ID = s.ids.Intern(e.doc.Key)
-	if old, ok := s.entries[e.doc.Key]; ok {
-		s.pol.Remove(old.doc)
-		s.used -= old.doc.Size
-		delete(s.entries, e.doc.Key)
-	}
-	for s.used+e.doc.Size > s.cfg.Capacity {
-		victim, ok := s.pol.Evict()
-		if !ok {
-			return
-		}
-		s.stats.Evictions++
-		s.metrics.evictions.Inc()
-		if ve, ok := s.entries[victim.Key]; ok && ve.doc == victim {
-			delete(s.entries, victim.Key)
-			s.used -= victim.Size
-		}
-	}
-	s.entries[e.doc.Key] = e
-	s.used += e.doc.Size
-	s.pol.Insert(e.doc)
-}
-
 // serve writes the response and settles accounting and logging.
-func (s *Server) serve(w http.ResponseWriter, r *http.Request, key string, e *entry, hit bool) {
-	size := int64(len(e.body))
+func (s *Server) serve(w http.ResponseWriter, r *http.Request, key string, e *cache.Entry, res serveResult) {
+	size := int64(len(e.Body))
+	cls := e.Doc.Class
 
-	cls := e.doc.Class
 	s.metrics.requests.Inc()
 	s.metrics.requestsByClass[cls].Inc()
-	if hit {
+	switch res {
+	case resultHit:
 		s.metrics.hits.Inc()
 		s.metrics.hitBytes.Add(size)
 		s.metrics.hitsByClass[cls].Inc()
-	} else {
+	case resultCoalesced:
+		s.metrics.misses.Inc()
+		s.metrics.coalesced.Inc()
+	case resultStale:
+		s.metrics.misses.Inc()
+		s.metrics.staleServed.Inc()
+	default:
 		s.metrics.misses.Inc()
 	}
 
@@ -365,10 +522,15 @@ func (s *Server) serve(w http.ResponseWriter, r *http.Request, key string, e *en
 	s.stats.Requests++
 	s.stats.ReqBytes += size
 	s.stats.ByClass[cls].Requests++
-	if hit {
+	switch res {
+	case resultHit:
 		s.stats.Hits++
 		s.stats.HitBytes += size
 		s.stats.ByClass[cls].Hits++
+	case resultCoalesced:
+		s.stats.Coalesced++
+	case resultStale:
+		s.stats.StaleServed++
 	}
 	if s.logw != nil {
 		// The access log records what the trace pipeline consumes; the
@@ -377,9 +539,9 @@ func (s *Server) serve(w http.ResponseWriter, r *http.Request, key string, e *en
 		_ = s.logw.Write(&trace.Request{
 			UnixMillis:   s.now().UnixMilli(),
 			URL:          key,
-			Status:       e.status,
+			Status:       e.Status,
 			TransferSize: size,
-			ContentType:  e.contentType,
+			ContentType:  e.ContentType,
 			Client:       clientAddr(r),
 			Method:       http.MethodGet,
 		})
@@ -387,17 +549,23 @@ func (s *Server) serve(w http.ResponseWriter, r *http.Request, key string, e *en
 	}
 	s.mu.Unlock()
 
-	if e.contentType != "" {
-		w.Header().Set("Content-Type", e.contentType)
+	if e.ContentType != "" {
+		w.Header().Set("Content-Type", e.ContentType)
 	}
 	w.Header().Set("Content-Length", strconv.FormatInt(size, 10))
-	if hit {
+	switch res {
+	case resultHit:
 		w.Header().Set("X-Cache", "HIT")
-	} else {
+	case resultStale:
+		w.Header().Set("X-Cache", "STALE")
+	case resultCoalesced:
+		w.Header().Set("X-Cache", "MISS")
+		w.Header().Set("X-Coalesced", "1")
+	default:
 		w.Header().Set("X-Cache", "MISS")
 	}
-	w.WriteHeader(e.status)
-	_, _ = w.Write(e.body)
+	w.WriteHeader(e.Status)
+	_, _ = w.Write(e.Body)
 }
 
 func clientAddr(r *http.Request) string {

@@ -147,8 +147,10 @@ func TestProxyUncacheableRules(t *testing.T) {
 
 func TestProxyEviction(t *testing.T) {
 	origin := newOrigin(t, nil)
-	// Bodies are ~15 bytes; capacity of 40 holds two objects.
-	p, front := newProxy(t, origin, Config{Capacity: 40})
+	// Bodies are ~15 bytes; capacity of 40 holds two objects. One shard
+	// keeps the eviction order exactly LRU — the configuration under
+	// which the proxy reproduces the paper's single-policy semantics.
+	p, front := newProxy(t, origin, Config{Capacity: 40, Shards: 1})
 	get(t, front.URL, "/a.gif")
 	get(t, front.URL, "/b.gif")
 	get(t, front.URL, "/c.gif") // evicts /a.gif under LRU
@@ -167,7 +169,7 @@ func TestProxyEviction(t *testing.T) {
 func TestProxyPolicyPluggable(t *testing.T) {
 	origin := newOrigin(t, nil)
 	gds := policy.MustFactory(policy.Spec{Scheme: "gds", Cost: policy.ConstantCost{}})
-	p, front := newProxy(t, origin, Config{Capacity: 38, Policy: gds})
+	p, front := newProxy(t, origin, Config{Capacity: 38, Policy: gds, Shards: 1})
 	// GDS(1) evicts the largest c/s loser; with equal-cost docs the
 	// bigger body goes first.
 	get(t, front.URL, "/tiny.gif")          // 17 bytes

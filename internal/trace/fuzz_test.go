@@ -6,7 +6,7 @@ import (
 	"testing"
 )
 
-// Fuzz targets for the three text/binary decoders: any input must produce
+// Fuzz targets for the text and binary decoders: any input must produce
 // a request or an error, never a panic, and successfully parsed requests
 // must re-encode.
 
@@ -41,6 +41,60 @@ func FuzzParseCLFLine(f *testing.F) {
 		}
 		if req == nil {
 			t.Fatal("nil request without error")
+		}
+	})
+}
+
+func FuzzInternedReader(f *testing.F) {
+	// Seed with a valid multi-record WCT2 stream exercising both the
+	// first-mention (inline string) and back-reference encodings.
+	var buf bytes.Buffer
+	w := NewInternedWriter(&buf)
+	for _, r := range []*Request{
+		{UnixMillis: 1000, URL: "http://e.com/a.gif", Status: 200, TransferSize: 512, ContentType: "image/gif", Client: "10.0.0.1"},
+		{UnixMillis: 1750, URL: "http://e.com/b.html", Status: 200, TransferSize: 2048, ContentType: "text/html", Client: "10.0.0.2"},
+		{UnixMillis: 2500, URL: "http://e.com/a.gif", Status: 304, TransferSize: 0, ContentType: "image/gif", Client: "10.0.0.1"},
+	} {
+		if err := w.Write(r); err != nil {
+			f.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		f.Fatal(err)
+	}
+	valid := buf.Bytes()
+	f.Add(valid)
+	// Corruption fixtures: the classes of damage the reader must survive —
+	// wrong magic, truncation at every prefix length, and flipped bytes in
+	// the record region (bad refs, bogus lengths, negative deltas).
+	f.Add([]byte{})
+	f.Add([]byte("WCT1"))
+	f.Add([]byte("WCT2"))
+	f.Add(valid[:len(valid)/2])
+	for _, i := range []int{4, 5, len(valid) / 3, len(valid) - 1} {
+		if i < len(valid) {
+			mut := bytes.Clone(valid)
+			mut[i] ^= 0xff
+			f.Add(mut)
+		}
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r := NewInternedReader(bytes.NewReader(data))
+		for i := 0; i < 1000; i++ {
+			req, err := r.Next()
+			if err != nil {
+				return
+			}
+			if req == nil {
+				t.Fatal("nil request without error")
+			}
+			// Whatever decoded must re-encode: the writer accepts any
+			// request the reader vouched for.
+			var rt bytes.Buffer
+			rw := NewInternedWriter(&rt)
+			if err := rw.Write(req); err != nil {
+				t.Fatalf("decoded request failed to re-encode: %v", err)
+			}
 		}
 	})
 }
