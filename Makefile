@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build vet wcvet test race bench fuzz-smoke journal-smoke check
+.PHONY: build vet wcvet vet-json test race bench fuzz-smoke journal-smoke check
 
 build:
 	$(GO) build ./...
@@ -11,10 +11,18 @@ build:
 vet:
 	$(GO) vet ./...
 
-# Project-specific analyzers (policymeta, evictloop, floatcmp, clockmono,
-# pkgdoc) plus selected stock vet passes. See docs/ANALYZERS.md.
+# Project-specific analyzers — the simulator-contract checks (policymeta,
+# evictloop, floatcmp, clockmono, pkgdoc) and the concurrency-contract
+# checks (lockorder, atomicfield, ctxcancel, goroexit, errdrop) — plus
+# selected stock vet passes. See docs/ANALYZERS.md.
 wcvet:
 	$(GO) run ./cmd/wcvet ./...
+
+# Same analyzers, machine-readable: one JSON object with diagnostics,
+# //lint:ignore suppressions, and per-analyzer suppressed counts. CI runs
+# this so suppressions stay auditable from build output alone.
+vet-json:
+	$(GO) run ./cmd/wcvet -json ./...
 
 test:
 	$(GO) test ./...
@@ -68,4 +76,4 @@ journal-smoke:
 	$(GO) run ./cmd/wcreport -journal $$tmp/run.jsonl && \
 	rm -rf $$tmp
 
-check: build vet wcvet test race
+check: build vet wcvet vet-json test race

@@ -29,12 +29,34 @@ func TestClockMono(t *testing.T) {
 func TestPkgDoc(t *testing.T) {
 	linttest.Run(t, "testdata/src", lint.PkgDoc,
 		"pkgdoc/internal/good", "pkgdoc/internal/bad",
-		"pkgdoc/internal/wrongprefix", "pkgdoc/outside")
+		"pkgdoc/internal/wrongprefix", "pkgdoc/outside",
+		"pkgdoc/cmd/goodcmd", "pkgdoc/cmd/badcmd", "pkgdoc/cmd/nodoc")
+}
+
+func TestLockOrder(t *testing.T) {
+	linttest.Run(t, "testdata/src", lint.LockOrder, "lockorder/cache")
+}
+
+func TestAtomicField(t *testing.T) {
+	linttest.Run(t, "testdata/src", lint.AtomicField, "atomicfield/a")
+}
+
+func TestCtxCancel(t *testing.T) {
+	linttest.Run(t, "testdata/src", lint.CtxCancel, "ctxcancel/a")
+}
+
+func TestGoroExit(t *testing.T) {
+	linttest.Run(t, "testdata/src", lint.GoroExit, "goroexit/load")
+}
+
+func TestErrDrop(t *testing.T) {
+	linttest.Run(t, "testdata/src", lint.ErrDrop, "errdrop/proxy")
 }
 
 // TestRealPackagesClean loads representative production packages the
-// analyzers are scoped to and requires a clean bill: the repo must keep
-// wcvet green.
+// analyzers are scoped to — the deterministic simulation core and the
+// whole concurrent serving stack — and requires a clean bill: the repo
+// must keep wcvet green.
 func TestRealPackagesClean(t *testing.T) {
 	root, err := lint.FindModuleRoot(".")
 	if err != nil {
@@ -46,6 +68,11 @@ func TestRealPackagesClean(t *testing.T) {
 		"./internal/container/intlist",
 		"./internal/policy",
 		"./internal/core",
+		"./internal/cache",
+		"./internal/flight",
+		"./internal/proxy",
+		"./internal/load",
+		"./internal/mrc",
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -55,11 +82,16 @@ func TestRealPackagesClean(t *testing.T) {
 			t.Errorf("%s: type error: %v", pkg.PkgPath, e)
 		}
 	}
-	diags, err := lint.Run(pkgs, lint.All())
+	res, err := lint.Run(pkgs, lint.All())
 	if err != nil {
 		t.Fatal(err)
 	}
-	for _, d := range diags {
+	for _, d := range res.Diagnostics {
 		t.Errorf("unexpected finding: %s", d)
+	}
+	for _, s := range res.Suppressions {
+		if s.Count == 0 {
+			t.Errorf("stale suppression at %s: //lint:ignore %s suppresses nothing", s.Pos, s.Analyzer)
+		}
 	}
 }

@@ -1,0 +1,152 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// addrOp is the address-of operator, the only sanctioned unary use of an
+// atomic field.
+const addrOp = token.AND
+
+// AtomicField protects the CAS discipline on atomically managed fields.
+//
+// The cache's global byte budget is a single counter raised only by a
+// compare-and-swap that proves the new total fits (reserve-before-insert,
+// docs/PROXY.md); the metrics counters make the same bargain. That
+// guarantee dies silently the moment one code path touches such a field
+// with a plain read or write: the racing access is invisible to the
+// compiler, usually invisible to the race detector's schedules, and turns
+// "never overshoots capacity" into "usually doesn't".
+//
+// The analyzer derives the contract from use, per package: any struct
+// field whose address is ever passed to a sync/atomic function is an
+// atomic field, and every other access to it must go through sync/atomic
+// too. Fields of the typed kinds (atomic.Int64, atomic.Uint64, ...) are
+// already method-guarded, so for them the analyzer only flags value
+// copies, which would snapshot (and detach) the counter.
+var AtomicField = &Analyzer{
+	Name: "atomicfield",
+	Doc: "a struct field touched via sync/atomic must never be read or " +
+		"written plainly anywhere in its package",
+	Run: runAtomicField,
+}
+
+// atomicTypeNames are the typed atomics in sync/atomic whose values must
+// not be copied out of their field.
+var atomicTypeNames = map[string]bool{
+	"Bool": true, "Int32": true, "Int64": true, "Uint32": true,
+	"Uint64": true, "Uintptr": true, "Pointer": true, "Value": true,
+}
+
+func runAtomicField(pass *Pass) error {
+	if pass.Pkg == nil {
+		return nil
+	}
+	atomicFields, sanctioned := collectAtomicFields(pass)
+	for _, f := range pass.Files {
+		inspectStack(f, func(n ast.Node, stack []ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			field := selectedField(pass.Info, sel)
+			if field == nil {
+				return true
+			}
+			if atomicFields[field] && !sanctioned[sel] {
+				pass.Reportf(sel.Sel.Pos(),
+					"field %s is managed via sync/atomic; a plain access races with its CAS discipline — use the atomic API",
+					field.Name())
+				return true
+			}
+			if isTypedAtomic(field.Type()) && copiesAtomicValue(stack) {
+				pass.Reportf(sel.Sel.Pos(),
+					"field %s is a typed atomic; copying its value detaches it from the live counter — call its methods in place",
+					field.Name())
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// collectAtomicFields finds every struct field whose address is passed to
+// a sync/atomic function, along with the selector nodes of those
+// sanctioned uses.
+func collectAtomicFields(pass *Pass) (map[*types.Var]bool, map[*ast.SelectorExpr]bool) {
+	fields := map[*types.Var]bool{}
+	sanctioned := map[*ast.SelectorExpr]bool{}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := calleeFunc(pass.Info, call)
+			if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "sync/atomic" {
+				return true
+			}
+			for _, arg := range call.Args {
+				u, ok := ast.Unparen(arg).(*ast.UnaryExpr)
+				if !ok || u.Op != addrOp {
+					continue
+				}
+				sel, ok := ast.Unparen(u.X).(*ast.SelectorExpr)
+				if !ok {
+					continue
+				}
+				if field := selectedField(pass.Info, sel); field != nil {
+					fields[field] = true
+					sanctioned[sel] = true
+				}
+			}
+			return true
+		})
+	}
+	return fields, sanctioned
+}
+
+// selectedField resolves a selector to the struct field it selects, or
+// nil for methods, package selectors, and unresolved expressions.
+func selectedField(info *types.Info, sel *ast.SelectorExpr) *types.Var {
+	if s, ok := info.Selections[sel]; ok {
+		if v, ok := s.Obj().(*types.Var); ok && v.IsField() {
+			return v
+		}
+		return nil
+	}
+	// Qualified references (pkg.Name) land in Uses, not Selections, and
+	// are never fields.
+	return nil
+}
+
+// isTypedAtomic reports whether t is one of sync/atomic's typed values.
+func isTypedAtomic(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "sync/atomic" &&
+		atomicTypeNames[obj.Name()]
+}
+
+// copiesAtomicValue reports whether the selector's parent context copies
+// the field's value. Method calls on the field and taking its address are
+// the sanctioned forms; anything else (assignment source, return value,
+// plain argument) snapshots the counter.
+func copiesAtomicValue(stack []ast.Node) bool {
+	if len(stack) == 0 {
+		return false
+	}
+	switch p := stack[len(stack)-1].(type) {
+	case *ast.SelectorExpr:
+		return false // x.f.Load(): receiver of a method selection
+	case *ast.UnaryExpr:
+		return p.Op != addrOp
+	default:
+		return true
+	}
+}

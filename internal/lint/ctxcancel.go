@@ -1,0 +1,132 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// CtxCancel keeps derived contexts from leaking their timers.
+//
+// The proxy's origin fetches run on detached per-attempt contexts
+// (context.WithTimeout off Background), because a coalesced fetch must
+// outlive the first client that disconnects. Each such context owns a
+// timer and a goroutine until its cancel function runs; dropping the
+// cancel — assigning it to the blank identifier, or binding it and never
+// touching it — leaks both for the full timeout, and at proxy request
+// rates that is an unbounded goroutine herd.
+//
+// The analyzer flags every context.WithCancel/WithTimeout/WithDeadline/
+// WithTimeoutCause/WithDeadlineCause call whose cancel result is blanked
+// or never used afterwards. Any real use — a call, a defer, passing it
+// on, returning it — satisfies the check: ownership handed off is
+// ownership tracked. (A use that merely re-blanks it, `_ = cancel`, does
+// not count.) The stock go vet "lostcancel" pass does the all-paths CFG
+// version of this check; this analyzer is the dependency-free counterpart
+// that runs in wcvet's own framework and its fixtures.
+var CtxCancel = &Analyzer{
+	Name: "ctxcancel",
+	Doc: "every context.WithCancel/WithTimeout/WithDeadline cancel func " +
+		"must be used (called, deferred, or handed off)",
+	Run: runCtxCancel,
+}
+
+// cancelReturningFuncs are the context constructors whose second result
+// is a CancelFunc that must be used.
+var cancelReturningFuncs = map[string]bool{
+	"WithCancel": true, "WithTimeout": true, "WithDeadline": true,
+	"WithTimeoutCause": true, "WithDeadlineCause": true, "WithCancelCause": true,
+}
+
+func runCtxCancel(pass *Pass) error {
+	for _, f := range pass.Files {
+		inspectStack(f, func(n ast.Node, stack []ast.Node) bool {
+			assign, ok := n.(*ast.AssignStmt)
+			if !ok || len(assign.Rhs) != 1 || len(assign.Lhs) != 2 {
+				return true
+			}
+			call, ok := ast.Unparen(assign.Rhs[0]).(*ast.CallExpr)
+			if !ok || !isCancelConstructor(pass.Info, call) {
+				return true
+			}
+			cancelExpr := assign.Lhs[1]
+			id, ok := cancelExpr.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			if id.Name == "_" {
+				pass.Reportf(id.Pos(),
+					"cancel function discarded; the derived context's timer and goroutine leak until the deadline — call or defer it")
+				return true
+			}
+			obj := pass.Info.Defs[id]
+			if obj == nil {
+				obj = pass.Info.Uses[id]
+			}
+			if obj == nil {
+				return true
+			}
+			fn := enclosingFunc(stack)
+			if fn == nil {
+				return true
+			}
+			if !cancelUsed(pass, fn, id, obj) {
+				pass.Reportf(id.Pos(),
+					"cancel function %s is never used; the derived context leaks — call it on every path (defer %s())", id.Name, id.Name)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// isCancelConstructor reports whether the call is one of the context
+// package's cancel-returning constructors.
+func isCancelConstructor(info *types.Info, call *ast.CallExpr) bool {
+	fn := calleeFunc(info, call)
+	return fn != nil && fn.Pkg() != nil && fn.Pkg().Path() == "context" &&
+		cancelReturningFuncs[fn.Name()]
+}
+
+// cancelUsed reports whether obj (the cancel variable) is referenced
+// anywhere in fn other than its defining identifier, not counting
+// re-blanking assignments (`_ = cancel`).
+func cancelUsed(pass *Pass, fn ast.Node, def *ast.Ident, obj types.Object) bool {
+	used := false
+	inspectStack(fn, func(n ast.Node, stack []ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok || id == def || used {
+			return !used
+		}
+		if pass.Info.Uses[id] != obj {
+			return true
+		}
+		if len(stack) > 0 {
+			if as, ok := stack[len(stack)-1].(*ast.AssignStmt); ok && blanksOnly(as, id) {
+				return true // `_ = cancel` silences the compiler, not the leak
+			}
+		}
+		used = true
+		return false
+	})
+	return used
+}
+
+// blanksOnly reports whether the assignment merely binds id's value to
+// blank identifiers.
+func blanksOnly(as *ast.AssignStmt, rhs *ast.Ident) bool {
+	onRHS := false
+	for _, r := range as.Rhs {
+		if ast.Unparen(r) == rhs {
+			onRHS = true
+		}
+	}
+	if !onRHS {
+		return false
+	}
+	for _, l := range as.Lhs {
+		if id, ok := l.(*ast.Ident); !ok || id.Name != "_" {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,80 @@
+package lint_test
+
+import (
+	"strings"
+	"testing"
+
+	"webcachesim/internal/lint"
+)
+
+// runIgnoreFixture runs errdrop over the directive fixture and returns
+// the result.
+func runIgnoreFixture(t *testing.T) *lint.Result {
+	t.Helper()
+	root, err := lint.FindModuleRoot(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	loader := lint.NewLoader(root, true)
+	pkg, err := loader.LoadFixture("testdata/src", "ignore/cache")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := lint.Run([]*lint.Package{pkg}, []*lint.Analyzer{lint.ErrDrop})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+// TestIgnoreSuppresses checks that well-formed directives (standalone and
+// trailing) silence their findings and are counted, while malformed
+// directives suppress nothing and are findings themselves.
+func TestIgnoreSuppresses(t *testing.T) {
+	res := runIgnoreFixture(t)
+
+	// The fixture has five dropped errors; the two under valid directives
+	// are suppressed, the stale-name and missing-reason ones survive
+	// alongside the control.
+	var drops, directives []lint.Diagnostic
+	for _, d := range res.Diagnostics {
+		switch d.Analyzer {
+		case lint.ErrDrop.Name:
+			drops = append(drops, d)
+		case lint.IgnoreAnalyzer:
+			directives = append(directives, d)
+		default:
+			t.Errorf("unexpected analyzer in diagnostics: %s", d)
+		}
+	}
+	if len(drops) != 3 {
+		t.Errorf("surviving errdrop findings = %d, want 3 (stale-name, missing-reason, control): %v", len(drops), drops)
+	}
+	if len(directives) != 2 {
+		t.Fatalf("directive findings = %d, want 2 (stale name, missing reason): %v", len(directives), directives)
+	}
+	wantDirective := []string{"unknown analyzer", "requires a reason"}
+	for i, want := range wantDirective {
+		if !strings.Contains(directives[i].Message, want) {
+			t.Errorf("directive finding %d = %q, want substring %q", i, directives[i].Message, want)
+		}
+	}
+
+	if len(res.Suppressions) != 2 {
+		t.Fatalf("suppressions = %d, want 2: %v", len(res.Suppressions), res.Suppressions)
+	}
+	for _, s := range res.Suppressions {
+		if s.Analyzer != lint.ErrDrop.Name {
+			t.Errorf("suppression analyzer = %q, want %q", s.Analyzer, lint.ErrDrop.Name)
+		}
+		if s.Count != 1 {
+			t.Errorf("suppression at %s count = %d, want 1", s.Pos, s.Count)
+		}
+		if s.Reason == "" {
+			t.Errorf("suppression at %s has empty reason", s.Pos)
+		}
+	}
+	if got := res.SuppressedByAnalyzer()[lint.ErrDrop.Name]; got != 2 {
+		t.Errorf("SuppressedByAnalyzer[errdrop] = %d, want 2", got)
+	}
+}

@@ -42,7 +42,7 @@ func Run(t *testing.T, root string, a *lint.Analyzer, pkgPaths ...string) {
 		if err != nil {
 			t.Fatalf("load fixture %s: %v", path, err)
 		}
-		diags, err := lint.Run([]*lint.Package{pkg}, []*lint.Analyzer{a})
+		res, err := lint.Run([]*lint.Package{pkg}, []*lint.Analyzer{a})
 		if err != nil {
 			t.Fatalf("run %s on %s: %v", a.Name, path, err)
 		}
@@ -50,7 +50,7 @@ func Run(t *testing.T, root string, a *lint.Analyzer, pkgPaths ...string) {
 		if err != nil {
 			t.Fatalf("fixture %s: %v", path, err)
 		}
-		for _, d := range diags {
+		for _, d := range res.Diagnostics {
 			if w := match(wants, d); w == nil {
 				t.Errorf("%s: unexpected diagnostic: %s", path, d)
 			}

@@ -1,0 +1,342 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// LockOrder verifies the sharded cache's locking discipline.
+//
+// internal/cache holds one mutex per shard under a single global byte
+// budget, and its deadlock-freedom argument (docs/PROXY.md) is exactly
+// one rule: at most one shard lock is held at any time. The cross-shard
+// eviction sweep visits shards strictly one Lock/Unlock pair at a time,
+// so two inserts stealing budget from each other's shards can never wait
+// on each other. The companion rule keeps hits fast: a shard mutex is
+// never held across anything that can block indefinitely — a channel
+// operation, an origin fetch (any net/http call), or a sleep — so a slow
+// origin on one key cannot stall lookups that hash to the same shard.
+//
+// The analysis is a conservative, source-ordered walk of each function:
+// it tracks which mutexes are held (a deferred Unlock holds to function
+// end, branch bodies are explored with a copy of the held set), flags a
+// second Lock on a *different* mutex while one is held, and flags channel
+// sends/receives, net/http calls, and time.Sleep under any lock. Calls to
+// same-package functions that (transitively) acquire a mutex are flagged
+// too — that is how a one-lock-at-a-time sweep regresses in practice.
+var LockOrder = &Analyzer{
+	Name: "lockorder",
+	Doc: "in the sharded cache, forbid holding two shard mutexes at once and " +
+		"holding any mutex across a channel op, origin fetch, or sleep",
+	SkipTests: true,
+	Run:       runLockOrder,
+}
+
+// lockOrderPackages names the packages (by package name) whose locking
+// discipline the analyzer enforces.
+var lockOrderPackages = map[string]bool{
+	"cache": true,
+}
+
+func runLockOrder(pass *Pass) error {
+	if pass.Pkg == nil || !lockOrderPackages[pass.Pkg.Name()] {
+		return nil
+	}
+	acquirers := lockAcquirers(pass)
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			var body *ast.BlockStmt
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				body = n.Body
+			case *ast.FuncLit:
+				// A literal runs on its own stack (callback, goroutine):
+				// analyze it as a fresh function with nothing held.
+				body = n.Body
+			default:
+				return true
+			}
+			if body != nil {
+				walkLocked(pass, acquirers, body.List, map[string]token.Pos{})
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// lockAcquirers computes, to a fixpoint, the set of package functions that
+// acquire any sync mutex — directly or by calling another acquirer.
+func lockAcquirers(pass *Pass) map[*types.Func]bool {
+	direct := map[*types.Func]bool{}
+	callees := map[*types.Func][]*types.Func{}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			fn, _ := pass.Info.Defs[fd.Name].(*types.Func)
+			if fn == nil {
+				continue
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				if _, kind := mutexCall(pass.Info, call); kind == lockCall {
+					direct[fn] = true
+				}
+				if callee := calleeFunc(pass.Info, call); callee != nil &&
+					callee.Pkg() == pass.Pkg {
+					callees[fn] = append(callees[fn], callee)
+				}
+				return true
+			})
+		}
+	}
+	for changed := true; changed; {
+		changed = false
+		for fn, cs := range callees {
+			if direct[fn] {
+				continue
+			}
+			for _, c := range cs {
+				if direct[c] {
+					direct[fn] = true
+					changed = true
+					break
+				}
+			}
+		}
+	}
+	return direct
+}
+
+type mutexCallKind int
+
+const (
+	notMutexCall mutexCallKind = iota
+	lockCall
+	unlockCall
+)
+
+// mutexCall classifies a call as Lock/RLock or Unlock/RUnlock on a
+// sync.Mutex or sync.RWMutex receiver, returning the receiver expression.
+func mutexCall(info *types.Info, call *ast.CallExpr) (recv ast.Expr, kind mutexCallKind) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return nil, notMutexCall
+	}
+	switch sel.Sel.Name {
+	case "Lock", "RLock":
+		kind = lockCall
+	case "Unlock", "RUnlock":
+		kind = unlockCall
+	default:
+		return nil, notMutexCall
+	}
+	if !isSyncMutex(info.TypeOf(sel.X)) {
+		return nil, notMutexCall
+	}
+	return sel.X, kind
+}
+
+// isSyncMutex reports whether t is sync.Mutex or sync.RWMutex (possibly
+// behind a pointer).
+func isSyncMutex(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if ptr, ok := t.Underlying().(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil || obj.Pkg().Path() != "sync" {
+		return false
+	}
+	return obj.Name() == "Mutex" || obj.Name() == "RWMutex"
+}
+
+// anyHeld returns one held mutex's name, for diagnostics.
+func anyHeld(held map[string]token.Pos) string {
+	for name := range held {
+		return name
+	}
+	return "?"
+}
+
+// walkLocked processes stmts in source order, maintaining the set of held
+// mutexes (keyed by the printed receiver expression). Branch and loop
+// bodies are explored with a copy of the set — an early-return Unlock in
+// one arm must not unlock the fallthrough path.
+func walkLocked(pass *Pass, acquirers map[*types.Func]bool, stmts []ast.Stmt, held map[string]token.Pos) {
+	for _, s := range stmts {
+		switch s := s.(type) {
+		case *ast.ExprStmt:
+			if call, ok := s.X.(*ast.CallExpr); ok {
+				if recv, kind := mutexCall(pass.Info, call); kind != notMutexCall {
+					name := types.ExprString(recv)
+					switch kind {
+					case lockCall:
+						if len(held) > 0 {
+							if _, same := held[name]; !same {
+								pass.Reportf(call.Pos(),
+									"acquires %s while already holding %s; the eviction sweep holds one shard lock at a time", name, anyHeld(held))
+							}
+						}
+						held[name] = call.Pos()
+					case unlockCall:
+						delete(held, name)
+					}
+					continue
+				}
+			}
+			checkLockedExpr(pass, acquirers, s.X, held)
+		case *ast.DeferStmt:
+			if recv, kind := mutexCall(pass.Info, s.Call); kind == unlockCall {
+				// Held until function exit; nothing to do — the mutex
+				// stays in the held set for the rest of the walk.
+				_ = recv
+				continue
+			}
+			checkLockedExpr(pass, acquirers, s.Call, held)
+		case *ast.GoStmt:
+			// The goroutine body runs on its own stack without the lock;
+			// launching it is non-blocking. (goroexit owns its lifetime.)
+		case *ast.SendStmt:
+			if len(held) > 0 {
+				pass.Reportf(s.Arrow,
+					"channel send while holding %s; never hold a shard lock across a channel op", anyHeld(held))
+			}
+			checkLockedExpr(pass, acquirers, s.Value, held)
+		case *ast.IfStmt:
+			if s.Init != nil {
+				walkLocked(pass, acquirers, []ast.Stmt{s.Init}, held)
+			}
+			checkLockedExpr(pass, acquirers, s.Cond, held)
+			walkLocked(pass, acquirers, s.Body.List, cloneHeld(held))
+			if s.Else != nil {
+				walkLocked(pass, acquirers, []ast.Stmt{s.Else}, cloneHeld(held))
+			}
+		case *ast.ForStmt:
+			if s.Init != nil {
+				walkLocked(pass, acquirers, []ast.Stmt{s.Init}, held)
+			}
+			if s.Cond != nil {
+				checkLockedExpr(pass, acquirers, s.Cond, held)
+			}
+			walkLocked(pass, acquirers, s.Body.List, cloneHeld(held))
+		case *ast.RangeStmt:
+			if t := pass.Info.TypeOf(s.X); t != nil {
+				if _, isChan := t.Underlying().(*types.Chan); isChan && len(held) > 0 {
+					pass.Reportf(s.Range,
+						"ranges over a channel while holding %s; never hold a shard lock across a channel op", anyHeld(held))
+				}
+			}
+			checkLockedExpr(pass, acquirers, s.X, held)
+			walkLocked(pass, acquirers, s.Body.List, cloneHeld(held))
+		case *ast.BlockStmt:
+			walkLocked(pass, acquirers, s.List, held)
+		case *ast.LabeledStmt:
+			walkLocked(pass, acquirers, []ast.Stmt{s.Stmt}, held)
+		case *ast.SwitchStmt:
+			if s.Tag != nil {
+				checkLockedExpr(pass, acquirers, s.Tag, held)
+			}
+			for _, c := range s.Body.List {
+				if cc, ok := c.(*ast.CaseClause); ok {
+					walkLocked(pass, acquirers, cc.Body, cloneHeld(held))
+				}
+			}
+		case *ast.TypeSwitchStmt:
+			for _, c := range s.Body.List {
+				if cc, ok := c.(*ast.CaseClause); ok {
+					walkLocked(pass, acquirers, cc.Body, cloneHeld(held))
+				}
+			}
+		case *ast.SelectStmt:
+			for _, c := range s.Body.List {
+				if cc, ok := c.(*ast.CommClause); ok {
+					if cc.Comm != nil {
+						walkLocked(pass, acquirers, []ast.Stmt{cc.Comm}, held)
+					}
+					walkLocked(pass, acquirers, cc.Body, cloneHeld(held))
+				}
+			}
+		default:
+			checkLockedStmt(pass, acquirers, s, held)
+		}
+	}
+}
+
+func cloneHeld(held map[string]token.Pos) map[string]token.Pos {
+	out := make(map[string]token.Pos, len(held))
+	for k, v := range held {
+		out[k] = v
+	}
+	return out
+}
+
+// checkLockedStmt scans a leaf statement's expressions.
+func checkLockedStmt(pass *Pass, acquirers map[*types.Func]bool, s ast.Stmt, held map[string]token.Pos) {
+	ast.Inspect(s, func(n ast.Node) bool {
+		if e, ok := n.(ast.Expr); ok {
+			checkLockedExpr(pass, acquirers, e, held)
+			return false
+		}
+		return true
+	})
+}
+
+// checkLockedExpr flags blocking operations inside an expression while any
+// mutex is held: channel receives, calls into net/http (an origin round
+// trip), time.Sleep, and calls to package functions that acquire a mutex.
+// Function literals are skipped — they execute on their own stack.
+func checkLockedExpr(pass *Pass, acquirers map[*types.Func]bool, e ast.Expr, held map[string]token.Pos) {
+	ast.Inspect(e, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW && len(held) > 0 {
+				pass.Reportf(n.OpPos,
+					"channel receive while holding %s; never hold a shard lock across a channel op", anyHeld(held))
+			}
+		case *ast.CallExpr:
+			if len(held) == 0 {
+				return true
+			}
+			if recv, kind := mutexCall(pass.Info, n); kind == lockCall {
+				name := types.ExprString(recv)
+				if _, same := held[name]; !same {
+					pass.Reportf(n.Pos(),
+						"acquires %s while already holding %s; the eviction sweep holds one shard lock at a time", name, anyHeld(held))
+				}
+				return true
+			}
+			fn := calleeFunc(pass.Info, n)
+			if fn == nil || fn.Pkg() == nil {
+				return true
+			}
+			switch {
+			case fn.Pkg() == pass.Pkg && acquirers[fn]:
+				pass.Reportf(n.Pos(),
+					"calls %s, which acquires a shard mutex, while holding %s; release before crossing shards", fn.Name(), anyHeld(held))
+			case fn.Pkg().Path() == "net/http":
+				pass.Reportf(n.Pos(),
+					"origin fetch (net/http call) while holding %s; a slow origin must never block a cache hit", anyHeld(held))
+			case fn.Pkg().Path() == "time" && fn.Name() == "Sleep":
+				pass.Reportf(n.Pos(),
+					"time.Sleep while holding %s; never sleep under a shard lock", anyHeld(held))
+			}
+		}
+		return true
+	})
+}

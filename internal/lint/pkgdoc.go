@@ -2,23 +2,24 @@ package lint
 
 import (
 	"go/ast"
+	"path"
 	"sort"
 	"strings"
 )
 
 // PkgDoc turns the repository's documentation standard into an enforced
 // check: every package under an internal/ directory must carry a package
-// comment, and that comment must start with the canonical "Package <name>"
-// clause so godoc renders a summary sentence.
+// comment starting with the canonical "Package <name>" clause, and every
+// command under cmd/ must carry one starting "Command <name>", so godoc
+// renders a summary sentence for each.
 //
-// The check is scoped to internal/ packages (where the project's
-// subsystems live); commands document themselves with a "Command <name>"
-// comment that go vet-style tooling does not mandate, and external test
-// packages (package foo_test) are exempt — their documentation belongs to
-// the package under test.
+// External test packages (package foo_test) are exempt — their
+// documentation belongs to the package under test — as is anything
+// outside internal/ and cmd/.
 var PkgDoc = &Analyzer{
-	Name:      "pkgdoc",
-	Doc:       "require a package comment, starting \"Package <name>\", on every internal/ package",
+	Name: "pkgdoc",
+	Doc: "require a \"Package <name>\" comment on every internal/ package " +
+		"and a \"Command <name>\" comment on every cmd/ main",
 	SkipTests: true,
 	Run:       runPkgDoc,
 }
@@ -27,37 +28,47 @@ func runPkgDoc(pass *Pass) error {
 	if pass.Pkg == nil || len(pass.Files) == 0 {
 		return nil
 	}
-	path := pass.Pkg.Path()
-	if !underInternal(path) || strings.HasSuffix(path, "_test") {
+	pkgPath := pass.Pkg.Path()
+	if strings.HasSuffix(pkgPath, "_test") {
 		return nil
 	}
-	name := pass.Pkg.Name()
+	var want string
+	switch {
+	case underSegment(pkgPath, "internal"):
+		want = "Package " + pass.Pkg.Name()
+	case underSegment(pkgPath, "cmd"):
+		// Commands are all package main; the canonical clause names the
+		// binary, i.e. the directory.
+		want = "Command " + path.Base(pkgPath)
+	default:
+		return nil
+	}
 	documented := false
 	for _, f := range pass.Files {
 		if f.Doc == nil {
 			continue
 		}
 		documented = true
-		if !strings.HasPrefix(f.Doc.Text(), "Package "+name) {
+		if !strings.HasPrefix(f.Doc.Text(), want) {
 			// Anchor on the package clause: doc comments span lines and
 			// the clause is the stable position.
 			pass.Reportf(f.Name.Pos(),
-				"package comment should start %q", "Package "+name)
+				"package comment should start %q", want)
 		}
 	}
 	if !documented {
 		f := firstFile(pass)
 		pass.Reportf(f.Name.Pos(),
-			"package %s has no package comment; document what the package does and how it maps to the system (see docs/ARCHITECTURE.md)", name)
+			"package %s has no package comment; document what it does and how it maps to the system (see docs/ARCHITECTURE.md)", pass.Pkg.Name())
 	}
 	return nil
 }
 
-// underInternal reports whether the import path contains an "internal"
-// path segment.
-func underInternal(path string) bool {
-	for _, seg := range strings.Split(path, "/") {
-		if seg == "internal" {
+// underSegment reports whether the import path contains the given path
+// segment.
+func underSegment(pkgPath, seg string) bool {
+	for _, s := range strings.Split(pkgPath, "/") {
+		if s == seg {
 			return true
 		}
 	}

@@ -1,0 +1,53 @@
+// Package a is an atomicfield fixture: one counter managed through
+// sync/atomic by address, one through the typed API, and the plain
+// accesses that would break their CAS discipline.
+package a
+
+import "sync/atomic"
+
+type budget struct {
+	used int64
+	name string
+}
+
+func (b *budget) reserve(n int64) bool {
+	for {
+		cur := atomic.LoadInt64(&b.used)
+		if atomic.CompareAndSwapInt64(&b.used, cur, cur+n) {
+			return true
+		}
+	}
+}
+
+func (b *budget) release(n int64) { atomic.AddInt64(&b.used, -n) }
+
+func (b *budget) reset() {
+	b.used = 0 // want `managed via sync/atomic`
+}
+
+func (b *budget) snapshot() int64 {
+	return b.used // want `managed via sync/atomic`
+}
+
+func (b *budget) bump() {
+	b.used++ // want `managed via sync/atomic`
+}
+
+func (b *budget) alias() *int64 {
+	return &b.used // want `managed via sync/atomic`
+}
+
+// title touches an ordinary field; untouched-by-atomic fields are free.
+func (b *budget) title() string { return b.name }
+
+type typedBudget struct {
+	used atomic.Int64
+}
+
+func (b *typedBudget) reserve(n int64) { b.used.Add(n) }
+
+func (b *typedBudget) handoff(f func(*atomic.Int64)) { f(&b.used) }
+
+func (b *typedBudget) snapshot() atomic.Int64 {
+	return b.used // want `typed atomic; copying its value`
+}

@@ -1,0 +1,52 @@
+// Package a is a ctxcancel fixture: derived contexts whose cancel
+// functions leak, and the shapes that discharge them.
+package a
+
+import (
+	"context"
+	"time"
+)
+
+// leakBlank throws the cancel away at the call site.
+func leakBlank() context.Context {
+	ctx, _ := context.WithTimeout(context.Background(), time.Second) // want `cancel function discarded`
+	return ctx
+}
+
+// leakUnused binds cancel and never touches it again.
+func leakUnused(deadline time.Time) context.Context {
+	ctx, cancel := context.WithDeadline(context.Background(), deadline) // want `cancel function cancel is never used`
+	return ctx
+}
+
+// leakReblanked "uses" cancel only to silence the compiler.
+func leakReblanked() context.Context {
+	ctx, cancel := context.WithCancel(context.Background()) // want `cancel function cancel is never used`
+	_ = cancel
+	return ctx
+}
+
+// deferred is the canonical per-attempt fetch shape.
+func deferred(parent context.Context, timeout time.Duration) error {
+	ctx, cancel := context.WithTimeout(parent, timeout)
+	defer cancel()
+	<-ctx.Done()
+	return ctx.Err()
+}
+
+// conditional calls cancel on one path and hands it out on the other:
+// ownership transferred is ownership tracked.
+func conditional(parent context.Context, ok bool) (context.Context, context.CancelFunc) {
+	ctx, cancel := context.WithCancel(parent)
+	if !ok {
+		cancel()
+	}
+	return ctx, cancel
+}
+
+// passed hands the cancel to a reaper.
+func passed(parent context.Context, reap func(context.CancelFunc)) context.Context {
+	ctx, cancel := context.WithCancel(parent)
+	reap(cancel)
+	return ctx
+}

@@ -1,0 +1,75 @@
+// Package proxy is an errdrop fixture: silently dropped errors in the
+// shapes the serving path uses, plus the sanctioned justified forms.
+package proxy
+
+import (
+	"errors"
+	"fmt"
+	"io"
+)
+
+type logw struct{}
+
+func (logw) Flush() error                { return nil }
+func (logw) Write(p []byte) (int, error) { return len(p), nil }
+func (logw) Close() error                { return nil }
+func (logw) Count() int                  { return 0 }
+func newReader() io.Reader               { return nil }
+func fetch() (string, error)             { return "", errors.New("down") }
+
+// bareDrop loses the error with nothing at the call site to show it.
+func bareDrop(w logw) {
+	w.Flush() // want `error result of w\.Flush discarded`
+}
+
+// bareTupleDrop loses an error buried in a tuple.
+func bareTupleDrop() {
+	fetch() // want `error result of fetch discarded`
+}
+
+// deferDrop loses a deferred Close error.
+func deferDrop(w logw) {
+	defer w.Close() // want `deferred call discards w\.Close's error`
+}
+
+// blankNoComment blanks the error without saying why.
+func blankNoComment(w logw) {
+	_ = w.Flush() // want `no adjacent justification comment`
+}
+
+// blankTupleNoComment blanks a tuple error without saying why.
+func blankTupleNoComment() {
+	_, _ = io.Copy(io.Discard, newReader()) // want `no adjacent justification comment`
+}
+
+// blankJustifiedAbove carries its reason on the preceding line.
+func blankJustifiedAbove(w logw) {
+	// the access log is advisory; a failed flush must not fail the request
+	_ = w.Flush()
+}
+
+// blankJustifiedTrailing carries its reason on the same line.
+func blankJustifiedTrailing(w logw) {
+	_ = w.Flush() // the log is best-effort; the response is already committed
+}
+
+// handled is the ordinary correct form.
+func handled(w logw) error {
+	if err := w.Flush(); err != nil {
+		return fmt.Errorf("flush: %w", err)
+	}
+	return nil
+}
+
+// voidCall has no error to drop.
+func voidCall(w logw) {
+	_ = w.Count() // non-error result; blanking it needs no justification
+}
+
+// deferWrapped is the sanctioned deferred form.
+func deferWrapped(w logw) {
+	defer func() {
+		// close on the unwind path is best-effort by design
+		_ = w.Close()
+	}()
+}

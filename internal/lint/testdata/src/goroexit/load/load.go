@@ -1,0 +1,86 @@
+// Package load is a goroexit fixture: workers with and without a bounded
+// exit, in the shapes the proxy/load/sweep code uses.
+package load
+
+import (
+	"context"
+	"sync"
+)
+
+type pool struct {
+	work chan string
+	wg   sync.WaitGroup
+}
+
+func step() {}
+
+// leak spins forever with no shutdown signal.
+func (p *pool) leak() {
+	go func() { // want `no bounded exit`
+		for {
+			step()
+		}
+	}()
+}
+
+// fire launches a named function nobody joins or signals; even a
+// short-lived body must be joined so it cannot outlive its launcher.
+func (p *pool) fire() {
+	go step() // want `no bounded exit`
+}
+
+// feeder pushes work with no join: it can block on the send forever if
+// the consumers are gone.
+func (p *pool) feeder(items []string) {
+	go func() { // want `no bounded exit`
+		for _, it := range items {
+			p.work <- it
+		}
+	}()
+}
+
+// joined is bounded by the WaitGroup the launcher waits on.
+func (p *pool) joined() {
+	p.wg.Add(1)
+	go func() {
+		defer p.wg.Done()
+		step()
+	}()
+	p.wg.Wait()
+}
+
+// drain exits when the work channel is closed.
+func (p *pool) drain() {
+	go func() {
+		for w := range p.work {
+			_ = w
+		}
+	}()
+}
+
+// watcher loops on ctx.Done.
+func (p *pool) watcher(ctx context.Context) {
+	go func() {
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case w := <-p.work:
+				_ = w
+			}
+		}
+	}()
+}
+
+// runner is a named worker whose declaration shows the join.
+func (p *pool) runner() {
+	defer p.wg.Done()
+	step()
+}
+
+// named launches the declared worker; the analyzer checks its body.
+func (p *pool) named() {
+	p.wg.Add(1)
+	go p.runner()
+	p.wg.Wait()
+}

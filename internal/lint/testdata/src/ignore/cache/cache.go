@@ -1,0 +1,38 @@
+// Package cache exercises the //lint:ignore directive: a valid
+// suppression, a stale analyzer name, a missing reason, and an
+// unsuppressed control finding. The diagnostics come from errdrop.
+package cache
+
+type logw struct{}
+
+func (logw) Flush() error { return nil }
+
+// suppressed is silenced by a well-formed directive.
+func suppressed(w logw) {
+	//lint:ignore errdrop fixture: exercising the suppression path
+	w.Flush()
+}
+
+// trailingSuppressed is silenced by a trailing directive.
+func trailingSuppressed(w logw) {
+	w.Flush() //lint:ignore errdrop fixture: trailing-form suppression
+}
+
+// staleName names an analyzer that does not exist; the directive is a
+// finding itself and suppresses nothing.
+func staleName(w logw) {
+	//lint:ignore nosuchanalyzer this suppresses nothing
+	w.Flush()
+}
+
+// missingReason omits the justification; the directive is a finding
+// itself and suppresses nothing.
+func missingReason(w logw) {
+	//lint:ignore errdrop
+	w.Flush()
+}
+
+// unsuppressed is the control: its finding must survive.
+func unsuppressed(w logw) {
+	w.Flush()
+}

@@ -1,0 +1,128 @@
+// Package cache is a lockorder fixture mirroring the sharded store's
+// locking shapes: one mutex per shard, a one-lock-at-a-time sweep, and
+// nothing blocking under a lock.
+package cache
+
+import (
+	"net/http"
+	"sync"
+	"time"
+)
+
+type shard struct {
+	mu      sync.Mutex
+	entries map[string]int
+}
+
+type store struct {
+	a, b shard
+	work chan string
+}
+
+// evictBoth acquires a second shard's mutex while holding the first.
+func (s *store) evictBoth() {
+	s.a.mu.Lock()
+	s.b.mu.Lock() // want `acquires s\.b\.mu while already holding s\.a\.mu`
+	s.b.mu.Unlock()
+	s.a.mu.Unlock()
+}
+
+// sendHeld sends on a channel under a shard lock.
+func (s *store) sendHeld(key string) {
+	s.a.mu.Lock()
+	s.work <- key // want `channel send while holding`
+	s.a.mu.Unlock()
+}
+
+// recvHeld receives under a deferred-unlock shard lock.
+func (s *store) recvHeld() string {
+	s.a.mu.Lock()
+	defer s.a.mu.Unlock()
+	return <-s.work // want `channel receive while holding`
+}
+
+// drainHeld ranges a channel under a shard lock.
+func (s *store) drainHeld() {
+	s.a.mu.Lock()
+	for range s.work { // want `ranges over a channel while holding`
+	}
+	s.a.mu.Unlock()
+}
+
+// fetchHeld performs an origin round trip under a shard lock.
+func (s *store) fetchHeld() {
+	s.a.mu.Lock()
+	defer s.a.mu.Unlock()
+	resp, err := http.Get("http://origin/x") // want `origin fetch .net/http call. while holding`
+	if err == nil {
+		_ = resp.Body.Close()
+	}
+}
+
+// sleepHeld sleeps under a shard lock.
+func (s *store) sleepHeld() {
+	s.a.mu.Lock()
+	time.Sleep(time.Millisecond) // want `time\.Sleep while holding`
+	s.a.mu.Unlock()
+}
+
+// lockA acquires shard a's lock on its own; callers holding another
+// shard's lock must not call it.
+func (s *store) lockA() {
+	s.a.mu.Lock()
+	s.a.mu.Unlock()
+}
+
+// viaLockA reaches lockA transitively, so it acquires too.
+func (s *store) viaLockA() {
+	s.lockA()
+}
+
+// indirect takes a second lock through a call chain.
+func (s *store) indirect() {
+	s.b.mu.Lock()
+	s.viaLockA() // want `calls viaLockA, which acquires a shard mutex, while holding s\.b\.mu`
+	s.b.mu.Unlock()
+}
+
+// oneAtATime is the compliant sweep shape: each shard's lock is released
+// before the next shard's is taken.
+func (s *store) oneAtATime() {
+	s.a.mu.Lock()
+	s.a.mu.Unlock()
+	s.b.mu.Lock()
+	s.b.mu.Unlock()
+}
+
+// get is the compliant hit path: deferred unlock, no blocking work held.
+func (s *store) get(key string) (int, bool) {
+	s.a.mu.Lock()
+	defer s.a.mu.Unlock()
+	v, ok := s.a.entries[key]
+	return v, ok
+}
+
+// earlyUnlock releases in a branch; the fallthrough path still holds, and
+// the balanced unlock at the end is not a double-lock.
+func (s *store) earlyUnlock(key string) bool {
+	s.a.mu.Lock()
+	if _, ok := s.a.entries[key]; ok {
+		s.a.mu.Unlock()
+		return true
+	}
+	s.a.mu.Unlock()
+	return false
+}
+
+// callback launches work under no lock; the literal body is analyzed as
+// its own function and may lock freely.
+func (s *store) callback(fn func()) {
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		s.a.mu.Lock()
+		fn()
+		s.a.mu.Unlock()
+	}()
+	<-done
+}

@@ -1,0 +1,4 @@
+// Package badcmd documents itself like a library, not a command.
+package main // want `package comment should start "Command badcmd"`
+
+func main() {}

@@ -1,0 +1,5 @@
+// Command goodcmd is a pkgdoc fixture: a cmd/ main with the canonical
+// "Command <name>" comment.
+package main
+
+func main() {}

@@ -1,0 +1,3 @@
+package main // want `package main has no package comment`
+
+func main() {}

@@ -153,7 +153,10 @@ func Run(cfg Config) (*Report, error) {
 	// one finished.
 	urls := make(chan string, conc)
 	feedErr := make(chan error, 1)
+	var wg sync.WaitGroup
+	wg.Add(1)
 	go func() {
+		defer wg.Done()
 		defer close(urls)
 		sent := 0
 		for cfg.Requests <= 0 || sent < cfg.Requests {
@@ -173,7 +176,6 @@ func Run(cfg Config) (*Report, error) {
 	}()
 
 	workers := make([]*worker, conc)
-	var wg sync.WaitGroup
 	start := time.Now()
 	for i := range workers {
 		w := &worker{}
@@ -208,8 +210,8 @@ func (w *worker) do(client *http.Client, cfg Config, raw string) {
 		w.tally.Errors++
 		return
 	}
-	n, _ := io.Copy(io.Discard, resp.Body)
-	_ = resp.Body.Close()
+	n, _ := io.Copy(io.Discard, resp.Body) // a short read only skews this sample's byte count
+	_ = resp.Body.Close()                  // best-effort: the request already succeeded
 	w.latencies = append(w.latencies, time.Since(begin))
 
 	w.tally.Requests++

@@ -28,6 +28,7 @@ func AdminHandler(s *Server, reg *metrics.Registry) http.Handler {
 		w.Header().Set("Content-Type", "application/json")
 		enc := json.NewEncoder(w)
 		enc.SetIndent("", "  ")
+		//lint:ignore errdrop stats snapshot is best-effort; an encode error just means the client hung up
 		_ = enc.Encode(struct {
 			Stats
 			UsedBytes     int64 `json:"usedBytes"`
@@ -47,6 +48,7 @@ func AdminHandler(s *Server, reg *metrics.Registry) http.Handler {
 			return
 		}
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		// Index page write failure means the admin client went away.
 		_, _ = w.Write([]byte("wcproxy admin endpoints:\n" +
 			"  /metrics       Prometheus text format\n" +
 			"  /stats         JSON statistics snapshot\n" +
