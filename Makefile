@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build vet wcvet vet-json test race bench fuzz-smoke journal-smoke check
+.PHONY: build vet wcvet vet-json test race bench fuzz-smoke journal-smoke admission-smoke check
 
 build:
 	$(GO) build ./...
@@ -74,6 +74,24 @@ journal-smoke:
 	$(GO) run ./cmd/wcsim -trace $$tmp/tiny.wct.gz -policies lru,gdstar:p \
 		-size-pcts 1,4 -journal $$tmp/run.jsonl && \
 	$(GO) run ./cmd/wcreport -journal $$tmp/run.jsonl && \
+	rm -rf $$tmp
+
+# Admission-layer smoke: sweep a small policy × admission grid with a
+# journal and assert the admission axis actually ran — the sweep_start
+# record lists all three filters and the filtered run_end records carry
+# admission counters. CI runs the same sequence. See docs/ADMISSION.md.
+admission-smoke:
+	tmp=$$(mktemp -d) && \
+	$(GO) run ./cmd/wcgen -profile dfn -requests 20000 -seed 7 -o $$tmp/tiny.wct.gz && \
+	$(GO) run ./cmd/wcsim -trace $$tmp/tiny.wct.gz -policies lru,gdsf \
+		-admissions none,tinylfu,arc-ghost -size-pcts 1 \
+		-journal $$tmp/run.jsonl && \
+	$(GO) run ./cmd/wcreport -journal $$tmp/run.jsonl && \
+	grep -q '"admissions":\["none","tinylfu","arc-ghost"\]' $$tmp/run.jsonl && \
+	grep -q '"admission":"tinylfu"' $$tmp/run.jsonl && \
+	grep -q '"admission":"arc-ghost"' $$tmp/run.jsonl && \
+	grep -q '"admissionRejects"' $$tmp/run.jsonl && \
+	grep -q '"admitted"' $$tmp/run.jsonl && \
 	rm -rf $$tmp
 
 check: build vet wcvet vet-json test race

@@ -12,9 +12,9 @@
 // Usage:
 //
 //	wcproxy -listen :3128 [-origin http://upstream] [-capacity 256MB]
-//	        [-policy gdstar:p] [-shards 16] [-log access.log]
-//	        [-stats-every 30s] [-admin :9090] [-fetch-timeout 15s]
-//	        [-fetch-retries 2] [-retry-backoff 50ms]
+//	        [-policy gdstar:p] [-admission tinylfu] [-shards 16]
+//	        [-log access.log] [-stats-every 30s] [-admin :9090]
+//	        [-fetch-timeout 15s] [-fetch-retries 2] [-retry-backoff 50ms]
 package main
 
 import (
@@ -28,6 +28,7 @@ import (
 	"syscall"
 	"time"
 
+	"webcachesim/internal/admission"
 	"webcachesim/internal/metrics"
 	"webcachesim/internal/policy"
 	"webcachesim/internal/proxy"
@@ -49,6 +50,7 @@ func run(args []string) error {
 		parent     = fs.String("parent", "", "parent proxy URL for upstream fetches (cache_peer)")
 		capacity   = fs.String("capacity", "256MB", "cache capacity")
 		policySpec = fs.String("policy", "lru", "replacement policy spec (scheme[:cost])")
+		admitSpec  = fs.String("admission", "none", "admission filter spec (none, tinylfu[:window=N], arc-ghost)")
 		shards     = fs.Int("shards", 0, "cache shard count, rounded up to a power of two (0 = default; 1 = exact single-policy eviction order)")
 		logPath    = fs.String("log", "", "Squid-format access log path")
 		statsEvery = fs.Duration("stats-every", 30*time.Second, "statistics print interval (0 disables)")
@@ -69,6 +71,10 @@ func run(args []string) error {
 	if err != nil {
 		return err
 	}
+	admitter, err := admission.ParseSpec(*admitSpec)
+	if err != nil {
+		return err
+	}
 	capBytes, err := units.ParseBytes(*capacity)
 	if err != nil {
 		return err
@@ -78,6 +84,7 @@ func run(args []string) error {
 	cfg := proxy.Config{
 		Capacity:     capBytes,
 		Policy:       factory,
+		Admission:    admitter,
 		Metrics:      reg,
 		Shards:       *shards,
 		FetchTimeout: *fetchTO,
@@ -119,8 +126,8 @@ func run(args []string) error {
 	go func() {
 		errCh <- httpServer.ListenAndServe()
 	}()
-	fmt.Printf("wcproxy: %s policy, %s cache, %d shards, listening on %s\n",
-		factory.Name, *capacity, srv.Shards(), *listen)
+	fmt.Printf("wcproxy: %s policy, %s admission, %s cache, %d shards, listening on %s\n",
+		factory.Name, admitter.Name, *capacity, srv.Shards(), *listen)
 
 	var adminServer *http.Server
 	if *admin != "" {

@@ -45,10 +45,19 @@ func summarizeJournal(path string, out io.Writer, markdown bool) error {
 			progress++
 		}
 	}
+	// The admission column appears only when the sweep declared an
+	// admission axis, so journals from unfiltered sweeps render as before.
+	withAdmission := start != nil && len(start.Admissions) > 0
 	if start != nil {
-		fmt.Fprintf(out, "journal: %s — %d policies × %d capacities over %d requests (%d documents), parallelism %d\n",
-			path, len(start.Policies), len(start.Capacities),
-			start.Requests, start.Documents, start.Parallelism)
+		if withAdmission {
+			fmt.Fprintf(out, "journal: %s — %d policies × %d admissions × %d capacities over %d requests (%d documents), parallelism %d\n",
+				path, len(start.Policies), len(start.Admissions), len(start.Capacities),
+				start.Requests, start.Documents, start.Parallelism)
+		} else {
+			fmt.Fprintf(out, "journal: %s — %d policies × %d capacities over %d requests (%d documents), parallelism %d\n",
+				path, len(start.Policies), len(start.Capacities),
+				start.Requests, start.Documents, start.Parallelism)
+		}
 		if start.SampleRate > 0 {
 			fmt.Fprintf(out, "note: approximate sweep — spatial document sampling at R=%.4g, capacities scaled to match\n",
 				start.SampleRate)
@@ -63,13 +72,29 @@ func summarizeJournal(path string, out io.Writer, markdown bool) error {
 		fmt.Fprintln(out)
 	}
 
-	t := report.NewTable("Run journal summary", "Policy", "Cache (MB)",
-		"Wall (s)", "kreq/s", "Evictions", "HR", "BHR")
+	headers := []string{"Policy", "Cache (MB)", "Wall (s)", "kreq/s", "Evictions", "HR", "BHR"}
+	if withAdmission {
+		headers = append([]string{"Policy", "Admission", "Cache (MB)",
+			"Wall (s)", "kreq/s", "Evictions", "HR", "BHR"}, "Rejects")
+	}
+	t := report.NewTable("Run journal summary", headers...)
 	for _, r := range runs {
-		t.AddRowf(r.Policy, fmt.Sprintf("%.0f", float64(r.Capacity)/(1<<20)),
+		cells := []any{r.Policy}
+		if withAdmission {
+			adm := r.Admission
+			if adm == "" {
+				adm = "none"
+			}
+			cells = append(cells, adm)
+		}
+		cells = append(cells, fmt.Sprintf("%.0f", float64(r.Capacity)/(1<<20)),
 			fmt.Sprintf("%.2f", r.ElapsedMs/1000),
 			fmt.Sprintf("%.0f", r.RequestsPerSec/1000),
 			r.Evictions, r.HitRate, r.ByteHitRate)
+		if withAdmission {
+			cells = append(cells, r.AdmissionRejects)
+		}
+		t.AddRowf(cells...)
 	}
 	if markdown {
 		fmt.Fprintln(out, t.Markdown())

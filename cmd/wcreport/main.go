@@ -4,7 +4,8 @@
 //
 // Usage:
 //
-//	wcreport [-exp all|table1..table5|figure1..figure3|rtp]
+//	wcreport [-exp all|table1..table5|figure1..figure3|rtp|
+//	          filtering|baselines|admission]
 //	         [-scale 1.0] [-seed 1] [-sizes 0.5,1,2,4]
 //	         [-plots] [-checks-only] [-json]
 //	wcreport -journal run.jsonl
@@ -51,7 +52,7 @@ func run(args []string, out io.Writer) error {
 		jsonOut    = fs.Bool("json", false, "emit the outputs as a JSON array instead of text")
 		markdown   = fs.Bool("md", false, "render tables as Markdown")
 		svgDir     = fs.String("svg-dir", "", "write every figure as an SVG file into this directory")
-		extras     = fs.Bool("extras", false, "with -exp all, also run the beyond-the-paper experiments (filtering, baselines)")
+		extras     = fs.Bool("extras", false, "with -exp all, also run the beyond-the-paper experiments (filtering, baselines, admission)")
 		par        = fs.Int("parallelism", 0, "max concurrent simulations (0 = GOMAXPROCS)")
 		journal    = fs.String("journal", "", "summarize a wcsim run journal (JSONL) instead of running experiments")
 	)

@@ -5,6 +5,7 @@
 // Usage:
 //
 //	wcsim -trace t.wct.gz [-policies lru,lfuda,gds:1,gdstar:p]
+//	      [-admissions none,tinylfu,arc-ghost]
 //	      [-sizes 64MB,256MB,1GB | -size-pcts 0.5,1,2,4] [-warmup 0.1]
 //	      [-by-class] [-csv] [-occupancy N] [-check] [-journal run.jsonl]
 //	      [-sample-rate 0.125]
@@ -18,6 +19,7 @@ import (
 	"strconv"
 	"strings"
 
+	"webcachesim/internal/admission"
 	"webcachesim/internal/core"
 	"webcachesim/internal/doctype"
 	"webcachesim/internal/policy"
@@ -39,6 +41,8 @@ func run(args []string, out io.Writer) error {
 		tracePath = fs.String("trace", "", "input trace path(s), comma-separated; multiple files are merged by timestamp (required)")
 		policies  = fs.String("policies", "lru,lfuda,gds:1,gdstar:1,gds:p,gdstar:p",
 			"comma-separated policy specs (scheme[:cost][:beta=x])")
+		admissions = fs.String("admissions", "none",
+			"comma-separated admission filter specs (none, tinylfu[:window=N], arc-ghost); every policy runs under every filter")
 		sizes    = fs.String("sizes", "", "cache sizes, comma-separated (e.g. 64MB,1GB)")
 		sizePcts = fs.String("size-pcts", "", "cache sizes as % of trace size (e.g. 0.5,1,2,4)")
 		warmup   = fs.Float64("warmup", core.DefaultWarmupFraction, "warm-up fraction of requests")
@@ -62,6 +66,10 @@ func run(args []string, out io.Writer) error {
 	if err != nil {
 		return err
 	}
+	admitters, err := parseAdmissions(*admissions)
+	if err != nil {
+		return err
+	}
 	w, err := loadWorkload(*tracePath, *raw)
 	if err != nil {
 		return err
@@ -76,6 +84,7 @@ func run(args []string, out io.Writer) error {
 	}
 	sweepCfg := core.SweepConfig{
 		Policies:       factories,
+		Admissions:     admitters,
 		Capacities:     capacities,
 		WarmupFraction: *warmup,
 		Parallelism:    *par,
@@ -107,34 +116,87 @@ func run(args []string, out io.Writer) error {
 			results[0].SampleRate)
 	}
 
-	t := report.NewTable("Simulation results", "Policy", "Cache (MB)", "HR", "BHR",
-		"Evictions", "Modifications")
+	// The Admission column only appears when a filter was actually
+	// configured, so existing -csv consumers (and the golden e2e output)
+	// are unchanged by default.
+	withAdmission := false
+	for _, a := range admitters {
+		if a.New != nil {
+			withAdmission = true
+		}
+	}
+	headers := []string{"Policy", "Cache (MB)", "HR", "BHR", "Evictions", "Modifications"}
+	classHeaders := []string{"Policy", "Cache (MB)", "HR", "BHR", "Requests"}
+	if withAdmission {
+		headers = append([]string{headers[0], "Admission"}, headers[1:]...)
+		classHeaders = append([]string{classHeaders[0], "Admission"}, classHeaders[1:]...)
+	}
+	row := func(r *core.Result, rest ...any) []any {
+		cells := []any{r.Policy}
+		if withAdmission {
+			cells = append(cells, admLabel(r))
+		}
+		cells = append(cells, fmt.Sprintf("%.0f", float64(r.Capacity)/(1<<20)))
+		return append(cells, rest...)
+	}
+	t := report.NewTable("Simulation results", headers...)
 	for _, r := range results {
-		t.AddRowf(r.Policy, fmt.Sprintf("%.0f", float64(r.Capacity)/(1<<20)),
-			r.Overall.HitRate(), r.Overall.ByteHitRate(), r.Evictions, r.Modifications)
+		t.AddRowf(row(r, r.Overall.HitRate(), r.Overall.ByteHitRate(), r.Evictions, r.Modifications)...)
 	}
 	emit(out, t, *csv)
 
 	if *byClass {
 		for _, cl := range doctype.Classes {
-			ct := report.NewTable(cl.String(), "Policy", "Cache (MB)", "HR", "BHR", "Requests")
+			ct := report.NewTable(cl.String(), classHeaders...)
 			for _, r := range results {
 				c := r.ByClass[cl]
-				ct.AddRowf(r.Policy, fmt.Sprintf("%.0f", float64(r.Capacity)/(1<<20)),
-					c.HitRate(), c.ByteHitRate(), c.Requests)
+				ct.AddRowf(row(r, c.HitRate(), c.ByteHitRate(), c.Requests)...)
 			}
 			emit(out, ct, *csv)
 		}
 	}
 	if *plot {
-		plotCurves(out, factories, results)
+		plotCurves(out, factories, results, withAdmission)
 	}
 	return nil
 }
 
+// admLabel names a result's admission filter, spelling the unfiltered
+// case (empty Admission) as "none".
+func admLabel(r *core.Result) string {
+	if r.Admission == "" {
+		return "none"
+	}
+	return r.Admission
+}
+
 // plotCurves renders overall hit-rate and byte-hit-rate curves across the
-// swept cache sizes.
-func plotCurves(out io.Writer, factories []policy.Factory, results []*core.Result) {
+// swept cache sizes; with an admission axis each (policy, admission)
+// pair is its own series.
+func plotCurves(out io.Writer, factories []policy.Factory, results []*core.Result, withAdmission bool) {
+	type series struct {
+		name    string
+		policy  string
+		results []*core.Result
+	}
+	var groups []series
+	if withAdmission {
+		index := make(map[string]int)
+		for _, r := range results {
+			name := r.Policy + "/" + admLabel(r)
+			i, ok := index[name]
+			if !ok {
+				i = len(groups)
+				index[name] = i
+				groups = append(groups, series{name: name, policy: r.Policy})
+			}
+			groups[i].results = append(groups[i].results, r)
+		}
+	} else {
+		for _, f := range factories {
+			groups = append(groups, series{name: f.Name, policy: f.Name, results: results})
+		}
+	}
 	for _, side := range []struct {
 		name    string
 		measure func(*core.Result) float64
@@ -150,13 +212,13 @@ func plotCurves(out io.Writer, factories []policy.Factory, results []*core.Resul
 			Width:  64,
 			Height: 16,
 		}
-		for _, f := range factories {
-			xs, ys := core.Curve(results, f.Name, side.measure)
+		for _, g := range groups {
+			xs, ys := core.Curve(g.results, g.policy, side.measure)
 			fx := make([]float64, len(xs))
 			for i, c := range xs {
 				fx[i] = float64(c) / (1 << 20)
 			}
-			p.Add(report.Series{Name: f.Name, X: fx, Y: ys})
+			p.Add(report.Series{Name: g.name, X: fx, Y: ys})
 		}
 		fmt.Fprintln(out, p.Render())
 	}
@@ -186,6 +248,18 @@ func parsePolicies(s string) ([]policy.Factory, error) {
 	}
 	if len(out) == 0 {
 		return nil, fmt.Errorf("no policies given")
+	}
+	return out, nil
+}
+
+func parseAdmissions(s string) ([]policy.AdmitterFactory, error) {
+	var out []policy.AdmitterFactory
+	for _, part := range strings.Split(s, ",") {
+		f, err := admission.ParseSpec(strings.TrimSpace(part))
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, f)
 	}
 	return out, nil
 }

@@ -1,0 +1,105 @@
+package admission
+
+import (
+	"fmt"
+	"testing"
+
+	"webcachesim/internal/policy"
+)
+
+func doc(id int32, size int64) *policy.Doc {
+	return &policy.Doc{Key: fmt.Sprintf("/doc/%d", id), ID: id, Size: size}
+}
+
+func touchN(t *TinyLFU, d *policy.Doc, n int) {
+	for i := 0; i < n; i++ {
+		t.Touch(d)
+	}
+}
+
+func TestTinyLFUNilVictimAlwaysAdmits(t *testing.T) {
+	f := NewTinyLFU(1<<20, 0)
+	if !f.Admit(doc(1, 100), nil) {
+		t.Error("nil victim means free space; must admit")
+	}
+	if f.Counts().Rejected != 0 {
+		t.Errorf("Rejected=%d, want 0", f.Counts().Rejected)
+	}
+}
+
+func TestTinyLFUFrequencyContest(t *testing.T) {
+	f := NewTinyLFU(1<<20, 0)
+	hot, cold, victim := doc(1, 100), doc(2, 100), doc(3, 100)
+	touchN(f, hot, 3)
+	touchN(f, cold, 1)
+	touchN(f, victim, 1)
+
+	if !f.Admit(hot, victim) {
+		t.Error("hot candidate (3 touches) must displace a 1-touch victim")
+	}
+	// Ties keep the resident: the victim has proven it can attract hits.
+	if f.Admit(cold, victim) {
+		t.Error("cold candidate tied with victim must be rejected")
+	}
+	if got := f.Counts().Rejected; got != 1 {
+		t.Errorf("Rejected=%d, want 1", got)
+	}
+}
+
+func TestTinyLFUGhostBypassAndCounters(t *testing.T) {
+	f := NewTinyLFU(1<<20, 0)
+	evictee, victim := doc(1, 100), doc(2, 100)
+	touchN(f, victim, 5)
+	f.Evicted(evictee)
+	if f.GhostLen() != 1 {
+		t.Fatalf("GhostLen=%d after one eviction, want 1", f.GhostLen())
+	}
+
+	// The just-evicted document re-enters without a frequency contest,
+	// even against a much hotter victim.
+	if !f.Admit(evictee, victim) {
+		t.Fatal("ghost-remembered candidate must be admitted")
+	}
+	f.Inserted(evictee)
+	c := f.Counts()
+	if c.GhostHits != 1 || c.Admitted != 1 {
+		t.Errorf("counts=%+v, want GhostHits=1 Admitted=1", c)
+	}
+	if f.GhostLen() != 0 {
+		t.Errorf("GhostLen=%d after re-admission, want 0 (entry consumed)", f.GhostLen())
+	}
+}
+
+// TestTinyLFUResurrectionAfterGhostExpiry is the resurrection edge case:
+// once an evicted document's ghost entry has been pushed out by newer
+// evictions, it must win the frequency contest again like any stranger.
+func TestTinyLFUResurrectionAfterGhostExpiry(t *testing.T) {
+	f := NewTinyLFU(1000, 0) // ghost budget = 1000 bytes
+	a, victim := doc(1, 400), doc(9, 100)
+	touchN(f, victim, 5)
+
+	f.Evicted(a)
+	f.Evicted(doc(2, 400))
+	f.Evicted(doc(3, 400)) // 1200 > 1000: a's entry expires
+	if f.ghost.Contains(a.ID) {
+		t.Fatal("ghost entry for a should have expired")
+	}
+	if f.Admit(a, victim) {
+		t.Error("after ghost expiry a cold candidate must lose the contest again")
+	}
+}
+
+func TestTinyLFUAgingWindow(t *testing.T) {
+	f := NewTinyLFU(1<<20, 4)
+	d := doc(1, 100)
+	touchN(f, d, 4) // 4th touch triggers aging: doorkeeper reset, counts halved
+	c := f.Counts()
+	if c.Resets != 1 {
+		t.Fatalf("Resets=%d after one full window, want 1", c.Resets)
+	}
+	// Before aging the estimate was 1 (doorkeeper) + 3 (table). After the
+	// reset-and-halve it must be 0 + 3/2 = 1.
+	if got := f.estimate(d); got != 1 {
+		t.Errorf("estimate=%d after aging, want 1", got)
+	}
+}

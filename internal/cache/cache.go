@@ -73,17 +73,23 @@ type Config struct {
 	// victim's shard lock held: it must be fast and must not call back
 	// into the cache.
 	OnEvict func(*Entry)
+	// Admission configures an admission filter (see internal/admission):
+	// one admitter per shard, each sized for the shard's share of the
+	// byte budget and keyed by that shard's interned IDs. The zero value
+	// admits everything. Requires the policy to implement policy.Peeker.
+	Admission policy.AdmitterFactory
 }
 
 // Cache is the sharded store. All methods are safe for concurrent use.
 type Cache struct {
-	capacity  int64
-	used      atomic.Int64
-	evictions atomic.Int64
-	rejects   atomic.Int64
-	onEvict   func(*Entry)
-	mask      uint64
-	shards    []shard
+	capacity   int64
+	used       atomic.Int64
+	evictions  atomic.Int64
+	rejects    atomic.Int64
+	admRejects atomic.Int64
+	onEvict    func(*Entry)
+	mask       uint64
+	shards     []shard
 }
 
 // shard is one lock domain: a map of resident entries and the policy that
@@ -92,6 +98,8 @@ type Cache struct {
 type shard struct {
 	mu      sync.Mutex
 	pol     policy.Policy
+	adm     policy.Admitter // nil when admission is disabled
+	peek    policy.Peeker   // set iff adm is set
 	entries map[string]*Entry
 	ids     *trace.Interner
 	used    int64
@@ -129,6 +137,18 @@ func New(cfg Config) (*Cache, error) {
 			ids:     trace.NewInterner(),
 			index:   i,
 		}
+		if cfg.Admission.New != nil {
+			sh := &c.shards[i]
+			peek, ok := sh.pol.(policy.Peeker)
+			if !ok {
+				return nil, fmt.Errorf("cache: policy %s does not support admission (no Peek)", cfg.Policy.Name)
+			}
+			// Each shard judges admission against its own share of the
+			// budget; ghost directories keyed by the shard's interner stay
+			// coherent because a key always maps to the same shard.
+			sh.adm = cfg.Admission.New(cfg.Capacity / int64(n))
+			sh.peek = peek
+		}
 	}
 	return c, nil
 }
@@ -144,6 +164,9 @@ func (c *Cache) Get(key string) (*Entry, bool) {
 	sh.mu.Lock()
 	e, ok := sh.entries[key]
 	if ok {
+		if sh.adm != nil {
+			sh.adm.Touch(e.Doc)
+		}
 		sh.pol.Hit(e.Doc)
 	}
 	sh.mu.Unlock()
@@ -160,21 +183,43 @@ func (c *Cache) Peek(key string) (*Entry, bool) {
 	return e, ok
 }
 
+// SetOutcome reports how Insert disposed of an entry.
+type SetOutcome uint8
+
+const (
+	// SetStored means the entry is resident.
+	SetStored SetOutcome = iota
+	// SetRejectedBudget means the byte budget refused the entry: larger
+	// than the whole budget, or the budget is held by bytes no shard can
+	// free. Counted by Rejects.
+	SetRejectedBudget
+	// SetRejectedAdmission means the admission filter refused the entry.
+	// Counted by AdmissionRejects.
+	SetRejectedAdmission
+)
+
+// Stored reports whether the entry became resident.
+func (o SetOutcome) Stored() bool { return o == SetStored }
+
 // Set inserts an entry under key, evicting as needed to respect the byte
 // budget. It reports false — and caches nothing — when the object cannot
-// be admitted: larger than the whole budget, or the budget is held by
-// bytes no shard can free (every shard drained of victims while
-// concurrent reservations keep the budget full). A false return is not an
-// error; the object is simply served uncached, and Rejects counts it.
+// be stored; see Insert for the distinguishable reasons. A false return
+// is not an error; the object is simply served uncached.
+func (c *Cache) Set(key string, e *Entry) bool {
+	return c.Insert(key, e).Stored()
+}
+
+// Insert is Set with a distinguishable outcome: stored, refused by the
+// byte budget, or refused by the admission filter.
 //
-// e.Doc.Key must equal key; Set assigns e.Doc.ID from the shard's
+// e.Doc.Key must equal key; Insert assigns e.Doc.ID from the shard's
 // interner, so a URL keeps one stable dense ID across evict/refetch
 // cycles — the keying contract policies such as GD* rely on.
-func (c *Cache) Set(key string, e *Entry) bool {
+func (c *Cache) Insert(key string, e *Entry) SetOutcome {
 	size := e.Doc.Size
 	if size > c.capacity {
 		c.rejects.Add(1)
-		return false
+		return SetRejectedBudget
 	}
 
 	// Drop any previous version first so its bytes are free for the
@@ -184,9 +229,14 @@ func (c *Cache) Set(key string, e *Entry) bool {
 	home := c.shardFor(key)
 	c.removeFrom(home, key)
 
+	if home.adm != nil && !c.admit(home, key, e) {
+		c.admRejects.Add(1)
+		return SetRejectedAdmission
+	}
+
 	if !c.reserve(size, home) {
 		c.rejects.Add(1)
-		return false
+		return SetRejectedBudget
 	}
 
 	home.mu.Lock()
@@ -199,8 +249,37 @@ func (c *Cache) Set(key string, e *Entry) bool {
 	home.entries[key] = e
 	home.used += size
 	home.pol.Insert(e.Doc)
+	if home.adm != nil {
+		home.adm.Inserted(e.Doc)
+	}
 	home.mu.Unlock()
-	return true
+	return SetStored
+}
+
+// admit runs the home shard's admission filter for a candidate entry.
+// The candidate is judged against the home shard's own prospective
+// victim — the per-shard approximation of the simulator's global
+// peek-before-evict — and only when the global budget is actually full;
+// while space remains, admission is unconditional. The decision point is
+// advisory: a concurrent insert can consume the budget between this
+// check and the reservation, in which case an admitted entry may still
+// be evicting from other shards. That race only ever skips the filter
+// in the admit direction, never rejects spuriously.
+func (c *Cache) admit(home *shard, key string, e *Entry) bool {
+	home.mu.Lock()
+	defer home.mu.Unlock()
+	e.Doc.ID = home.ids.Intern(key)
+	home.adm.Touch(e.Doc)
+	if c.used.Load()+e.Doc.Size <= c.capacity {
+		return true
+	}
+	victim, ok := home.peek.Peek()
+	if !ok {
+		// The home shard has nothing to evict; the bytes will come from
+		// other shards, whose victims this shard's filter cannot judge.
+		return true
+	}
+	return home.adm.Admit(e.Doc, victim)
 }
 
 // reserve claims size bytes of the global budget, evicting until the
@@ -260,6 +339,9 @@ func (sh *shard) evictVictim(c *Cache) bool {
 	sh.used -= victim.Size
 	c.used.Add(-victim.Size)
 	c.evictions.Add(1)
+	if sh.adm != nil {
+		sh.adm.Evicted(victim)
+	}
 	if c.onEvict != nil {
 		c.onEvict(e)
 	}
@@ -297,6 +379,26 @@ func (c *Cache) Evictions() int64 { return c.evictions.Load() }
 
 // Rejects returns the number of Set calls refused for want of budget.
 func (c *Cache) Rejects() int64 { return c.rejects.Load() }
+
+// AdmissionRejects returns the number of Set calls refused by the
+// admission filter.
+func (c *Cache) AdmissionRejects() int64 { return c.admRejects.Load() }
+
+// AdmissionCounts aggregates the per-shard admitters' decision counters.
+// All zeros when admission is disabled.
+func (c *Cache) AdmissionCounts() policy.AdmissionCounts {
+	var total policy.AdmissionCounts
+	for i := range c.shards {
+		sh := &c.shards[i]
+		if sh.adm == nil {
+			continue
+		}
+		sh.mu.Lock()
+		total.Add(sh.adm.Counts())
+		sh.mu.Unlock()
+	}
+	return total
+}
 
 // Shards returns the shard count.
 func (c *Cache) Shards() int { return len(c.shards) }

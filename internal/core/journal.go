@@ -55,8 +55,10 @@ type JournalRecord struct {
 
 	// Policies, Capacities, Parallelism and Cells describe the grid
 	// (sweep_start; mrc_pass reuses Capacities for the set one scan
-	// covered).
+	// covered). Admissions lists the admission axis, omitted when the
+	// sweep runs without filters.
 	Policies    []string `json:"policies,omitempty"`
+	Admissions  []string `json:"admissions,omitempty"`
 	Capacities  []int64  `json:"capacities,omitempty"`
 	Parallelism int      `json:"parallelism,omitempty"`
 	Cells       int      `json:"cells,omitempty"`
@@ -66,10 +68,12 @@ type JournalRecord struct {
 	// (sweep_start; zero for exact sweeps).
 	SampleRate float64 `json:"sampleRate,omitempty"`
 
-	// Policy and Capacity identify the cell (run_start, progress,
-	// run_end).
-	Policy   string `json:"policy,omitempty"`
-	Capacity int64  `json:"capacity,omitempty"`
+	// Policy, Admission and Capacity identify the cell (run_start,
+	// progress, run_end); Admission is empty when the cell ran without a
+	// filter, so pre-admission journals parse unchanged.
+	Policy    string `json:"policy,omitempty"`
+	Admission string `json:"admission,omitempty"`
+	Capacity  int64  `json:"capacity,omitempty"`
 
 	// Requests is the total number of trace events: the workload size on
 	// sweep_start, the events replayed so far on progress, and the full
@@ -87,6 +91,11 @@ type JournalRecord struct {
 	Hits        int64   `json:"hits,omitempty"`
 	HitRate     float64 `json:"hitRate,omitempty"`
 	ByteHitRate float64 `json:"byteHitRate,omitempty"`
+	// Admitted, AdmissionRejects and GhostHits are the cell's admission
+	// counters (run_end, only with a filter configured).
+	Admitted         int64 `json:"admitted,omitempty"`
+	AdmissionRejects int64 `json:"admissionRejects,omitempty"`
+	GhostHits        int64 `json:"ghostHits,omitempty"`
 }
 
 // journalWriter serializes records from concurrently running cells onto
@@ -133,10 +142,12 @@ func throughput(events int64, elapsed time.Duration) (elapsedMs, rps float64) {
 func runJournaled(sim *Simulator, w *Workload, jw *journalWriter, every int64, now func() time.Time) *Result {
 	policyName := sim.cfg.Policy.Name
 	capacity := sim.cfg.Capacity
+	admName := sim.result.Admission
 	jw.emit(JournalRecord{
-		Event:    JournalRunStart,
-		Policy:   policyName,
-		Capacity: capacity,
+		Event:     JournalRunStart,
+		Policy:    policyName,
+		Admission: admName,
+		Capacity:  capacity,
 	})
 	start := now()
 	n := w.NumRequests()
@@ -150,6 +161,7 @@ func runJournaled(sim *Simulator, w *Workload, jw *journalWriter, every int64, n
 			jw.emit(JournalRecord{
 				Event:          JournalProgress,
 				Policy:         policyName,
+				Admission:      admName,
 				Capacity:       capacity,
 				Requests:       done,
 				ElapsedMs:      elapsedMs,
@@ -161,16 +173,20 @@ func runJournaled(sim *Simulator, w *Workload, jw *journalWriter, every int64, n
 	r := sim.Result()
 	elapsedMs, rps := throughput(total, now().Sub(start))
 	jw.emit(JournalRecord{
-		Event:          JournalRunEnd,
-		Policy:         policyName,
-		Capacity:       capacity,
-		Requests:       total,
-		ElapsedMs:      elapsedMs,
-		RequestsPerSec: rps,
-		Evictions:      r.Evictions,
-		Hits:           r.Overall.Hits,
-		HitRate:        r.Overall.HitRate(),
-		ByteHitRate:    r.Overall.ByteHitRate(),
+		Event:            JournalRunEnd,
+		Policy:           policyName,
+		Admission:        admName,
+		Capacity:         capacity,
+		Requests:         total,
+		ElapsedMs:        elapsedMs,
+		RequestsPerSec:   rps,
+		Evictions:        r.Evictions,
+		Hits:             r.Overall.Hits,
+		HitRate:          r.Overall.HitRate(),
+		ByteHitRate:      r.Overall.ByteHitRate(),
+		Admitted:         r.Admitted,
+		AdmissionRejects: r.AdmissionRejects,
+		GhostHits:        r.GhostHits,
 	})
 	return r
 }

@@ -100,6 +100,17 @@ type Result struct {
 	// Occupancy is the Figure 1 time series (empty unless sampling was
 	// enabled).
 	Occupancy []OccupancySample `json:"occupancy,omitempty"`
+	// Admission is the admission filter's configured name, empty when
+	// every candidate was admitted unconditionally (the default).
+	Admission string `json:"admission,omitempty"`
+	// Admitted counts documents the admission filter let in; zero-valued
+	// (with AdmissionRejects and GhostHits) when no filter is configured.
+	Admitted int64 `json:"admitted,omitempty"`
+	// AdmissionRejects counts inserts the admission filter refused.
+	AdmissionRejects int64 `json:"admissionRejects,omitempty"`
+	// GhostHits counts admissions granted because the candidate was found
+	// in a ghost directory of recently evicted documents.
+	GhostHits int64 `json:"ghostHits,omitempty"`
 	// SampleRate, when nonzero, marks an approximate result computed from
 	// a spatially hash-sampled fraction of the workload's documents (see
 	// SweepConfig.SampleRate); SampledCapacity is the scaled-down

@@ -25,6 +25,12 @@ type Config struct {
 	// double insert, bogus Evict result). Costs one map operation per
 	// policy call; meant for debugging and CI, not timed runs.
 	SelfCheck bool
+	// Admission configures an admission filter in front of the policy
+	// (see internal/admission). The zero value admits everything. A
+	// non-nil Admission.New requires the policy to implement
+	// policy.Peeker, since the filter compares candidates against the
+	// prospective eviction victim.
+	Admission policy.AdmitterFactory
 }
 
 // DefaultWarmupFraction is the paper's cold-start rule: 10% of the total
@@ -55,6 +61,8 @@ func resolveWarmup(frac float64, n int) (int64, error) {
 type Simulator struct {
 	cfg    Config
 	pol    policy.Policy
+	adm    policy.Admitter // nil when admission is disabled
+	peek   policy.Peeker   // set iff adm is set
 	keys   []string
 	docs   []*policy.Doc // DocID -> the document's Doc, allocated once and reused
 	in     []bool        // DocID -> currently resident
@@ -83,13 +91,15 @@ func NewSimulator(w *Workload, cfg Config) (*Simulator, error) {
 	if err != nil {
 		return nil, err
 	}
-	pol := cfg.Policy.New()
-	if cfg.SelfCheck {
-		pol = policy.Checked(pol)
+	pol, adm, peek, err := buildPolicy(cfg)
+	if err != nil {
+		return nil, err
 	}
-	return &Simulator{
+	s := &Simulator{
 		cfg:    cfg,
 		pol:    pol,
+		adm:    adm,
+		peek:   peek,
 		keys:   w.Keys(),
 		docs:   make([]*policy.Doc, w.NumDocs()),
 		in:     make([]bool, w.NumDocs()),
@@ -100,7 +110,34 @@ func NewSimulator(w *Workload, cfg Config) (*Simulator, error) {
 			Capacity:       cfg.Capacity,
 			WarmupRequests: warmup,
 		},
-	}, nil
+	}
+	if adm != nil {
+		s.result.Admission = cfg.Admission.Name
+	}
+	return s, nil
+}
+
+// buildPolicy constructs the policy instance and, when configured, the
+// admission filter in front of it. Peeker support is validated on the
+// raw policy before any Checked wrapping, since the wrapper always has a
+// Peek method that merely forwards.
+func buildPolicy(cfg Config) (policy.Policy, policy.Admitter, policy.Peeker, error) {
+	pol := cfg.Policy.New()
+	var adm policy.Admitter
+	if cfg.Admission.New != nil {
+		if _, ok := pol.(policy.Peeker); !ok {
+			return nil, nil, nil, errBadConfig("policy %s does not support admission (no Peek)", cfg.Policy.Name)
+		}
+		adm = cfg.Admission.New(cfg.Capacity)
+	}
+	if cfg.SelfCheck {
+		pol = policy.Checked(pol)
+	}
+	var peek policy.Peeker
+	if adm != nil {
+		peek = pol.(policy.Peeker)
+	}
+	return pol, adm, peek, nil
 }
 
 // Outcome reports how the cache disposed of one request.
@@ -135,6 +172,12 @@ func (s *Simulator) Run(w *Workload) *Result {
 func (s *Simulator) Process(ev *Event) Outcome {
 	s.processed++
 	measured := s.processed > s.warmup
+
+	if s.adm != nil {
+		// Every reference — hit or miss — feeds the admitter's frequency
+		// estimate, before the request's own outcome is decided.
+		s.adm.Touch(s.ensureDoc(ev))
+	}
 
 	resident := s.in[ev.DocID]
 	hit := resident && !ev.Modified
@@ -183,6 +226,12 @@ func (s *Simulator) Result() *Result {
 	for _, c := range doctype.Classes {
 		r.Overall.add(r.ByClass[c])
 	}
+	if s.adm != nil {
+		c := s.adm.Counts()
+		r.Admitted = c.Admitted
+		r.AdmissionRejects = c.Rejected
+		r.GhostHits = c.GhostHits
+	}
 	return &r
 }
 
@@ -207,27 +256,44 @@ func (s *Simulator) insert(ev *Event, measured bool) {
 		}
 		return
 	}
+	doc := s.ensureDoc(ev)
+	doc.Size = size
 	for s.used+size > s.cfg.Capacity {
+		if s.adm != nil {
+			// Judge the candidate against the prospective victim before
+			// anything is evicted, so a rejected insert leaves the cache
+			// untouched.
+			if victim, ok := s.peek.Peek(); ok && !s.adm.Admit(doc, victim) {
+				return
+			}
+		}
 		victim, ok := s.pol.Evict()
 		if !ok {
 			return // The policy tracks nothing; should be unreachable.
 		}
 		s.evicted(victim)
 	}
-	// One Doc per document, allocated on first insert and reused across
-	// re-insertions: the hot replay loop allocates nothing for documents
-	// cycling in and out of the cache.
-	doc := s.docs[ev.DocID]
-	if doc == nil {
-		doc = &policy.Doc{Key: s.keys[ev.DocID], ID: ev.DocID, Class: ev.Class}
-		s.docs[ev.DocID] = doc
-	}
-	doc.Size = size
 	s.in[ev.DocID] = true
 	s.used += size
 	s.residentDocs[ev.Class]++
 	s.residentBytes[ev.Class] += size
 	s.pol.Insert(doc)
+	if s.adm != nil {
+		s.adm.Inserted(doc)
+	}
+}
+
+// ensureDoc returns the document's reused Doc, allocating it on first
+// reference. One Doc per document, allocated once and reused across
+// re-insertions: the hot replay loop allocates nothing for documents
+// cycling in and out of the cache.
+func (s *Simulator) ensureDoc(ev *Event) *policy.Doc {
+	doc := s.docs[ev.DocID]
+	if doc == nil {
+		doc = &policy.Doc{Key: s.keys[ev.DocID], ID: ev.DocID, Class: ev.Class}
+		s.docs[ev.DocID] = doc
+	}
+	return doc
 }
 
 // evicted settles accounting after the policy returned a victim. The
@@ -240,6 +306,9 @@ func (s *Simulator) evicted(victim *policy.Doc) {
 	s.residentBytes[victim.Class] -= victim.Size
 	if id := victim.ID; s.docs[id] == victim {
 		s.in[id] = false
+	}
+	if s.adm != nil {
+		s.adm.Evicted(victim)
 	}
 }
 

@@ -36,12 +36,21 @@ func NewStreamSimulator(cfg Config, modifyThreshold float64) (*StreamSimulator, 
 	if cfg.WarmupFraction != 0 {
 		return nil, errBadConfig("streaming simulation takes warm-up as a request count via Run, not a fraction")
 	}
+	pol, adm, peek, err := buildPolicy(cfg)
+	if err != nil {
+		return nil, err
+	}
 	s := &StreamSimulator{ing: newIngest(modifyThreshold)}
 	s.sim = &Simulator{
 		cfg:    cfg,
-		pol:    cfg.Policy.New(),
+		pol:    pol,
+		adm:    adm,
+		peek:   peek,
 		sample: cfg.SampleEvery,
 		result: Result{Policy: cfg.Policy.Name, Capacity: cfg.Capacity},
+	}
+	if adm != nil {
+		s.sim.result.Admission = cfg.Admission.Name
 	}
 	return s, nil
 }

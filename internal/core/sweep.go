@@ -22,6 +22,11 @@ type SweepConfig struct {
 	// Policies lists the replacement schemes to compare. Names must be
 	// unique: results and journal records are keyed by name.
 	Policies []policy.Factory
+	// Admissions lists the admission filters to cross with every policy
+	// (see internal/admission); empty sweeps the policies without
+	// admission, exactly as before the axis existed. Names must be
+	// unique; a factory with a nil New means "no admission".
+	Admissions []policy.AdmitterFactory
 	// Capacities lists the cache sizes in bytes.
 	Capacities []int64
 	// WarmupFraction and SampleEvery are passed through to each run (see
@@ -97,6 +102,32 @@ func Sweep(w *Workload, cfg SweepConfig) ([]*Result, error) {
 		}
 	}
 
+	// The admission axis: an empty list degenerates to the pre-admission
+	// grid. The slice is copied because empty names are normalized.
+	admissions := make([]policy.AdmitterFactory, 0, max(1, len(cfg.Admissions)))
+	if len(cfg.Admissions) == 0 {
+		admissions = append(admissions, policy.NoAdmission())
+	} else {
+		admissions = append(admissions, cfg.Admissions...)
+	}
+	admRank := make(map[string]int, len(admissions))
+	anyAdmission := false
+	for i := range admissions {
+		if admissions[i].Name == "" {
+			if admissions[i].New != nil {
+				return nil, errBadConfig("admission factory %d has no name", i)
+			}
+			admissions[i].Name = "none"
+		}
+		if _, dup := admRank[admissions[i].Name]; dup {
+			return nil, errBadConfig("duplicate admission name %q", admissions[i].Name)
+		}
+		admRank[admissions[i].Name] = i
+		if admissions[i].New != nil {
+			anyAdmission = true
+		}
+	}
+
 	// Sampled mode: replay the hash-selected documents against
 	// proportionally scaled capacities.
 	rate := cfg.SampleRate
@@ -141,12 +172,27 @@ func Sweep(w *Workload, cfg SweepConfig) ([]*Result, error) {
 
 	type cell struct {
 		policyIdx int
+		admIdx    int
 		capIdx    int
 	}
-	cells := make([]cell, 0, len(cfg.Policies)*len(cfg.Capacities))
+	cells := make([]cell, 0, len(cfg.Policies)*len(admissions)*len(cfg.Capacities))
 	for pi := range cfg.Policies {
-		for ci := range cfg.Capacities {
-			cells = append(cells, cell{policyIdx: pi, capIdx: ci})
+		for ai := range admissions {
+			for ci := range cfg.Capacities {
+				cells = append(cells, cell{policyIdx: pi, admIdx: ai, capIdx: ci})
+			}
+		}
+	}
+	// The MRC engine models plain LRU with unconditional admission, so
+	// only a cell without a filter may be served by the scan.
+	cellViaMRC := func(c cell) bool {
+		return viaMRC[c.policyIdx] && admissions[c.admIdx].New == nil
+	}
+	anyMRC = false
+	for _, c := range cells {
+		if cellViaMRC(c) {
+			anyMRC = true
+			break
 		}
 	}
 
@@ -155,7 +201,7 @@ func Sweep(w *Workload, cfg SweepConfig) ([]*Result, error) {
 	sims := make([]*Simulator, len(cells))
 	perCellRuns := 0
 	for i, c := range cells {
-		if viaMRC[c.policyIdx] {
+		if cellViaMRC(c) {
 			continue
 		}
 		sim, err := NewSimulator(runW, Config{
@@ -164,10 +210,12 @@ func Sweep(w *Workload, cfg SweepConfig) ([]*Result, error) {
 			WarmupFraction: cfg.WarmupFraction,
 			SampleEvery:    cfg.SampleEvery,
 			SelfCheck:      cfg.SelfCheck,
+			Admission:      admissions[c.admIdx],
 		})
 		if err != nil {
-			return nil, fmt.Errorf("core: sweep cell %s/%d: %w",
-				cfg.Policies[c.policyIdx].Name, cfg.Capacities[c.capIdx], err)
+			return nil, fmt.Errorf("core: sweep cell %s/%s/%d: %w",
+				cfg.Policies[c.policyIdx].Name, admissions[c.admIdx].Name,
+				cfg.Capacities[c.capIdx], err)
 		}
 		sims[i] = sim
 		perCellRuns++
@@ -195,9 +243,17 @@ func Sweep(w *Workload, cfg SweepConfig) ([]*Result, error) {
 		for i, f := range cfg.Policies {
 			names[i] = f.Name
 		}
+		var admNames []string
+		if anyAdmission {
+			admNames = make([]string, len(admissions))
+			for i, a := range admissions {
+				admNames[i] = a.Name
+			}
+		}
 		jw.emit(JournalRecord{
 			Event:       JournalSweepStart,
 			Policies:    names,
+			Admissions:  admNames,
 			Capacities:  cfg.Capacities,
 			SampleRate:  cfg.SampleRate,
 			Parallelism: parallelism,
@@ -278,7 +334,7 @@ func Sweep(w *Workload, cfg SweepConfig) ([]*Result, error) {
 	}
 
 	for i, c := range cells {
-		if viaMRC[c.policyIdx] {
+		if cellViaMRC(c) {
 			results[i] = mrcResult(mrcCurves[runCaps[c.capIdx]],
 				cfg.Policies[c.policyIdx].Name, warmup)
 		}
@@ -311,14 +367,23 @@ func Sweep(w *Workload, cfg SweepConfig) ([]*Result, error) {
 		}
 	}
 
-	// Results are already in (policy, capacity-index) order; normalize
-	// capacity order in case the caller passed an unsorted grid.
+	// Results are already in (policy, admission, capacity-index) order;
+	// normalize capacity order in case the caller passed an unsorted
+	// grid. Admission rank comes from the cell, not the result: an
+	// unfiltered cell's Result carries an empty Admission name.
+	cellAdm := make(map[*Result]int, len(results))
+	for i, c := range cells {
+		cellAdm[results[i]] = c.admIdx
+	}
 	ordered := make([]*Result, len(results))
 	copy(ordered, results)
 	sort.SliceStable(ordered, func(i, j int) bool {
 		pi, pj := rank[ordered[i].Policy], rank[ordered[j].Policy]
 		if pi != pj {
 			return pi < pj
+		}
+		if ai, aj := cellAdm[ordered[i]], cellAdm[ordered[j]]; ai != aj {
+			return ai < aj
 		}
 		return ordered[i].Capacity < ordered[j].Capacity
 	})

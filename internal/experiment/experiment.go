@@ -259,6 +259,8 @@ func (e *Env) Run(id ID) (*Output, error) {
 		return e.runFiltering()
 	case Baselines:
 		return e.runBaselines()
+	case AdmissionGrid:
+		return e.runAdmission()
 	default:
 		return nil, fmt.Errorf("experiment: unknown id %q", id)
 	}

@@ -12,6 +12,7 @@ import (
 	"testing"
 	"time"
 
+	"webcachesim/internal/admission"
 	"webcachesim/internal/load"
 	"webcachesim/internal/metrics"
 	"webcachesim/internal/proxy"
@@ -181,6 +182,83 @@ func TestEndToEndLoadAgainstProxy(t *testing.T) {
 	if st.Requests != rep.Tally.Requests || st.Hits != rep.Tally.Hits ||
 		st.Coalesced != rep.Tally.Coalesced || st.StaleServed != rep.Tally.Stale {
 		t.Errorf("Stats() %+v disagrees with client tally %+v", st, rep.Tally)
+	}
+}
+
+// TestEndToEndAdmissionReconciles runs the loopback stack with a TinyLFU
+// filter on a cache small enough to force contested inserts. The proxy
+// sets X-Admission: reject only on the miss leader's response, so the
+// client-side count must equal wcproxy_admission_rejected_total exactly,
+// even with coalescing in play.
+func TestEndToEndAdmissionReconciles(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loopback e2e in -short mode")
+	}
+	origin := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/html")
+		fmt.Fprintf(w, "body-of-%s-%s", r.URL.Path, strings.Repeat("x", len(r.URL.Path)%32))
+	}))
+	defer origin.Close()
+	originURL, err := url.Parse(origin.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	reg := metrics.NewRegistry()
+	srv, err := proxy.New(proxy.Config{
+		Capacity:  4 << 10, // a few dozen bodies: eviction pressure from the start
+		Origin:    originURL,
+		Metrics:   reg,
+		Shards:    2,
+		Admission: admission.MustSpec("tinylfu"),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	front := httptest.NewServer(srv)
+	defer front.Close()
+	admin := httptest.NewServer(proxy.AdminHandler(srv, reg))
+	defer admin.Close()
+	frontURL, err := url.Parse(front.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	prof, err := synth.ProfileByName("dfn")
+	if err != nil {
+		t.Fatal(err)
+	}
+	const requests = 2000
+	gen, err := synth.NewGenerator(prof, synth.Options{Seed: 11, Requests: requests})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := load.Run(load.Config{
+		Target:      frontURL,
+		Source:      gen.Reader(),
+		Mode:        load.Reverse,
+		Concurrency: 8,
+		Requests:    requests,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Tally.Errors != 0 || rep.Tally.Requests != requests {
+		t.Fatalf("tally = %+v, want %d clean requests", rep.Tally, requests)
+	}
+	if rep.Tally.AdmissionRejects == 0 {
+		t.Error("a 4KB TinyLFU cache under a 2000-request replay should reject some inserts")
+	}
+
+	m := scrape(t, admin.URL)
+	if got, want := m["wcproxy_admission_rejected_total"], float64(rep.Tally.AdmissionRejects); got != want {
+		t.Errorf("wcproxy_admission_rejected_total = %v, client counted %v X-Admission rejects", got, want)
+	}
+	if m["wcproxy_admission_admitted_total"] <= 0 {
+		t.Errorf("wcproxy_admission_admitted_total = %v, want > 0", m["wcproxy_admission_admitted_total"])
+	}
+	if st := srv.Stats(); st.AdmissionRejects != rep.Tally.AdmissionRejects {
+		t.Errorf("Stats().AdmissionRejects = %d, client counted %d", st.AdmissionRejects, rep.Tally.AdmissionRejects)
 	}
 }
 

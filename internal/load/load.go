@@ -3,7 +3,7 @@
 // workload generator — against a running proxy with a configurable number
 // of concurrent clients, and reports throughput, exact latency
 // percentiles, and client-side cache-outcome tallies read from the
-// proxy's X-Cache and X-Coalesced response headers.
+// proxy's X-Cache, X-Coalesced and X-Admission response headers.
 //
 // "Closed-loop" means each client issues its next request only after the
 // previous one completes: concurrency is the number of outstanding
@@ -84,6 +84,12 @@ type Tally struct {
 	Misses    int64 `json:"misses"`
 	Stale     int64 `json:"stale"`
 	Coalesced int64 `json:"coalesced"`
+	// AdmissionRejects counts miss-leader responses whose cacheable body
+	// the proxy's admission filter refused to store (X-Admission:
+	// reject). The proxy sets the header only on the request that
+	// performed the origin fetch, never on coalesced followers, so this
+	// tally reconciles exactly with wcproxy_admission_rejected_total.
+	AdmissionRejects int64 `json:"admissionRejects,omitempty"`
 	// Errors counts attempts that produced no HTTP response (transport
 	// failures). Any response, whatever its status, counts as a Request.
 	Errors int64 `json:"errors"`
@@ -227,6 +233,9 @@ func (w *worker) do(client *http.Client, cfg Config, raw string) {
 		if resp.Header.Get("X-Coalesced") == "1" {
 			w.tally.Coalesced++
 		}
+		if resp.Header.Get("X-Admission") == "reject" {
+			w.tally.AdmissionRejects++
+		}
 	}
 }
 
@@ -255,6 +264,7 @@ func assemble(workers []*worker, conc int, elapsed time.Duration) *Report {
 		rep.Tally.Misses += w.tally.Misses
 		rep.Tally.Stale += w.tally.Stale
 		rep.Tally.Coalesced += w.tally.Coalesced
+		rep.Tally.AdmissionRejects += w.tally.AdmissionRejects
 		rep.Tally.Errors += w.tally.Errors
 		rep.Tally.Bytes += w.tally.Bytes
 		all = append(all, w.latencies...)

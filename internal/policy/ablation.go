@@ -79,6 +79,9 @@ func (p *GDSRenorm) Evict() (*Doc, bool) {
 	return doc, true
 }
 
+// Peek implements Peeker: the minimum-key document, untouched.
+func (p *GDSRenorm) Peek() (*Doc, bool) { return peekMin(&p.queue) }
+
 // Remove implements Policy.
 func (p *GDSRenorm) Remove(doc *Doc) {
 	if m, ok := doc.meta.(*heapMeta); ok {

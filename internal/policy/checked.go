@@ -117,6 +117,33 @@ func (c *checked) Evict() (*Doc, bool) {
 	return victim, true
 }
 
+// Peek implements Peeker when the inner policy does: the prospective
+// victim must be tracked, and peeking must not change Len. A non-Peeker
+// inner policy reports no victim — callers that require Peek support
+// must validate before wrapping.
+func (c *checked) Peek() (*Doc, bool) {
+	peek, ok := c.inner.(Peeker)
+	if !ok {
+		return nil, false
+	}
+	c.sync("Peek")
+	victim, ok := peek.Peek()
+	if !ok {
+		if len(c.tracked) != 0 {
+			c.fail("Peek", "reported empty while %d documents are tracked", len(c.tracked))
+		}
+		return nil, false
+	}
+	if victim == nil {
+		c.fail("Peek", "returned a nil victim with ok = true")
+	}
+	if !c.tracked[victim] {
+		c.fail("Peek", "peeked untracked document %q", victim.Key)
+	}
+	c.sync("Peek")
+	return victim, true
+}
+
 // Remove implements Policy.
 func (c *checked) Remove(doc *Doc) {
 	if doc == nil {

@@ -30,6 +30,9 @@ func (p *GDSF) Hit(doc *Doc) { p.inner.Hit(doc) }
 // Evict implements Policy.
 func (p *GDSF) Evict() (*Doc, bool) { return p.inner.Evict() }
 
+// Peek implements Peeker.
+func (p *GDSF) Peek() (*Doc, bool) { return p.inner.Peek() }
+
 // Remove implements Policy.
 func (p *GDSF) Remove(doc *Doc) { p.inner.Remove(doc) }
 

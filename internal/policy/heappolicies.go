@@ -36,6 +36,16 @@ func finiteH(h, floor float64) float64 {
 	return h
 }
 
+// peekMin reports the heap minimum without removing it — the shared Peek
+// implementation for the value-based schemes.
+func peekMin(q *pqueue.Queue[*Doc]) (*Doc, bool) {
+	it, err := q.Min()
+	if err != nil {
+		return nil, false
+	}
+	return it.Value, true
+}
+
 // LFUDA is Least Frequently Used with Dynamic Aging: a frequency-based
 // policy under fixed cost and size assumptions. Each document carries its
 // reference count; the document with the smallest count is evicted. The
@@ -86,6 +96,9 @@ func (p *LFUDA) Evict() (*Doc, bool) {
 	doc.meta = nil
 	return doc, true
 }
+
+// Peek implements Peeker: the minimum-key document, untouched.
+func (p *LFUDA) Peek() (*Doc, bool) { return peekMin(&p.queue) }
 
 // Remove implements Policy.
 func (p *LFUDA) Remove(doc *Doc) {
@@ -165,6 +178,9 @@ func (p *GDS) Evict() (*Doc, bool) {
 	doc.meta = nil
 	return doc, true
 }
+
+// Peek implements Peeker: the minimum-key document, untouched.
+func (p *GDS) Peek() (*Doc, bool) { return peekMin(&p.queue) }
 
 // Remove implements Policy.
 func (p *GDS) Remove(doc *Doc) {
@@ -272,6 +288,9 @@ func (p *GDStar) Evict() (*Doc, bool) {
 	return doc, true
 }
 
+// Peek implements Peeker: the minimum-key document, untouched.
+func (p *GDStar) Peek() (*Doc, bool) { return peekMin(&p.queue) }
+
 // Remove implements Policy.
 func (p *GDStar) Remove(doc *Doc) {
 	if m, ok := doc.meta.(*heapMeta); ok {
@@ -329,6 +348,9 @@ func (p *LFU) Evict() (*Doc, bool) {
 	return doc, true
 }
 
+// Peek implements Peeker: the minimum-key document, untouched.
+func (p *LFU) Peek() (*Doc, bool) { return peekMin(&p.queue) }
+
 // Remove implements Policy.
 func (p *LFU) Remove(doc *Doc) {
 	if m, ok := doc.meta.(*heapMeta); ok {
@@ -377,6 +399,9 @@ func (p *Size) Evict() (*Doc, bool) {
 	doc.meta = nil
 	return doc, true
 }
+
+// Peek implements Peeker: the minimum-key document, untouched.
+func (p *Size) Peek() (*Doc, bool) { return peekMin(&p.queue) }
 
 // Remove implements Policy.
 func (p *Size) Remove(doc *Doc) {

@@ -43,6 +43,15 @@ func (p *LRU) Evict() (*Doc, bool) {
 	return doc, true
 }
 
+// Peek implements Peeker: the least recently used document, untouched.
+func (p *LRU) Peek() (*Doc, bool) {
+	e := p.list.Back()
+	if e == nil {
+		return nil, false
+	}
+	return e.Value, true
+}
+
 // Remove implements Policy.
 func (p *LRU) Remove(doc *Doc) {
 	if e, ok := doc.meta.(*intlist.Element[*Doc]); ok {
@@ -86,6 +95,15 @@ func (p *FIFO) Evict() (*Doc, bool) {
 	doc := p.list.Remove(e)
 	doc.meta = nil
 	return doc, true
+}
+
+// Peek implements Peeker: the oldest insertion, untouched.
+func (p *FIFO) Peek() (*Doc, bool) {
+	e := p.list.Back()
+	if e == nil {
+		return nil, false
+	}
+	return e.Value, true
 }
 
 // Remove implements Policy.

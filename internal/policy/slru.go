@@ -89,6 +89,18 @@ func (p *SLRU) Evict() (*Doc, bool) {
 	return nil, false
 }
 
+// Peek implements Peeker: the probationary tail (or, when probation is
+// empty, the protected tail), untouched.
+func (p *SLRU) Peek() (*Doc, bool) {
+	if e := p.probation.Back(); e != nil {
+		return e.Value, true
+	}
+	if e := p.protected.Back(); e != nil {
+		return e.Value, true
+	}
+	return nil, false
+}
+
 // Remove implements Policy.
 func (p *SLRU) Remove(doc *Doc) {
 	m, ok := doc.meta.(*slruMeta)

@@ -84,10 +84,10 @@ func (t *TypeAware) observe(cl doctype.Class, size int64) {
 	}
 }
 
-// Evict implements Policy: the victim comes from the class with the
-// highest used-bytes to byte-budget ratio among classes that hold
-// documents.
-func (t *TypeAware) Evict() (*Doc, bool) {
+// victimClass returns the class the next eviction victim comes from: the
+// one with the highest used-bytes to byte-budget ratio among classes that
+// hold documents, or Unknown when every class is empty.
+func (t *TypeAware) victimClass() doctype.Class {
 	var total float64
 	for _, cl := range doctype.Classes {
 		total += t.traffic[cl]
@@ -111,6 +111,14 @@ func (t *TypeAware) Evict() (*Doc, bool) {
 			bestClass = cl
 		}
 	}
+	return bestClass
+}
+
+// Evict implements Policy: the victim comes from the class with the
+// highest used-bytes to byte-budget ratio among classes that hold
+// documents.
+func (t *TypeAware) Evict() (*Doc, bool) {
+	bestClass := t.victimClass()
 	if bestClass == doctype.Unknown {
 		return nil, false
 	}
@@ -120,6 +128,22 @@ func (t *TypeAware) Evict() (*Doc, bool) {
 	}
 	t.used[bestClass] -= victim.Size
 	return victim, true
+}
+
+// Peek implements Peeker: the most-over-budget class's own victim,
+// untouched. The chosen sub-policy always implements Peeker — every
+// scheme in this package does, and NewTypeAware only wraps package
+// factories.
+func (t *TypeAware) Peek() (*Doc, bool) {
+	bestClass := t.victimClass()
+	if bestClass == doctype.Unknown {
+		return nil, false
+	}
+	peek, ok := t.subs[bestClass].(Peeker)
+	if !ok {
+		return nil, false
+	}
+	return peek.Peek()
 }
 
 // Remove implements Policy.

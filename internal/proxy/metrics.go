@@ -26,6 +26,12 @@ type serverMetrics struct {
 	originRetries *metrics.Counter
 	cacheRejects  *metrics.Counter
 
+	// admissionAdmitted/admissionRejected count the admission filter's
+	// decisions on cacheable responses. They stay nil — unregistered, so
+	// /metrics is unchanged — when the proxy runs without admission.
+	admissionAdmitted *metrics.Counter
+	admissionRejected *metrics.Counter
+
 	// hitBytes is the traffic served from cache — the bytes the origin
 	// did not have to send; originBytes is what was fetched upstream.
 	hitBytes    *metrics.Counter
@@ -42,8 +48,10 @@ type serverMetrics struct {
 }
 
 // newServerMetrics registers the proxy's metrics. The server's occupancy
-// gauges are registered by the caller once the Server exists.
-func newServerMetrics(reg *metrics.Registry) *serverMetrics {
+// gauges are registered by the caller once the Server exists; the
+// admission counters are only registered when an admission filter is
+// configured.
+func newServerMetrics(reg *metrics.Registry, admission bool) *serverMetrics {
 	m := &serverMetrics{
 		requests: reg.NewCounter("wcproxy_requests_total",
 			"GET requests handled (hits + misses)."),
@@ -76,6 +84,12 @@ func newServerMetrics(reg *metrics.Registry) *serverMetrics {
 			"Size of bodies fetched from the origin.",
 			metrics.DefaultSizeBuckets()),
 	}
+	if admission {
+		m.admissionAdmitted = reg.NewCounter("wcproxy_admission_admitted_total",
+			"Cacheable responses the admission filter let into the cache.")
+		m.admissionRejected = reg.NewCounter("wcproxy_admission_rejected_total",
+			"Cacheable responses the admission filter refused.")
+	}
 	reqVec := reg.NewCounterVec("wcproxy_class_requests_total",
 		"GET requests per document class.", "class")
 	hitVec := reg.NewCounterVec("wcproxy_class_hits_total",
@@ -103,4 +117,9 @@ func (s *Server) registerGauges(reg *metrics.Registry) {
 	reg.NewGaugeFunc("wcproxy_cache_shards",
 		"Cache shard count (per-shard locks and policy instances).",
 		func() float64 { return float64(s.store.Shards()) })
+	if s.cfg.Admission.New != nil {
+		reg.NewGaugeFunc("wcproxy_admission_ghost_hits",
+			"Admissions granted because the candidate was in a ghost directory of recent evictions.",
+			func() float64 { return float64(s.store.AdmissionCounts().GhostHits) })
+	}
 }

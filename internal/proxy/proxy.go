@@ -66,6 +66,11 @@ type Config struct {
 	// scale lookups across cores at the cost of per-shard (approximate)
 	// eviction order.
 	Shards int
+	// Admission builds the optional admission filter that screens
+	// cacheable responses before they may displace resident objects
+	// (see docs/ADMISSION.md). Each cache shard runs its own instance,
+	// like Policy. A zero value (nil New) admits everything.
+	Admission policy.AdmitterFactory
 	// Origin, when set, turns the proxy into a reverse proxy: every
 	// request is rewritten to the origin. When nil, the proxy acts as a
 	// forward proxy and requires absolute-form request URLs.
@@ -124,6 +129,9 @@ type Stats struct {
 	// because the origin was unreachable; they are included in the miss
 	// count.
 	StaleServed int64 `json:"staleServed"`
+	// AdmissionRejects counts cacheable responses the admission filter
+	// refused to store; always zero without a configured filter.
+	AdmissionRejects int64 `json:"admissionRejects,omitempty"`
 	// ByClass breaks requests and hits down by document class.
 	ByClass [doctype.NumClasses + 1]struct {
 		Requests int64 `json:"requests"`
@@ -211,13 +219,14 @@ func New(cfg Config) (*Server, error) {
 		transport: cfg.Transport,
 		now:       cfg.Now,
 		sleep:     time.Sleep,
-		metrics:   newServerMetrics(reg),
+		metrics:   newServerMetrics(reg, cfg.Admission.New != nil),
 	}
 	store, err := cache.New(cache.Config{
-		Capacity: cfg.Capacity,
-		Shards:   cfg.Shards,
-		Policy:   cfg.Policy,
-		OnEvict:  func(*cache.Entry) { s.metrics.evictions.Inc() },
+		Capacity:  cfg.Capacity,
+		Shards:    cfg.Shards,
+		Policy:    cfg.Policy,
+		Admission: cfg.Admission,
+		OnEvict:   func(*cache.Entry) { s.metrics.evictions.Inc() },
 	})
 	if err != nil {
 		return nil, fmt.Errorf("proxy: %w", err)
@@ -248,6 +257,7 @@ func (s *Server) Stats() Stats {
 	st := s.stats
 	s.mu.Unlock()
 	st.Evictions = s.store.Evictions()
+	st.AdmissionRejects = s.store.AdmissionRejects()
 	return st
 }
 
@@ -275,26 +285,26 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 
 	if e, ok := s.store.Get(key); ok {
 		if fresh(e, s.now()) {
-			s.serve(w, r, key, e, resultHit)
+			s.serve(w, r, key, e, resultHit, false)
 			return
 		}
 		// Expired: revalidate by refetching (coalesced like any miss);
 		// if the origin is down, fall back to the stale copy.
 		fetched, res, ferr := s.fetchShared(target, r.Header)
 		if ferr != nil {
-			s.serve(w, r, key, e, resultStale)
+			s.serve(w, r, key, e, resultStale, false)
 			return
 		}
-		s.serve(w, r, key, fetched, res)
+		s.serve(w, r, key, fetched.entry, res, fetched.admissionRejected)
 		return
 	}
 
-	e, res, err := s.fetchShared(target, r.Header)
+	fr, res, err := s.fetchShared(target, r.Header)
 	if err != nil {
 		http.Error(w, fmt.Sprintf("upstream: %v", err), http.StatusBadGateway)
 		return
 	}
-	s.serve(w, r, key, e, res)
+	s.serve(w, r, key, fr.entry, res, fr.admissionRejected)
 }
 
 // fresh reports whether the entry is within its freshness lifetime (an
@@ -324,11 +334,19 @@ func (s *Server) targetURL(r *http.Request) (*url.URL, error) {
 	return nil, errors.New("proxy: relative request without Host")
 }
 
+// fetchResult is the singleflight payload: the fetched entry plus
+// whether the admission filter refused to store it. The flag rides along
+// so the miss leader can report the decision in its response headers.
+type fetchResult struct {
+	entry             *cache.Entry
+	admissionRejected bool
+}
+
 // fetchShared funnels the fetch for one URL through the singleflight
 // group: concurrent misses on the same key share a single origin round
 // trip, and only the caller that actually executed it counts as the miss
 // leader.
-func (s *Server) fetchShared(target *url.URL, hdr http.Header) (*cache.Entry, serveResult, error) {
+func (s *Server) fetchShared(target *url.URL, hdr http.Header) (*fetchResult, serveResult, error) {
 	v, err, shared := s.fetches.Do(target.String(), func() (any, error) {
 		return s.fetchWithRetry(target, hdr)
 	})
@@ -339,23 +357,23 @@ func (s *Server) fetchShared(target *url.URL, hdr http.Header) (*cache.Entry, se
 	if err != nil {
 		return nil, res, err
 	}
-	return v.(*cache.Entry), res, nil
+	return v.(*fetchResult), res, nil
 }
 
 // fetchWithRetry performs the origin fetch with bounded retries and
 // jittered exponential backoff, storing the result when cacheable. Only
 // transport-level failures are retried; any HTTP response — whatever its
 // status — is the origin's answer and is returned as-is.
-func (s *Server) fetchWithRetry(target *url.URL, hdr http.Header) (*cache.Entry, error) {
+func (s *Server) fetchWithRetry(target *url.URL, hdr http.Header) (*fetchResult, error) {
 	var lastErr error
 	for attempt := 0; attempt <= s.cfg.FetchRetries; attempt++ {
 		if attempt > 0 {
 			s.metrics.originRetries.Inc()
 			s.sleep(backoff(s.cfg.RetryBackoff, attempt))
 		}
-		e, err := s.fetchOnce(target, hdr)
+		fr, err := s.fetchOnce(target, hdr)
 		if err == nil {
-			return e, nil
+			return fr, nil
 		}
 		lastErr = err
 	}
@@ -374,7 +392,7 @@ func backoff(base time.Duration, attempt int) time.Duration {
 // timeout and caches the response when it is cacheable under the paper's
 // rules. The context is detached from any client request: the result is
 // shared by every coalesced waiter.
-func (s *Server) fetchOnce(target *url.URL, hdr http.Header) (*cache.Entry, error) {
+func (s *Server) fetchOnce(target *url.URL, hdr http.Header) (*fetchResult, error) {
 	ctx, cancel := context.WithTimeout(context.Background(), s.cfg.FetchTimeout)
 	defer cancel()
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, target.String(), nil)
@@ -414,14 +432,25 @@ func (s *Server) fetchOnce(target *url.URL, hdr http.Header) (*cache.Entry, erro
 		Status:      resp.StatusCode,
 		Expires:     expiry(resp.Header, now),
 	}
+	fr := &fetchResult{entry: e}
 	if s.cacheable(key, resp, int64(len(body))) {
-		if !s.store.Set(key, e) {
+		switch s.store.Insert(key, e) {
+		case cache.SetStored:
+			if s.metrics.admissionAdmitted != nil {
+				s.metrics.admissionAdmitted.Inc()
+			}
+		case cache.SetRejectedAdmission:
+			fr.admissionRejected = true
+			if s.metrics.admissionRejected != nil {
+				s.metrics.admissionRejected.Inc()
+			}
+		case cache.SetRejectedBudget:
 			s.metrics.cacheRejects.Inc()
 		}
 	} else {
 		s.metrics.uncacheable.Inc()
 	}
-	return e, nil
+	return fr, nil
 }
 
 // expiry derives an entry's freshness deadline from Cache-Control max-age
@@ -499,7 +528,11 @@ func containsToken(header, token string) bool {
 }
 
 // serve writes the response and settles accounting and logging.
-func (s *Server) serve(w http.ResponseWriter, r *http.Request, key string, e *cache.Entry, res serveResult) {
+// admRejected reports that this request's own origin fetch produced a
+// cacheable response the admission filter refused; it is surfaced as an
+// X-Admission header on miss-leader responses only, so load generators
+// can reconcile header counts with wcproxy_admission_rejected_total.
+func (s *Server) serve(w http.ResponseWriter, r *http.Request, key string, e *cache.Entry, res serveResult, admRejected bool) {
 	size := int64(len(e.Body))
 	cls := e.Doc.Class
 
@@ -567,6 +600,9 @@ func (s *Server) serve(w http.ResponseWriter, r *http.Request, key string, e *ca
 		w.Header().Set("X-Coalesced", "1")
 	default:
 		w.Header().Set("X-Cache", "MISS")
+	}
+	if admRejected && res == resultMiss {
+		w.Header().Set("X-Admission", "reject")
 	}
 	w.WriteHeader(e.Status)
 	_, _ = w.Write(e.Body) // client disconnects surface here; nothing to do for them

@@ -5,10 +5,12 @@ import (
 	"math"
 )
 
-// Bloom is a Bloom filter over string keys, used by the bounded-memory
-// characterizer to detect first occurrences of documents. False positives
-// make a repeated document look new with probability ≈ the configured
-// rate; there are no false negatives.
+// Bloom is a Bloom filter over string keys. The bounded-memory
+// characterizer uses it to detect first occurrences of documents, and the
+// TinyLFU admission filter uses it as the "doorkeeper" that absorbs
+// one-hit wonders before they reach the heavy-hitter table. False
+// positives make a repeated key look new with probability ≈ the
+// configured rate; there are no false negatives.
 type Bloom struct {
 	bits   []uint64
 	mask   uint64
@@ -79,8 +81,16 @@ func (b *Bloom) AddIfNew(key string) bool {
 	return true
 }
 
-// Added returns the number of Add calls.
+// Added returns the number of Add calls since creation or the last Reset.
 func (b *Bloom) Added() int64 { return b.added }
+
+// Reset clears every bit and the Added counter, keeping the sizing. The
+// TinyLFU admission filter calls it at each aging window so stale
+// first-occurrence evidence does not accumulate forever.
+func (b *Bloom) Reset() {
+	clear(b.bits)
+	b.added = 0
+}
 
 // twoHashes derives the double-hashing pair from one 64-bit hash.
 func (b *Bloom) twoHashes(key string) (uint64, uint64) {

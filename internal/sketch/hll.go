@@ -1,9 +1,12 @@
-// Package sketch provides the probabilistic data structures behind the
-// bounded-memory workload characterization: HyperLogLog for distinct
-// counting and reservoir sampling for quantile estimation. They let
-// analyze.CharacterizeApprox process traces far larger than memory while
-// reporting the same per-class statistics as the exact pass, within
-// estimation error.
+// Package sketch provides the probabilistic data structures shared by the
+// bounded-memory workload characterizer and the admission layer:
+// HyperLogLog for distinct counting, reservoir sampling for quantile
+// estimation, a Bloom filter for one-pass first-occurrence tests (and the
+// TinyLFU doorkeeper), and space-saving heavy-hitter counting (and the
+// TinyLFU frequency table). They let analyze.CharacterizeApprox process
+// traces far larger than memory while reporting the same per-class
+// statistics as the exact pass, within estimation error, and give
+// admission.TinyLFU O(1)-memory frequency estimates.
 package sketch
 
 import (

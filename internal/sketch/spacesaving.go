@@ -11,7 +11,9 @@ import (
 // error (Metwally et al.): when a new item arrives at a full table, it
 // replaces the current minimum and inherits its count as the error bound.
 // The characterizer uses it to recover the head of the document-popularity
-// distribution, from which the Zipf index α is fitted.
+// distribution, from which the Zipf index α is fitted; the TinyLFU
+// admission filter uses it as the frequency table behind its
+// admit-if-more-popular-than-the-victim test, aged with Halve.
 //
 // Entries are kept in an indexed min-heap, so Add is O(log k).
 type SpaceSaving struct {
@@ -87,6 +89,48 @@ func (s *SpaceSaving) Top(n int) []Counter {
 		out = out[:n]
 	}
 	return out
+}
+
+// Count returns the estimated frequency of key and whether it is
+// currently tracked. Untracked keys report (0, false); their true count
+// is at most the current minimum in the table.
+func (s *SpaceSaving) Count(key string) (int64, bool) {
+	item, ok := s.entries[key]
+	if !ok {
+		return 0, false
+	}
+	return item.Value.count, true
+}
+
+// Halve ages the table by halving every count and error bound, dropping
+// entries whose count reaches zero. Periodic halving turns lifetime
+// frequencies into an exponentially decayed estimate, so a formerly hot
+// document stops outranking fresh arrivals within a few windows.
+//
+// The heap is updated in sorted key order, not map order: among entries
+// tied at the minimum count, which one Add's replacement step picks
+// depends on the heap's internal layout, and layout is a function of the
+// update sequence. Randomized map iteration here would make that pick —
+// and therefore TinyLFU admission decisions — vary between identical
+// runs, violating the simulator's determinism boundary.
+func (s *SpaceSaving) Halve() {
+	keys := make([]string, 0, len(s.entries))
+	for key := range s.entries {
+		keys = append(keys, key)
+	}
+	sort.Strings(keys)
+	for _, key := range keys {
+		item := s.entries[key]
+		e := item.Value
+		e.count /= 2
+		e.err /= 2
+		if e.count == 0 {
+			s.queue.Remove(item)
+			delete(s.entries, key)
+			continue
+		}
+		s.queue.Update(item, float64(e.count))
+	}
 }
 
 // Len returns the number of tracked items.
