@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build vet wcvet vet-json test race bench fuzz-smoke journal-smoke admission-smoke check
+.PHONY: build vet wcvet vet-json test race bench fuzz-smoke journal-smoke admission-smoke partition-smoke check
 
 build:
 	$(GO) build ./...
@@ -34,17 +34,23 @@ test:
 # and carries its own regression tests that only bite under -race.
 race:
 	$(GO) test -race ./internal/core/... ./internal/policy/... ./internal/mrc/... \
-		./internal/cache/... ./internal/flight/... ./internal/proxy/... ./internal/load/...
+		./internal/cache/... ./internal/flight/... ./internal/proxy/... ./internal/load/... \
+		./internal/trace/...
 
-# Replay-path benchmark: the interned columnar workload against the
-# string-keyed baseline (BENCH_ingest.json), then the full-grid sweep in
-# its fast configuration — one-pass MRC for LRU plus 1/8 document
-# sampling — against per-cell replay of every cell (BENCH_mrc.json). See
-# cmd/wcbench and docs/MRC.md.
+# Replay-path benchmarks (BENCH_ingest.json): the interned columnar
+# workload against the string-keyed baseline, plus the partitioned-replay
+# scaling curve (p1 single-stream baseline vs 2/4/8 hash partitions; the
+# speedup needs idle cores, so expect ~1x on a single-core runner). Then
+# the full-grid sweep in its fast configuration — one-pass MRC for LRU
+# plus 1/8 document sampling — against per-cell replay of every cell
+# (BENCH_mrc.json). See cmd/wcbench and docs/MRC.md.
 bench:
-	$(GO) test -run '^$$' -bench '^BenchmarkReplay(StringKeyed|Interned)$$' \
+	$(GO) test -run '^$$' -bench '^Benchmark(Replay(StringKeyed|Interned)|PartitionedReplay)$$' \
 		-benchmem -count 3 ./internal/core | \
-		$(GO) run ./cmd/wcbench -baseline ReplayStringKeyed -new ReplayInterned \
+		$(GO) run ./cmd/wcbench -derive ReplayStringKeyed=ReplayInterned \
+		-derive PartitionedReplay/p1=PartitionedReplay/p2 \
+		-derive PartitionedReplay/p1=PartitionedReplay/p4 \
+		-derive PartitionedReplay/p1=PartitionedReplay/p8 \
 		-o BENCH_ingest.json
 	@cat BENCH_ingest.json
 	$(GO) test -run '^$$' -bench '^BenchmarkSweepGrid(PerCell|Fast)$$' \
@@ -60,7 +66,7 @@ bench:
 
 # Short fuzz budget per trace-decoder target; CI runs the same loop.
 fuzz-smoke:
-	for target in FuzzParseSquidLine FuzzParseCLFLine FuzzBinaryReader FuzzInternedReader; do \
+	for target in FuzzParseSquidLine FuzzParseCLFLine FuzzBinaryReader FuzzInternedReader FuzzColumnar; do \
 		$(GO) test -run="^$$target$$" -fuzz="^$$target$$" -fuzztime=30s ./internal/trace || exit 1; \
 	done
 
@@ -92,6 +98,20 @@ admission-smoke:
 	grep -q '"admission":"arc-ghost"' $$tmp/run.jsonl && \
 	grep -q '"admissionRejects"' $$tmp/run.jsonl && \
 	grep -q '"admitted"' $$tmp/run.jsonl && \
+	rm -rf $$tmp
+
+# Out-of-core replay smoke: convert a generated record trace to the WCT3
+# columnar format, replay it memory-mapped with partitioned simulators,
+# and require byte-identical results against the in-RAM record-stream
+# path (only the header line naming the trace file differs). CI runs the
+# same sequence. See docs/TRACES.md and docs/ARCHITECTURE.md.
+partition-smoke:
+	tmp=$$(mktemp -d) && \
+	$(GO) run ./cmd/wcgen -profile dfn -requests 20000 -seed 7 -o $$tmp/tiny.wci && \
+	$(GO) run ./cmd/wcanon -passthrough -format wct3 -i $$tmp/tiny.wci -o $$tmp/tiny.wci3 && \
+	$(GO) run ./cmd/wcsim -trace $$tmp/tiny.wci -size-pcts 1,4 -csv | tail -n +2 > $$tmp/ram.csv && \
+	$(GO) run ./cmd/wcsim -trace $$tmp/tiny.wci3 -partitions 4 -size-pcts 1,4 -csv | tail -n +2 > $$tmp/mmap.csv && \
+	diff -u $$tmp/ram.csv $$tmp/mmap.csv && \
 	rm -rf $$tmp
 
 check: build vet wcvet vet-json test race

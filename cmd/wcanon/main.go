@@ -9,7 +9,14 @@
 // Usage:
 //
 //	wcanon -i access.log[.gz] -o anon.log[.gz] [-salt secret]
-//	       [-keep-host] [-format auto|squid|binary|clf]
+//	       [-keep-host] [-format auto|squid|binary|clf|wct3]
+//
+// With -format wct3 the output is a WCT3 columnar workload (.wci3): the
+// trace is preprocessed into its final simulation form (cacheability
+// filter, interned IDs, per-document size history) and written as
+// mmap-able fixed-width columns, so wcsim replays it with zero parse or
+// build cost. Pass -passthrough to skip the anonymizing rewrite when the
+// input is already sanitized.
 package main
 
 import (
@@ -21,6 +28,7 @@ import (
 	"strconv"
 	"strings"
 
+	"webcachesim/internal/core"
 	"webcachesim/internal/doctype"
 	"webcachesim/internal/trace"
 )
@@ -39,7 +47,8 @@ func run(args []string, out io.Writer) error {
 		outPath  = fs.String("o", "", "output trace path")
 		salt     = fs.String("salt", "", "hash salt (vary it so mappings cannot be joined across traces)")
 		keepHost = fs.Bool("keep-host", false, "preserve the URL host, hashing only the path")
-		formatN  = fs.String("format", "auto", "output format: auto, squid, binary, clf")
+		formatN  = fs.String("format", "auto", "output format: auto, squid, binary, clf, wct3 (columnar workload)")
+		passthru = fs.Bool("passthrough", false, "skip the anonymizing rewrite (input is already sanitized); format conversion only")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -51,6 +60,9 @@ func run(args []string, out io.Writer) error {
 	if err != nil {
 		return err
 	}
+	if format == trace.FormatAuto && strings.HasSuffix(*outPath, ".wci3") {
+		format = trace.FormatColumnar
+	}
 	r, err := trace.OpenFile(*inPath, trace.FormatAuto)
 	if err != nil {
 		return err
@@ -58,12 +70,15 @@ func run(args []string, out io.Writer) error {
 	defer func() {
 		_ = r.Close()
 	}()
+
+	anon := newAnonymizer(*salt, *keepHost)
+	if format == trace.FormatColumnar {
+		return writeColumnar(out, r, anon, *passthru, *outPath)
+	}
 	w, err := trace.CreateFile(*outPath, format)
 	if err != nil {
 		return err
 	}
-
-	anon := newAnonymizer(*salt, *keepHost)
 	var n int64
 	for {
 		req, err := r.Next()
@@ -78,7 +93,9 @@ func run(args []string, out io.Writer) error {
 			_ = w.Close()
 			return err
 		}
-		anon.scrub(req)
+		if !*passthru {
+			anon.scrub(req)
+		}
 		if err := w.Write(req); err != nil {
 			_ = w.Close()
 			return err
@@ -91,6 +108,52 @@ func run(args []string, out io.Writer) error {
 	fmt.Fprintf(out, "anonymized %d requests (%d distinct URLs) into %s\n",
 		n, len(anon.urls), *outPath)
 	return nil
+}
+
+// writeColumnar preprocesses the input into a simulation-ready Workload
+// (running the cacheability filter, exactly like wcsim's default load
+// path) and writes it as a WCT3 columnar file. Malformed lines are
+// skipped and, unless passthrough is set, each request is scrubbed first
+// so the emitted string table carries only anonymized URLs.
+func writeColumnar(out io.Writer, r trace.Reader, anon *anonymizer, passthrough bool, outPath string) error {
+	var src trace.Reader = &scrubReader{r: r, anon: anon, passthrough: passthrough}
+	src = trace.NewFilterReader(src)
+	w, err := core.BuildWorkload(src, 0)
+	if err != nil {
+		return err
+	}
+	if err := w.WriteColumnar(outPath); err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "wrote columnar workload: %d requests (%d distinct documents) into %s\n",
+		w.NumRequests(), w.NumDocs(), outPath)
+	return nil
+}
+
+// scrubReader adapts the record stream for workload building: malformed
+// lines are dropped (as the preprocessing step does) and requests are
+// anonymized in flight unless passthrough is set.
+type scrubReader struct {
+	r           trace.Reader
+	anon        *anonymizer
+	passthrough bool
+}
+
+func (s *scrubReader) Next() (*trace.Request, error) {
+	for {
+		req, err := s.r.Next()
+		if err != nil {
+			var pe *trace.ParseError
+			if errors.As(err, &pe) {
+				continue
+			}
+			return nil, err
+		}
+		if !s.passthrough {
+			s.anon.scrub(req)
+		}
+		return req, nil
+	}
 }
 
 // anonymizer rewrites identifying fields with stable tokens.

@@ -1,15 +1,17 @@
 // Command wcbench turns `go test -bench` output into a small JSON report.
 // It reads the benchmark text from stdin, averages repeated runs of the
-// same benchmark (-count), and — when -baseline and -new name two
-// benchmarks — derives the speedup and allocation reduction between them.
-// The repository's `make bench` target uses it to record the interned
-// replay path against the string-keyed baseline in BENCH_ingest.json.
+// same benchmark (-count), and — for every -derive Base=New pair —
+// derives the speedup and allocation reduction between the two named
+// benchmarks. -baseline/-new remain as sugar for a single pair. The
+// repository's `make bench` target uses it to record the interned replay
+// path and the partitioned-replay scaling curve in BENCH_ingest.json.
 //
 // Usage:
 //
 //	go test -bench . -benchmem ./internal/core | wcbench
 //	go test -bench 'Replay' -benchmem -count 3 ./internal/core | \
-//	    wcbench -baseline ReplayStringKeyed -new ReplayInterned -o BENCH_ingest.json
+//	    wcbench -derive ReplayStringKeyed=ReplayInterned \
+//	            -derive PartitionedReplay/p1=PartitionedReplay/p4 -o BENCH_ingest.json
 package main
 
 import (
@@ -55,7 +57,7 @@ type report struct {
 	Pkg        string                  `json:"pkg,omitempty"`
 	CPU        string                  `json:"cpu,omitempty"`
 	Benchmarks map[string]*benchResult `json:"benchmarks"`
-	Derived    *derived                `json:"derived,omitempty"`
+	Derived    []*derived              `json:"derived,omitempty"`
 }
 
 // derived compares a baseline benchmark against its replacement.
@@ -69,8 +71,10 @@ type derived struct {
 
 func run(args []string, in io.Reader, out io.Writer) error {
 	fs := flag.NewFlagSet("wcbench", flag.ContinueOnError)
+	var derives deriveFlags
+	fs.Var(&derives, "derive", "Base=New benchmark pair to compare; repeatable, and accepts comma-separated pairs")
 	var (
-		baseline = fs.String("baseline", "", "benchmark name treated as the before side of the comparison")
+		baseline = fs.String("baseline", "", "benchmark name treated as the before side of the comparison (sugar for one -derive pair)")
 		newName  = fs.String("new", "", "benchmark name treated as the after side of the comparison")
 		output   = fs.String("o", "", "write the JSON report to this path instead of stdout")
 	)
@@ -79,6 +83,9 @@ func run(args []string, in io.Reader, out io.Writer) error {
 	}
 	if (*baseline == "") != (*newName == "") {
 		return fmt.Errorf("-baseline and -new must be given together")
+	}
+	if *baseline != "" {
+		derives.pairs = append(derives.pairs, [2]string{*baseline, *newName})
 	}
 
 	rep := &report{Benchmarks: make(map[string]*benchResult)}
@@ -113,12 +120,12 @@ func run(args []string, in io.Reader, out io.Writer) error {
 	for name, ss := range samples {
 		rep.Benchmarks[name] = average(ss)
 	}
-	if *baseline != "" {
-		d, err := derive(rep.Benchmarks, *baseline, *newName)
+	for _, pair := range derives.pairs {
+		d, err := derive(rep.Benchmarks, pair[0], pair[1])
 		if err != nil {
 			return err
 		}
-		rep.Derived = d
+		rep.Derived = append(rep.Derived, d)
 	}
 
 	w := out
@@ -138,6 +145,34 @@ func run(args []string, in io.Reader, out io.Writer) error {
 	enc.SetIndent("", "  ")
 	if err := enc.Encode(rep); err != nil {
 		return fmt.Errorf("encode report: %w", err)
+	}
+	return nil
+}
+
+// deriveFlags collects repeated/comma-separated -derive Base=New pairs.
+type deriveFlags struct {
+	pairs [][2]string
+}
+
+func (d *deriveFlags) String() string {
+	var parts []string
+	for _, p := range d.pairs {
+		parts = append(parts, p[0]+"="+p[1])
+	}
+	return strings.Join(parts, ",")
+}
+
+func (d *deriveFlags) Set(v string) error {
+	for _, part := range strings.Split(v, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		base, after, ok := strings.Cut(part, "=")
+		if !ok || base == "" || after == "" {
+			return fmt.Errorf("bad -derive pair %q, want Base=New", part)
+		}
+		d.pairs = append(d.pairs, [2]string{base, after})
 	}
 	return nil
 }

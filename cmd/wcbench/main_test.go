@@ -41,15 +41,41 @@ func TestRunDerivesComparison(t *testing.T) {
 	if base.AllocsPerOp == nil || *base.AllocsPerOp != 1 {
 		t.Errorf("baseline allocs = %v, want 1", base.AllocsPerOp)
 	}
-	d := rep.Derived
-	if d == nil {
-		t.Fatal("no derived comparison")
+	if len(rep.Derived) != 1 {
+		t.Fatalf("derived = %d entries, want 1", len(rep.Derived))
 	}
+	d := rep.Derived[0]
 	if d.Speedup != 3.5 {
 		t.Errorf("speedup = %v, want 3.5 (700/200)", d.Speedup)
 	}
 	if d.AllocReductionPct == nil || *d.AllocReductionPct != 100 {
 		t.Errorf("alloc reduction = %v, want 100", d.AllocReductionPct)
+	}
+}
+
+func TestRunDeriveFlagPairs(t *testing.T) {
+	input := sampleInput +
+		"BenchmarkPartitionedReplay/p1-8 \t 100\t 1000.0 ns/op\n" +
+		"BenchmarkPartitionedReplay/p4-8 \t 400\t  250.0 ns/op\n"
+	var sb strings.Builder
+	err := run([]string{
+		"-derive", "ReplayStringKeyed=ReplayInterned,PartitionedReplay/p1=PartitionedReplay/p4",
+	}, strings.NewReader(input), &sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep report
+	if err := json.Unmarshal([]byte(sb.String()), &rep); err != nil {
+		t.Fatalf("output is not JSON: %v\n%s", err, sb.String())
+	}
+	if len(rep.Derived) != 2 {
+		t.Fatalf("derived = %d entries, want 2", len(rep.Derived))
+	}
+	if d := rep.Derived[0]; d.Baseline != "ReplayStringKeyed" || d.Speedup != 3.5 {
+		t.Errorf("derived[0] = %+v, want ReplayStringKeyed at 3.5x", d)
+	}
+	if d := rep.Derived[1]; d.New != "PartitionedReplay/p4" || d.Speedup != 4 {
+		t.Errorf("derived[1] = %+v, want PartitionedReplay/p4 at 4x", d)
 	}
 }
 
@@ -87,6 +113,8 @@ func TestRunErrors(t *testing.T) {
 		{"empty input", nil, "PASS\n"},
 		{"baseline without new", []string{"-baseline", "X"}, sampleInput},
 		{"unknown baseline", []string{"-baseline", "Nope", "-new", "ReplayInterned"}, sampleInput},
+		{"malformed derive pair", []string{"-derive", "OnlyBase"}, sampleInput},
+		{"unknown derive benchmark", []string{"-derive", "Nope=ReplayInterned"}, sampleInput},
 		{"malformed line", nil, "BenchmarkBad 12\n"},
 		{"bad iteration count", nil, "BenchmarkBad x 5 ns/op\n"},
 	}

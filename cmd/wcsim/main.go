@@ -8,10 +8,15 @@
 //	      [-admissions none,tinylfu,arc-ghost]
 //	      [-sizes 64MB,256MB,1GB | -size-pcts 0.5,1,2,4] [-warmup 0.1]
 //	      [-by-class] [-csv] [-occupancy N] [-check] [-journal run.jsonl]
-//	      [-sample-rate 0.125]
+//	      [-sample-rate 0.125] [-partitions 4]
+//
+// The trace may be a record stream (squid, CLF, .wci binary) or a WCT3
+// columnar workload (.wci3, produced by wcanon -format wct3), which is
+// memory-mapped and replayed without any parse or build step.
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -54,6 +59,7 @@ func run(args []string, out io.Writer) error {
 		check    = fs.Bool("check", false, "run policies under the runtime contract checker (slower; aborts on the first violation)")
 		journal  = fs.String("journal", "", "write a JSONL run journal (progress, throughput, wall-clock per cell) to this path; summarize with wcreport -journal")
 		sample   = fs.Float64("sample-rate", 0, "simulate only this fraction of documents (spatial hash sampling, 0<R<1) with capacities scaled to match; results are approximate (docs/MRC.md)")
+		parts    = fs.Int("partitions", 0, "split the document space across this many parallel simulators per cell when provably exact (docs/ARCHITECTURE.md); 0/1 disables")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -70,10 +76,11 @@ func run(args []string, out io.Writer) error {
 	if err != nil {
 		return err
 	}
-	w, err := loadWorkload(*tracePath, *raw)
+	w, done, err := loadWorkload(*tracePath, *raw)
 	if err != nil {
 		return err
 	}
+	defer done()
 	capacities, err := parseCapacities(*sizes, *sizePcts, w)
 	if err != nil {
 		return err
@@ -81,6 +88,9 @@ func run(args []string, out io.Writer) error {
 
 	if *sample < 0 || *sample > 1 {
 		return fmt.Errorf("-sample-rate %v must be within [0, 1] (0 disables, 1 is a full replay)", *sample)
+	}
+	if *parts < 0 || *parts > core.MaxPartitions {
+		return fmt.Errorf("-partitions %d must be within [0, %d]", *parts, core.MaxPartitions)
 	}
 	sweepCfg := core.SweepConfig{
 		Policies:       factories,
@@ -90,6 +100,7 @@ func run(args []string, out io.Writer) error {
 		Parallelism:    *par,
 		SelfCheck:      *check,
 		SampleRate:     *sample,
+		Partitions:     *parts,
 	}
 	var journalFile *os.File
 	if *journal != "" {
@@ -264,7 +275,29 @@ func parseAdmissions(s string) ([]policy.AdmitterFactory, error) {
 	return out, nil
 }
 
-func loadWorkload(paths string, raw bool) (*core.Workload, error) {
+// loadWorkload builds the workload from one or more trace files. A single
+// WCT3 columnar file is opened as a zero-copy (mmap-backed) view — the
+// returned cleanup func unmaps it and must be called only after the sweep
+// is done with the workload. For record-stream formats the cleanup is a
+// no-op and the files are closed before returning.
+func loadWorkload(paths string, raw bool) (*core.Workload, func(), error) {
+	noop := func() {}
+	parts := strings.Split(paths, ",")
+	if len(parts) == 1 {
+		w, mapping, err := core.OpenColumnarWorkload(strings.TrimSpace(parts[0]))
+		switch {
+		case err == nil:
+			// A .wci3 stores the finished workload: the cacheability
+			// filter ran when it was built, so -raw cannot apply here.
+			if raw {
+				return nil, noop, fmt.Errorf("%s: -raw has no effect on a WCT3 columnar workload (filtering happened at conversion time)", parts[0])
+			}
+			return w, func() { _ = mapping.Close() }, nil
+		case !errors.Is(err, trace.ErrNotColumnar):
+			return nil, noop, err
+		}
+		// Not columnar: fall through to the record-stream path.
+	}
 	var readers []trace.Reader
 	var files []*trace.FileReader
 	defer func() {
@@ -272,10 +305,10 @@ func loadWorkload(paths string, raw bool) (*core.Workload, error) {
 			_ = f.Close()
 		}
 	}()
-	for _, path := range strings.Split(paths, ",") {
+	for _, path := range parts {
 		fr, err := trace.OpenFile(strings.TrimSpace(path), trace.FormatAuto)
 		if err != nil {
-			return nil, err
+			return nil, noop, err
 		}
 		files = append(files, fr)
 		readers = append(readers, fr)
@@ -289,7 +322,8 @@ func loadWorkload(paths string, raw bool) (*core.Workload, error) {
 	if !raw {
 		src = trace.NewFilterReader(src)
 	}
-	return core.BuildWorkload(src, 0)
+	w, err := core.BuildWorkload(src, 0)
+	return w, noop, err
 }
 
 func parseCapacities(sizes, pcts string, w *core.Workload) ([]int64, error) {

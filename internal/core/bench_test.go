@@ -292,3 +292,39 @@ func BenchmarkSweepGridFast(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkPartitionedReplay is the partition scaling curve recorded in
+// BENCH_ingest.json: one GDS replay of the clean workload at a capacity
+// the exactness gate clears, split over p hash partitions. p1 is the
+// single-stream baseline the speedups are measured against; higher
+// partition counts only pay off with idle cores to run them on, so the
+// curve is flat on a single-core runner by design.
+func BenchmarkPartitionedReplay(b *testing.B) {
+	w := benchCleanWorkload(b)
+	gds := policy.StudyFactories()[2] // gds:1 — a heap policy, no MRC shortcut
+	capacity := 8 * w.DistinctBytes() // gate-clearing at every p below
+	for _, p := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("p%d", p), func(b *testing.B) {
+			cfg := Config{Capacity: capacity, Policy: gds, WarmupFraction: 0.1}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if p == 1 {
+					sim, err := NewSimulator(w, cfg)
+					if err != nil {
+						b.Fatal(err)
+					}
+					sim.Run(w)
+					continue
+				}
+				r, ok, err := ReplayPartitioned(w, cfg, p)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if !ok || r == nil {
+					b.Fatal("exactness gate declined during benchmark")
+				}
+			}
+		})
+	}
+}

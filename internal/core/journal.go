@@ -31,6 +31,10 @@ const (
 	// (possibly sample-scaled) capacities covered and the cost of the
 	// scan.
 	JournalMRCPass = "mrc_pass"
+	// JournalPartitionedPass records that one cell was replayed by
+	// hash-partitioned parallel simulators (exactness gate engaged), with
+	// the partition count and the cost of the fan-out.
+	JournalPartitionedPass = "partitioned_pass"
 	// JournalRunStart marks one policy × capacity cell starting.
 	JournalRunStart = "run_start"
 	// JournalProgress is a periodic per-run tick with throughput so far.
@@ -96,6 +100,8 @@ type JournalRecord struct {
 	Admitted         int64 `json:"admitted,omitempty"`
 	AdmissionRejects int64 `json:"admissionRejects,omitempty"`
 	GhostHits        int64 `json:"ghostHits,omitempty"`
+	// Partitions is the fan-out width of a partitioned_pass record.
+	Partitions int `json:"partitions,omitempty"`
 }
 
 // journalWriter serializes records from concurrently running cells onto
@@ -253,6 +259,10 @@ func validateJournalRecord(rec JournalRecord, first bool) error {
 	case JournalRunStart, JournalProgress, JournalRunEnd:
 		if rec.Policy == "" || rec.Capacity <= 0 {
 			return fmt.Errorf("%s without policy/capacity", rec.Event)
+		}
+	case JournalPartitionedPass:
+		if rec.Policy == "" || rec.Capacity <= 0 || rec.Partitions < 2 {
+			return fmt.Errorf("%s without policy/capacity/partitions", rec.Event)
 		}
 	case JournalSweepEnd:
 	default:

@@ -1,0 +1,191 @@
+package core
+
+import (
+	"sync"
+
+	"webcachesim/internal/doctype"
+	"webcachesim/internal/trace"
+)
+
+// Partitioned replay runs one Simulator per hash partition of the document
+// space, each on its own goroutine with a byte budget of Capacity/P, and
+// merges the per-class counters. The document split reuses the SHARDS
+// spatial hash (trace.Hash64, the same family that drives sampling and the
+// live sharded cache): a document's partition is a pure function of its
+// URL, so every request for it replays in the same partition and each
+// partition sees an untouched sub-trace.
+//
+// Exactness. Hash-partitioning a cache is NOT equal to one global cache in
+// general — partition A can be forced to evict while partition B has slack
+// the global cache would have used. Mirroring Workload.MRCExact, an
+// explicit gate records when the equivalence is provable: if for every
+// partition the sum over its documents of the largest size any single
+// event charges stays within the partition budget B/P, then no partition
+// ever evicts — and under the same argument the global cache (whose demand
+// is the sum of the partitions') never evicts either. With zero evictions
+// on both sides, residency of a document depends only on that document's
+// own request history, which is identical in both replays, so every
+// per-class counter — for ANY replacement policy — matches bit for bit.
+// When the gate cannot prove the bound, callers fall back to single-stream
+// replay rather than report an approximation (see SweepConfig.Partitions).
+//
+// The gate is deliberately conservative (a worst-case bound, like
+// MRCExact's): it engages on the regime partitioning is for — capacities
+// that hold the working set, where replay cost is dominated by the event
+// stream rather than eviction churn.
+
+// MaxPartitions bounds the partition count; the per-document partition
+// table stores one byte per document.
+const MaxPartitions = 256
+
+// partitionPlan is the reusable part of partitioned replay for one
+// workload: the document → partition table and each partition's worst-case
+// byte demand. A plan is immutable once built and may be shared by every
+// cell of a sweep.
+type partitionPlan struct {
+	p     int
+	parts []uint8 // document ID -> partition
+	need  []int64 // per-partition Σ (largest per-event size of each document)
+}
+
+// newPartitionPlan hashes every document into one of p partitions and
+// totals the per-partition worst-case demand in one pass over the stream.
+func newPartitionPlan(w *Workload, p int) *partitionPlan {
+	pl := &partitionPlan{
+		p:     p,
+		parts: make([]uint8, w.NumDocs()),
+		need:  make([]int64, p),
+	}
+	for id, key := range w.Keys() {
+		pl.parts[id] = uint8(trace.Hash64(key) % uint64(p))
+	}
+	maxSize := make([]int64, w.NumDocs())
+	for i, id := range w.docID {
+		if s := w.docSize[i]; s > maxSize[id] {
+			maxSize[id] = s
+		}
+	}
+	for id, m := range maxSize {
+		pl.need[pl.parts[id]] += m
+	}
+	return pl
+}
+
+// exact reports whether partitioned replay at capacity is provably
+// bit-identical to single-stream replay: every partition's worst-case
+// demand fits its budget, so neither side ever evicts.
+func (pl *partitionPlan) exact(capacity int64) bool {
+	budget := capacity / int64(pl.p)
+	if budget < 1 {
+		return false
+	}
+	for _, need := range pl.need {
+		if need > budget {
+			return false
+		}
+	}
+	return true
+}
+
+// warmupCounts splits a global warmup prefix into per-partition request
+// counts, so each partition's simulator stops warming exactly when the
+// single-stream simulator would have for the same requests.
+func (pl *partitionPlan) warmupCounts(w *Workload, globalWarmup int64) []int64 {
+	counts := make([]int64, pl.p)
+	for i := int64(0); i < globalWarmup; i++ {
+		counts[pl.parts[w.docID[i]]]++
+	}
+	return counts
+}
+
+// replayPartitioned fans the workload out over the plan's partitions and
+// merges the results. The caller has already checked the exactness gate;
+// cfg must carry no admission filter and no occupancy sampling (neither
+// composes with a split document space).
+func replayPartitioned(w *Workload, cfg Config, pl *partitionPlan, warmupPer []int64, globalWarmup int64) (*Result, error) {
+	sims := make([]*Simulator, pl.p)
+	budget := cfg.Capacity / int64(pl.p)
+	for p := range sims {
+		pcfg := cfg
+		pcfg.Capacity = budget
+		sim, err := newSimulatorWarmup(w, pcfg, warmupPer[p])
+		if err != nil {
+			return nil, err
+		}
+		sims[p] = sim
+	}
+
+	n := w.NumRequests()
+	var wg sync.WaitGroup
+	for p := range sims {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			sim, mine := sims[p], uint8(p)
+			// Every goroutine scans the full docID column (sequential,
+			// 4 bytes per event, shared read-only) and replays only its
+			// partition's events; no pre-splitting pass or per-partition
+			// index is ever materialized.
+			for i := 0; i < n; i++ {
+				if pl.parts[w.docID[i]] != mine {
+					continue
+				}
+				ev := w.Event(i)
+				sim.Process(&ev)
+			}
+		}(p)
+	}
+	wg.Wait()
+
+	merged := &Result{
+		Policy:         cfg.Policy.Name,
+		Capacity:       cfg.Capacity,
+		WarmupRequests: globalWarmup,
+		Partitions:     pl.p,
+	}
+	for _, sim := range sims {
+		pr := sim.Result()
+		for _, c := range doctype.Classes {
+			merged.ByClass[c].add(pr.ByClass[c])
+		}
+		merged.Evictions += pr.Evictions
+		merged.Modifications += pr.Modifications
+		merged.Uncachable += pr.Uncachable
+	}
+	for _, c := range doctype.Classes {
+		merged.Overall.add(merged.ByClass[c])
+	}
+	return merged, nil
+}
+
+// ReplayPartitioned replays the workload as `partitions` hash-partitioned
+// simulators when the exactness gate can prove the result equal to a
+// single-stream replay. ok is false — and no replay happens — when the
+// gate declines (per-partition demand exceeding Capacity/partitions, an
+// admission filter, or occupancy sampling); the caller should fall back to
+// Simulator.Run. The returned result is bit-identical to the single-stream
+// one except for its Partitions annotation.
+func ReplayPartitioned(w *Workload, cfg Config, partitions int) (*Result, bool, error) {
+	if partitions < 2 || partitions > MaxPartitions {
+		return nil, false, errBadConfig("partitions %d outside [2, %d]", partitions, MaxPartitions)
+	}
+	if cfg.Capacity <= 0 {
+		return nil, false, errBadConfig("capacity %d must be positive", cfg.Capacity)
+	}
+	if cfg.Admission.New != nil || cfg.SampleEvery != 0 {
+		return nil, false, nil
+	}
+	pl := newPartitionPlan(w, partitions)
+	if !pl.exact(cfg.Capacity) {
+		return nil, false, nil
+	}
+	warmup, err := resolveWarmup(cfg.WarmupFraction, w.NumRequests())
+	if err != nil {
+		return nil, false, err
+	}
+	r, err := replayPartitioned(w, cfg, pl, pl.warmupCounts(w, warmup), warmup)
+	if err != nil {
+		return nil, false, err
+	}
+	return r, true, nil
+}

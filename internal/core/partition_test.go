@@ -1,0 +1,153 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"webcachesim/internal/policy"
+	"webcachesim/internal/trace"
+)
+
+// partitionWorkload builds a random mixed-class workload whose distinct
+// bytes are small enough that a generous capacity engages the exactness
+// gate at every partition count under test.
+func partitionWorkload(t *testing.T, seed int64, n int) *Workload {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	exts := []string{"gif", "html", "mp3", "pdf", "cgi?q=1"}
+	reqs := make([]*trace.Request, 0, n)
+	for i := 0; i < n; i++ {
+		id := int(float64(300) * rng.Float64() * rng.Float64())
+		ext := exts[id%len(exts)]
+		reqs = append(reqs, req(fmt.Sprintf("http://part.test/d%d.%s", id, ext), int64(100+rng.Intn(30_000))))
+	}
+	return build(t, 0, reqs...)
+}
+
+// TestReplayPartitionedMatchesSingleStream is the equivalence contract:
+// whenever the gate engages, the merged partitioned result must be
+// bit-identical to the single-stream replay — for every paper policy, at
+// several partition counts, across random traces. Only the Partitions
+// annotation may differ.
+func TestReplayPartitionedMatchesSingleStream(t *testing.T) {
+	for _, seed := range []int64{1, 7, 42} {
+		w := partitionWorkload(t, seed, 5000)
+		// Worst-case per-partition demand is bounded by the total distinct
+		// bytes, so capacity = 8 * distinct guarantees the gate engages at
+		// every partition count up to 8.
+		capacity := 8 * w.DistinctBytes()
+		for _, f := range policy.StudyFactories() {
+			for _, p := range []int{2, 3, 8} {
+				cfg := Config{Capacity: capacity, Policy: f, WarmupFraction: 0.1}
+				got, ok, err := ReplayPartitioned(w, cfg, p)
+				if err != nil {
+					t.Fatalf("seed %d %s p=%d: %v", seed, f.Name, p, err)
+				}
+				if !ok {
+					t.Fatalf("seed %d %s p=%d: gate declined at capacity %d (distinct %d)",
+						seed, f.Name, p, capacity, w.DistinctBytes())
+				}
+				if got.Partitions != p {
+					t.Errorf("Partitions = %d, want %d", got.Partitions, p)
+				}
+				sim, err := NewSimulator(w, cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				want := sim.Run(w)
+				got.Partitions = 0 // the only permitted difference
+				if !reflect.DeepEqual(got, want) {
+					t.Errorf("seed %d %s p=%d: partitioned result diverges\n got %+v\nwant %+v",
+						seed, f.Name, p, got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestReplayPartitionedGateDeclines pins the fallback contract: a
+// capacity the gate cannot clear yields ok=false with no result and no
+// error, as do configurations partitioning does not compose with.
+func TestReplayPartitionedGateDeclines(t *testing.T) {
+	w := partitionWorkload(t, 3, 2000)
+	lru := policy.StudyFactories()[0]
+
+	// Capacity below the total working set: some partition must overflow.
+	r, ok, err := ReplayPartitioned(w, Config{Capacity: w.DistinctBytes() / 4, Policy: lru}, 4)
+	if err != nil || ok || r != nil {
+		t.Errorf("tight capacity: got (%v, %v, %v), want gate declined", r, ok, err)
+	}
+
+	// Occupancy sampling does not compose with a split document space.
+	r, ok, err = ReplayPartitioned(w, Config{Capacity: 8 * w.DistinctBytes(), Policy: lru, SampleEvery: 2}, 4)
+	if err != nil || ok || r != nil {
+		t.Errorf("sampling: got (%v, %v, %v), want gate declined", r, ok, err)
+	}
+}
+
+// TestReplayPartitionedRejectsBadConfig pins the error cases that are
+// caller mistakes rather than gate declines.
+func TestReplayPartitionedRejectsBadConfig(t *testing.T) {
+	w := partitionWorkload(t, 5, 500)
+	lru := policy.StudyFactories()[0]
+	for _, p := range []int{-1, 0, 1, MaxPartitions + 1} {
+		if _, _, err := ReplayPartitioned(w, Config{Capacity: 1 << 30, Policy: lru}, p); err == nil {
+			t.Errorf("partitions=%d: expected error", p)
+		}
+	}
+	if _, _, err := ReplayPartitioned(w, Config{Capacity: 0, Policy: lru}, 2); err == nil {
+		t.Error("capacity=0: expected error")
+	}
+}
+
+// TestSweepPartitionedMatchesUnpartitioned runs the same sweep with and
+// without SweepConfig.Partitions and requires identical results cell for
+// cell (modulo the Partitions annotation on cells the gate served).
+func TestSweepPartitionedMatchesUnpartitioned(t *testing.T) {
+	w := partitionWorkload(t, 9, 4000)
+	policies := policy.StudyFactories()
+	// One capacity the gate clears, one it cannot (fallback path).
+	caps := []int64{8 * w.DistinctBytes(), w.DistinctBytes() / 8}
+
+	plain, err := Sweep(w, SweepConfig{Policies: policies, Capacities: caps})
+	if err != nil {
+		t.Fatal(err)
+	}
+	parted, err := Sweep(w, SweepConfig{Policies: policies, Capacities: caps, Partitions: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plain) != len(parted) {
+		t.Fatalf("result counts differ: %d vs %d", len(plain), len(parted))
+	}
+	sawPartitioned := false
+	for i := range plain {
+		p := *parted[i]
+		if p.Partitions != 0 {
+			sawPartitioned = true
+			p.Partitions = 0
+		}
+		if !reflect.DeepEqual(&p, plain[i]) {
+			t.Errorf("%s @%d: partitioned sweep diverges\n got %+v\nwant %+v",
+				plain[i].Policy, plain[i].Capacity, parted[i], plain[i])
+		}
+	}
+	if !sawPartitioned {
+		t.Error("no cell was served by partitioned replay (gate never engaged)")
+	}
+}
+
+// TestSweepPartitionsRejectsOverMax pins the sweep-level validation.
+func TestSweepPartitionsRejectsOverMax(t *testing.T) {
+	w := partitionWorkload(t, 11, 200)
+	_, err := Sweep(w, SweepConfig{
+		Policies:   policy.StudyFactories()[:1],
+		Capacities: []int64{1 << 20},
+		Partitions: MaxPartitions + 1,
+	})
+	if err == nil {
+		t.Fatal("expected error for partitions over MaxPartitions")
+	}
+}

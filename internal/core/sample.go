@@ -35,6 +35,7 @@ func (w *Workload) Sample(rate float64) *Workload {
 		docs:      docs,
 		classOf:   make([]doctype.Class, docs.Len()),
 		finalSize: make([]int64, docs.Len()),
+		threshold: w.threshold,
 	}
 	for id := range keys {
 		if keep[id] {

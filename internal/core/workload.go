@@ -75,6 +75,11 @@ type Workload struct {
 	totalBytes    int64
 	distinctBytes int64
 
+	// threshold is the resolved modification threshold the modified column
+	// was computed with; it travels with the workload so a WCT3 image
+	// records which rule its columns embody.
+	threshold float64
+
 	// maxDocSize, sizeRecharge and sizeShrink gate the one-pass MRC fast
 	// path; see MRCExact and docs/MRC.md.
 	maxDocSize   int64
@@ -131,6 +136,11 @@ func (w *Workload) DistinctBytes() int64 { return w.distinctBytes }
 // MaxDocSize returns the largest per-event document size in the stream.
 func (w *Workload) MaxDocSize() int64 { return w.maxDocSize }
 
+// ModifyThreshold returns the resolved modification threshold the
+// workload's modification decisions were made with (never 0; negative
+// selects the any-change ablation rule).
+func (w *Workload) ModifyThreshold() float64 { return w.threshold }
+
 // MRCExact reports whether the one-pass LRU stack-distance engine
 // (internal/mrc) is bit-exact against per-cell simulation for every cache
 // capacity of at least minCapacity bytes. Three stream conditions must
@@ -186,6 +196,7 @@ func BuildWorkload(r trace.Reader, threshold float64) (*Workload, error) {
 	w.docs = ing.docs
 	w.classOf = ing.classOf
 	w.finalSize = ing.last
+	w.threshold = ing.threshold
 	w.maxDocSize = ing.maxDocSize
 	w.sizeRecharge = ing.sizeRecharge
 	w.sizeShrink = ing.sizeShrink

@@ -45,7 +45,7 @@ var ErrDrop = &Analyzer{
 // no-silent-drop rule.
 var errDropPackages = map[string]bool{
 	"cache": true, "flight": true, "proxy": true,
-	"load": true, "core": true, "mrc": true,
+	"load": true, "core": true, "mrc": true, "trace": true,
 }
 
 func runErrDrop(pass *Pass) error {

@@ -35,7 +35,7 @@ var GoroExit = &Analyzer{
 // must have a bounded exit.
 var goroExitPackages = map[string]bool{
 	"cache": true, "flight": true, "proxy": true,
-	"load": true, "core": true, "mrc": true,
+	"load": true, "core": true, "mrc": true, "trace": true,
 }
 
 func runGoroExit(pass *Pass) error {

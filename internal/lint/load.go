@@ -137,6 +137,12 @@ func (l *Loader) loadDir(pkgPath, dir string) ([]*Package, error) {
 		if !l.IncludeTests && strings.HasSuffix(e.Name(), "_test.go") {
 			continue
 		}
+		// Honor build constraints (//go:build tags and GOOS/GOARCH file
+		// suffixes): loading both sides of a constrained pair would
+		// redeclare every symbol.
+		if ok, err := build.Default.MatchFile(dir, e.Name()); err != nil || !ok {
+			continue
+		}
 		names = append(names, e.Name())
 	}
 	sort.Strings(names)

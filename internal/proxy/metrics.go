@@ -14,7 +14,14 @@ type serverMetrics struct {
 	misses       *metrics.Counter
 	evictions    *metrics.Counter
 	originErrors *metrics.Counter
-	uncacheable  *metrics.Counter
+
+	// uncacheableRules counts responses the paper's cacheability rules
+	// (status, URL heuristics, size bound, Cache-Control) kept out of the
+	// cache; uncacheableOversize counts bodies that exceeded
+	// MaxObjectBytes and were streamed through to the client uncached.
+	// Both are children of wcproxy_uncacheable_total, split by reason.
+	uncacheableRules    *metrics.Counter
+	uncacheableOversize *metrics.Counter
 
 	// coalesced counts misses that shared another request's origin fetch;
 	// staleServed counts expired copies served because the origin was
@@ -63,8 +70,6 @@ func newServerMetrics(reg *metrics.Registry, admission bool) *serverMetrics {
 			"Cached objects evicted to make room."),
 		originErrors: reg.NewCounter("wcproxy_origin_errors_total",
 			"Upstream fetches that failed."),
-		uncacheable: reg.NewCounter("wcproxy_uncacheable_total",
-			"Fetched responses not stored (status, URL heuristics, size or Cache-Control)."),
 		coalesced: reg.NewCounter("wcproxy_coalesced_total",
 			"Misses that shared another request's in-flight origin fetch."),
 		staleServed: reg.NewCounter("wcproxy_stale_served_total",
@@ -90,6 +95,11 @@ func newServerMetrics(reg *metrics.Registry, admission bool) *serverMetrics {
 		m.admissionRejected = reg.NewCounter("wcproxy_admission_rejected_total",
 			"Cacheable responses the admission filter refused.")
 	}
+	uncacheableVec := reg.NewCounterVec("wcproxy_uncacheable_total",
+		"Fetched responses not stored, by reason: rules (status, URL heuristics, size or Cache-Control) or oversize (body exceeded the object limit and was streamed through uncached).",
+		"reason")
+	m.uncacheableRules = uncacheableVec.With("rules")
+	m.uncacheableOversize = uncacheableVec.With("oversize")
 	reqVec := reg.NewCounterVec("wcproxy_class_requests_total",
 		"GET requests per document class.", "class")
 	hitVec := reg.NewCounterVec("wcproxy_class_hits_total",

@@ -129,8 +129,11 @@ func TestMetricsUncacheable(t *testing.T) {
 	}
 	get(t, srv, "/s")
 	out := exposition(t, reg)
-	if !strings.Contains(out, "wcproxy_uncacheable_total 1") {
+	if !strings.Contains(out, `wcproxy_uncacheable_total{reason="rules"} 1`) {
 		t.Errorf("exposition missing uncacheable:\n%s", out)
+	}
+	if !strings.Contains(out, `wcproxy_uncacheable_total{reason="oversize"} 0`) {
+		t.Errorf("exposition missing oversize reason label:\n%s", out)
 	}
 }
 

@@ -1,0 +1,176 @@
+package proxy_test
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"webcachesim/internal/metrics"
+	"webcachesim/internal/proxy"
+)
+
+// oversizePayload builds a deterministic body of n bytes whose content
+// makes truncation and corruption distinguishable (repeating counter, not
+// a constant fill).
+func oversizePayload(n int) []byte {
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = byte(i * 31)
+	}
+	return b
+}
+
+// TestOversizeBodyStreamedComplete is the regression test for the
+// truncated-body bug: the proxy used to read origin bodies through
+// io.LimitReader(MaxObjectBytes+1) and serve that slice verbatim, so any
+// response over the limit reached the client cut short. The request runs
+// over a real socket (httptest server in front of the proxy), the origin
+// serves MaxObjectBytes+4096 bytes, and the client must receive every
+// byte while the cache stores nothing.
+func TestOversizeBodyStreamedComplete(t *testing.T) {
+	const maxObj = 64 << 10
+	payload := oversizePayload(maxObj + 4096)
+
+	origin := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/octet-stream")
+		_, _ = w.Write(payload)
+	}))
+	t.Cleanup(origin.Close)
+	u, err := url.Parse(origin.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	reg := metrics.NewRegistry()
+	srv, err := proxy.New(proxy.Config{
+		Capacity:       1 << 20,
+		MaxObjectBytes: maxObj,
+		Origin:         u,
+		Metrics:        reg,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	front := httptest.NewServer(srv)
+	t.Cleanup(front.Close)
+
+	for round := 1; round <= 2; round++ {
+		resp, err := http.Get(front.URL + "/big.bin")
+		if err != nil {
+			t.Fatalf("round %d: %v", round, err)
+		}
+		got, err := io.ReadAll(resp.Body)
+		_ = resp.Body.Close()
+		if err != nil {
+			t.Fatalf("round %d: read body: %v", round, err)
+		}
+		if len(got) != len(payload) {
+			t.Fatalf("round %d: client received %d bytes, want %d (truncated body served)",
+				round, len(got), len(payload))
+		}
+		if !bytes.Equal(got, payload) {
+			t.Fatalf("round %d: body corrupted in transit", round)
+		}
+		if xc := resp.Header.Get("X-Cache"); xc != "MISS" {
+			t.Fatalf("round %d: X-Cache = %q, want MISS (oversize must never be a hit)", round, xc)
+		}
+	}
+
+	if n := srv.Len(); n != 0 {
+		t.Fatalf("cache holds %d objects, want 0 (oversize bodies must not be stored)", n)
+	}
+	var sb strings.Builder
+	if err := reg.WriteText(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if out := sb.String(); !strings.Contains(out, `wcproxy_uncacheable_total{reason="oversize"} 2`) {
+		t.Errorf("exposition missing oversize count:\n%s", out)
+	}
+	st := srv.Stats()
+	if st.Hits != 0 || st.Requests != 2 {
+		t.Errorf("stats = %d requests / %d hits, want 2 / 0", st.Requests, st.Hits)
+	}
+	if want := int64(2 * len(payload)); st.ReqBytes != want {
+		t.Errorf("stats.ReqBytes = %d, want %d (full streamed size)", st.ReqBytes, want)
+	}
+}
+
+// TestOversizeConcurrentClientsAllComplete drives two concurrent clients
+// at the same oversize URL. Whichever of them coalesces onto the other's
+// origin fetch cannot share the leader's body stream, so it must refetch
+// for itself — either way, both clients must receive the complete body.
+func TestOversizeConcurrentClientsAllComplete(t *testing.T) {
+	const maxObj = 32 << 10
+	payload := oversizePayload(maxObj + 4096)
+
+	gate := make(chan struct{})
+	var once sync.Once
+	origin := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		// Hold the first fetch open briefly so a second client has a
+		// window to coalesce onto it.
+		once.Do(func() {
+			select {
+			case <-gate:
+			case <-time.After(2 * time.Second):
+			}
+		})
+		w.Header().Set("Content-Type", "application/octet-stream")
+		_, _ = w.Write(payload)
+	}))
+	t.Cleanup(origin.Close)
+	u, err := url.Parse(origin.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	srv, err := proxy.New(proxy.Config{
+		Capacity:       1 << 20,
+		MaxObjectBytes: maxObj,
+		Origin:         u,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	front := httptest.NewServer(srv)
+	t.Cleanup(front.Close)
+
+	const clients = 2
+	errs := make(chan error, clients)
+	for i := 0; i < clients; i++ {
+		go func(i int) {
+			resp, err := http.Get(front.URL + "/huge.bin")
+			if err != nil {
+				errs <- fmt.Errorf("client %d: %w", i, err)
+				return
+			}
+			got, err := io.ReadAll(resp.Body)
+			_ = resp.Body.Close()
+			if err != nil {
+				errs <- fmt.Errorf("client %d: read: %w", i, err)
+				return
+			}
+			if !bytes.Equal(got, payload) {
+				errs <- fmt.Errorf("client %d: received %d bytes, want %d", i, len(got), len(payload))
+				return
+			}
+			errs <- nil
+		}(i)
+	}
+	time.Sleep(50 * time.Millisecond) // give the second client time to coalesce
+	close(gate)
+	for i := 0; i < clients; i++ {
+		if err := <-errs; err != nil {
+			t.Error(err)
+		}
+	}
+	if n := srv.Len(); n != 0 {
+		t.Errorf("cache holds %d objects, want 0", n)
+	}
+}

@@ -295,6 +295,10 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 			s.serve(w, r, key, e, resultStale, false)
 			return
 		}
+		if fetched.oversize {
+			s.serveOversize(w, r, key, target, fetched, res)
+			return
+		}
 		s.serve(w, r, key, fetched.entry, res, fetched.admissionRejected)
 		return
 	}
@@ -302,6 +306,10 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	fr, res, err := s.fetchShared(target, r.Header)
 	if err != nil {
 		http.Error(w, fmt.Sprintf("upstream: %v", err), http.StatusBadGateway)
+		return
+	}
+	if fr.oversize {
+		s.serveOversize(w, r, key, target, fr, res)
 		return
 	}
 	s.serve(w, r, key, fr.entry, res, fr.admissionRejected)
@@ -337,9 +345,25 @@ func (s *Server) targetURL(r *http.Request) (*url.URL, error) {
 // fetchResult is the singleflight payload: the fetched entry plus
 // whether the admission filter refused to store it. The flag rides along
 // so the miss leader can report the decision in its response headers.
+//
+// An oversize result (body larger than MaxObjectBytes) carries no entry:
+// prefix holds the MaxObjectBytes+1 bytes already read and body the
+// still-open remainder of the origin response. The open body can be
+// consumed exactly once, so only the miss leader — the caller whose
+// singleflight execution produced this result — may stream it (and must
+// close it and call release, which cancels the fetch's timeout context).
+// Coalesced waiters sharing the result must refetch for themselves.
 type fetchResult struct {
 	entry             *cache.Entry
 	admissionRejected bool
+
+	oversize    bool
+	prefix      []byte
+	body        io.ReadCloser
+	release     context.CancelFunc
+	status      int
+	contentType string
+	contentLen  int64 // origin Content-Length; -1 when unknown
 }
 
 // fetchShared funnels the fetch for one URL through the singleflight
@@ -393,34 +417,59 @@ func backoff(base time.Duration, attempt int) time.Duration {
 // rules. The context is detached from any client request: the result is
 // shared by every coalesced waiter.
 func (s *Server) fetchOnce(target *url.URL, hdr http.Header) (*fetchResult, error) {
+	// The timeout context cannot be cancelled with a blanket defer: an
+	// oversize response leaves fetchOnce with the body still open, and
+	// cancelling here would abort the remainder the miss leader is about
+	// to stream. Each exit settles the context (and body) explicitly;
+	// the oversize path hands both off inside the fetchResult.
 	ctx, cancel := context.WithTimeout(context.Background(), s.cfg.FetchTimeout)
-	defer cancel()
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, target.String(), nil)
 	if err != nil {
+		cancel()
 		return nil, err
 	}
 	req.Header = hdr.Clone()
 	fetchStart := s.now()
 	resp, err := s.transport.RoundTrip(req)
 	if err != nil {
+		cancel()
 		s.metrics.originErrors.Inc()
 		return nil, err
 	}
-	defer func() {
-		// The body was already read (or abandoned on error) below; a
-		// close failure here has nothing left to corrupt.
-		_ = resp.Body.Close()
-	}()
 	body, err := io.ReadAll(io.LimitReader(resp.Body, s.cfg.MaxObjectBytes+1))
 	if err != nil {
+		// The read already failed; a close failure has nothing to add.
+		_ = resp.Body.Close()
+		cancel()
 		s.metrics.originErrors.Inc()
 		return nil, err
 	}
 	now := s.now()
 	s.metrics.originSeconds.Observe(now.Sub(fetchStart).Seconds())
 	s.metrics.originBytes.Add(int64(len(body)))
-	s.metrics.objectBytes.Observe(float64(len(body)))
 	key := target.String()
+	if int64(len(body)) > s.cfg.MaxObjectBytes {
+		// The limited read ran one byte past the cacheable bound: the
+		// document does not fit the cache, but the client must still get
+		// every byte. Ship the prefix plus the open remainder to the miss
+		// leader; serving a truncated body here was the bug this path
+		// replaces.
+		s.metrics.uncacheableOversize.Inc()
+		return &fetchResult{
+			oversize:    true,
+			prefix:      body,
+			body:        resp.Body,
+			release:     cancel,
+			status:      resp.StatusCode,
+			contentType: resp.Header.Get("Content-Type"),
+			contentLen:  resp.ContentLength,
+		}, nil
+	}
+	// The body was read to EOF; a close failure has nothing left to
+	// corrupt.
+	_ = resp.Body.Close()
+	cancel()
+	s.metrics.objectBytes.Observe(float64(len(body)))
 	e := &cache.Entry{
 		Doc: &policy.Doc{
 			Key:   key,
@@ -448,7 +497,7 @@ func (s *Server) fetchOnce(target *url.URL, hdr http.Header) (*fetchResult, erro
 			s.metrics.cacheRejects.Inc()
 		}
 	} else {
-		s.metrics.uncacheable.Inc()
+		s.metrics.uncacheableRules.Inc()
 	}
 	return fr, nil
 }
@@ -606,6 +655,129 @@ func (s *Server) serve(w http.ResponseWriter, r *http.Request, key string, e *ca
 	}
 	w.WriteHeader(e.Status)
 	_, _ = w.Write(e.Body) // client disconnects surface here; nothing to do for them
+}
+
+// serveOversize answers a request whose origin body exceeded
+// MaxObjectBytes: the full body is streamed through to the client,
+// nothing is cached, and the request is accounted as a miss with the
+// bytes actually streamed. The miss leader consumes the open body carried
+// in the fetchResult; a coalesced waiter cannot (a stream is consumed
+// exactly once), so it performs its own uncoalesced fetch and streams
+// that instead.
+func (s *Server) serveOversize(w http.ResponseWriter, r *http.Request, key string, target *url.URL, fr *fetchResult, res serveResult) {
+	cls := doctype.Classify(fr.contentType, key)
+	var streamed int64
+	if res == resultMiss {
+		streamed = s.streamOversizeBody(w, fr)
+	} else {
+		streamed = s.streamOversizeRefetch(w, target, r.Header)
+	}
+
+	s.metrics.requests.Inc()
+	s.metrics.requestsByClass[cls].Inc()
+	s.metrics.misses.Inc()
+	if res == resultCoalesced {
+		s.metrics.coalesced.Inc()
+	}
+
+	s.mu.Lock()
+	s.stats.Requests++
+	s.stats.ReqBytes += streamed
+	s.stats.ByClass[cls].Requests++
+	if res == resultCoalesced {
+		s.stats.Coalesced++
+	}
+	if s.logw != nil {
+		// Same trace record the cached path logs, with the streamed byte
+		// count as the transfer size.
+		_ = s.logw.Write(&trace.Request{
+			UnixMillis:   s.now().UnixMilli(),
+			URL:          key,
+			Status:       fr.status,
+			TransferSize: streamed,
+			ContentType:  fr.contentType,
+			Client:       clientAddr(r),
+			Method:       http.MethodGet,
+		})
+		// Access logging is best-effort; a flush error must not fail the
+		// request that was already served.
+		_ = s.logw.Flush()
+	}
+	s.mu.Unlock()
+}
+
+// streamOversizeBody writes the buffered prefix and pipes the rest of the
+// still-open origin body through to the client, returning the bytes
+// delivered. It settles the body and the fetch's timeout context.
+func (s *Server) streamOversizeBody(w http.ResponseWriter, fr *fetchResult) int64 {
+	defer func() {
+		// Whatever the copy below managed, the remainder's ownership ends
+		// here: close the origin stream, then release its timeout context.
+		_ = fr.body.Close()
+		fr.release()
+	}()
+	if fr.contentType != "" {
+		w.Header().Set("Content-Type", fr.contentType)
+	}
+	if fr.contentLen >= 0 {
+		w.Header().Set("Content-Length", strconv.FormatInt(fr.contentLen, 10))
+	}
+	w.Header().Set("X-Cache", "MISS")
+	w.WriteHeader(fr.status)
+	n, err := w.Write(fr.prefix)
+	total := int64(n)
+	if err != nil {
+		return total // client went away mid-stream; nothing more to do
+	}
+	m, err := io.Copy(w, fr.body)
+	total += m
+	s.metrics.originBytes.Add(m) // the prefix was counted at fetch time
+	if err != nil {
+		s.metrics.originErrors.Inc()
+	}
+	return total
+}
+
+// streamOversizeRefetch is the coalesced waiter's path for an oversize
+// result: the shared body belongs to the miss leader, so the waiter
+// fetches the URL again — without singleflight, straight to the client,
+// nothing buffered beyond the transport — and returns the bytes
+// delivered.
+func (s *Server) streamOversizeRefetch(w http.ResponseWriter, target *url.URL, hdr http.Header) int64 {
+	ctx, cancel := context.WithTimeout(context.Background(), s.cfg.FetchTimeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, target.String(), nil)
+	if err != nil {
+		http.Error(w, fmt.Sprintf("upstream: %v", err), http.StatusBadGateway)
+		return 0
+	}
+	req.Header = hdr.Clone()
+	resp, err := s.transport.RoundTrip(req)
+	if err != nil {
+		s.metrics.originErrors.Inc()
+		http.Error(w, fmt.Sprintf("upstream: %v", err), http.StatusBadGateway)
+		return 0
+	}
+	defer func() {
+		// The copy below drains the body; a close failure afterwards has
+		// nothing left to corrupt.
+		_ = resp.Body.Close()
+	}()
+	s.metrics.uncacheableOversize.Inc()
+	if ct := resp.Header.Get("Content-Type"); ct != "" {
+		w.Header().Set("Content-Type", ct)
+	}
+	if resp.ContentLength >= 0 {
+		w.Header().Set("Content-Length", strconv.FormatInt(resp.ContentLength, 10))
+	}
+	w.Header().Set("X-Cache", "MISS")
+	w.WriteHeader(resp.StatusCode)
+	n, err := io.Copy(w, resp.Body)
+	s.metrics.originBytes.Add(n)
+	if err != nil {
+		s.metrics.originErrors.Inc()
+	}
+	return n
 }
 
 func clientAddr(r *http.Request) string {

@@ -24,6 +24,11 @@ const (
 	// FormatCLF is the Common Log Format of origin servers (Apache), with
 	// combined-format suffix fields tolerated.
 	FormatCLF Format = "clf"
+	// FormatColumnar is the columnar workload image (WCT3): not a record
+	// stream but a preprocessed, mmap-able workload. It is produced by
+	// wcanon -format wct3 and consumed via OpenColumnar; the record-stream
+	// OpenFile/CreateFile paths reject it with a pointer there.
+	FormatColumnar Format = "wct3"
 	// FormatAuto selects the format by sniffing the stream (reading) or by
 	// file extension (writing, defaulting to squid).
 	FormatAuto Format = "auto"
@@ -40,6 +45,8 @@ func ParseFormat(s string) (Format, error) {
 		return FormatInterned, nil
 	case "clf", "common", "combined", "apache":
 		return FormatCLF, nil
+	case "columnar", "wct3", "wci3":
+		return FormatColumnar, nil
 	case "", "auto":
 		return FormatAuto, nil
 	default:
@@ -75,13 +82,18 @@ func OpenFile(path string, format Format) (*FileReader, error) {
 		return nil, fmt.Errorf("trace: open %s: %w", path, err)
 	}
 	fr := &FileReader{closers: []io.Closer{f}}
-	var src io.Reader = f
+	// Read ahead of the decoder on a background goroutine (prefetch.go).
+	// The prefetcher is appended after the file so Close (which walks
+	// closers in reverse) stops it before the descriptor goes away.
+	pf := newPrefetchReader(f)
+	fr.closers = append(fr.closers, pf)
+	var src io.Reader = pf
 
 	br := bufio.NewReaderSize(src, 256*1024)
 	if head, err := br.Peek(2); err == nil && head[0] == 0x1f && head[1] == 0x8b {
 		gz, err := gzip.NewReader(br)
 		if err != nil {
-			_ = f.Close()
+			_ = fr.Close() // stops the prefetcher before the descriptor
 			return nil, fmt.Errorf("trace: open gzip %s: %w", path, err)
 		}
 		fr.closers = append(fr.closers, gz)
@@ -100,7 +112,12 @@ func OpenFile(path string, format Format) (*FileReader, error) {
 		fr.Reader = NewSquidReader(br)
 	case FormatCLF:
 		fr.Reader = NewCLFReader(br)
+	case FormatColumnar:
+		// Nothing was read yet; the format error below is the story.
+		_ = fr.Close()
+		return nil, fmt.Errorf("trace: %s is a WCT3 columnar workload, not a record stream; open it with OpenColumnar (wcsim does this automatically)", path)
 	default:
+		// Same: abandoning an unread reader, only the format error matters.
 		_ = fr.Close()
 		return nil, fmt.Errorf("trace: unsupported read format %q", format)
 	}
@@ -117,8 +134,12 @@ func sniffFormat(br *bufio.Reader) Format {
 			return FormatBinary
 		case internedMagic:
 			return FormatInterned
+		case columnarMagic:
+			return FormatColumnar
 		}
 	}
+	// Peek errors (short stream) still return whatever prefix exists,
+	// which is all the sniffer needs.
 	head, _ := br.Peek(4096)
 	line := string(head)
 	if i := strings.IndexByte(line, '\n'); i >= 0 {
@@ -168,6 +189,8 @@ func CreateFile(path string, format Format) (*FileWriter, error) {
 	if format == FormatAuto {
 		base := strings.TrimSuffix(path, ".gz")
 		switch {
+		case strings.HasSuffix(base, ".wci3"):
+			format = FormatColumnar
 		case strings.HasSuffix(base, ".wci"):
 			format = FormatInterned
 		case strings.HasSuffix(base, ".wct") || strings.HasSuffix(base, ".bin"):
@@ -175,6 +198,11 @@ func CreateFile(path string, format Format) (*FileWriter, error) {
 		default:
 			format = FormatSquid
 		}
+	}
+	if format == FormatColumnar {
+		// Checked before the file is created so a bad invocation does not
+		// leave an empty .wci3 behind.
+		return nil, fmt.Errorf("trace: WCT3 is a preprocessed workload image, not a record stream; convert with wcanon -format wct3 (core.Workload.WriteColumnar)")
 	}
 	f, err := os.Create(path)
 	if err != nil {
@@ -201,6 +229,8 @@ func CreateFile(path string, format Format) (*FileWriter, error) {
 		w := NewCLFWriter(dst)
 		fw.Writer, fw.flush = w, w.Flush
 	default:
+		// Nothing was written; surfacing the format error outranks any
+		// close failure on the empty file.
 		_ = fw.Close()
 		return nil, fmt.Errorf("trace: unsupported write format %q", format)
 	}

@@ -2,6 +2,7 @@ package trace
 
 import (
 	"bytes"
+	"encoding/binary"
 	"strings"
 	"testing"
 )
@@ -71,6 +72,19 @@ func FuzzInternedReader(f *testing.F) {
 	f.Add([]byte("WCT1"))
 	f.Add([]byte("WCT2"))
 	f.Add(valid[:len(valid)/2])
+	// Untrusted-length fixtures: a first-mention record whose URL length
+	// claims far more than the stream holds. The reader must fail with a
+	// truncation error after a bounded allocation, not allocate the claim.
+	huge := []byte("WCT2")
+	huge = binary.AppendUvarint(huge, 0) // time delta
+	huge = binary.AppendUvarint(huge, 0) // docRef 0: new document
+	huge = binary.AppendUvarint(huge, maxFieldLen)
+	f.Add(append(bytes.Clone(huge), "only-a-few-bytes"...))
+	over := []byte("WCT2")
+	over = binary.AppendUvarint(over, 0)
+	over = binary.AppendUvarint(over, 0)
+	over = binary.AppendUvarint(over, maxFieldLen+1) // rejected outright
+	f.Add(over)
 	for _, i := range []int{4, 5, len(valid) / 3, len(valid) - 1} {
 		if i < len(valid) {
 			mut := bytes.Clone(valid)
@@ -120,4 +134,47 @@ func FuzzBinaryReader(f *testing.F) {
 			}
 		}
 	})
+}
+
+func FuzzColumnar(f *testing.F) {
+	// Seed with a valid WCT3 image plus targeted damage; the decoder
+	// validates every offset and value, so arbitrary input must yield a
+	// view or an error — never a panic or an out-of-bounds read.
+	valid := encodeSampleColumnar(f)
+	f.Add(valid)
+	f.Add([]byte{})
+	f.Add([]byte("WCT3"))
+	f.Add(valid[:len(valid)/2])
+	for _, i := range []int{4, 8, 48, 56, 64, 72, len(valid) - 1} {
+		if i < len(valid) {
+			mut := bytes.Clone(valid)
+			mut[i] ^= 0xff
+			f.Add(mut)
+		}
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		c, err := DecodeColumnar(data)
+		if err != nil {
+			return
+		}
+		// A decoded image must survive a full walk and re-encode.
+		for i := 0; i < c.NumDocs(); i++ {
+			_ = c.URL(i)
+		}
+		var rt bytes.Buffer
+		if err := EncodeColumnar(&rt, c); err != nil {
+			t.Fatalf("decoded image failed to re-encode: %v", err)
+		}
+	})
+}
+
+// encodeSampleColumnar builds the valid WCT3 seed image for FuzzColumnar.
+func encodeSampleColumnar(f *testing.F) []byte {
+	f.Helper()
+	c := sampleColumnar()
+	var buf bytes.Buffer
+	if err := EncodeColumnar(&buf, c); err != nil {
+		f.Fatal(err)
+	}
+	return buf.Bytes()
 }

@@ -17,6 +17,17 @@ func NewInterner() *Interner {
 	return &Interner{ids: make(map[string]int32)}
 }
 
+// NewInternerFromKeys rebuilds an interner from a table in ID order (the
+// inverse of Keys). The map is built eagerly so the result is read-safe
+// from concurrent goroutines, and the keys slice is adopted, not copied.
+func NewInternerFromKeys(keys []string) *Interner {
+	in := &Interner{ids: make(map[string]int32, len(keys)), keys: keys}
+	for i, k := range keys {
+		in.ids[k] = int32(i)
+	}
+	return in
+}
+
 // Intern returns the dense ID for key, assigning the next free ID on first
 // sight.
 func (in *Interner) Intern(key string) int32 {

@@ -274,6 +274,11 @@ func (ir *InternedReader) readUvarint() (uint64, error) {
 	return v, nil
 }
 
+// readStringChunk caps how much readString allocates ahead of the bytes
+// actually present: a corrupt length claim costs at most one chunk before
+// the missing input surfaces as a truncation error.
+const readStringChunk = 64 * 1024
+
 func (ir *InternedReader) readString() (string, error) {
 	n, err := binary.ReadUvarint(ir.r)
 	if err != nil {
@@ -285,12 +290,32 @@ func (ir *InternedReader) readString() (string, error) {
 	if n == 0 {
 		return "", nil
 	}
-	if cap(ir.strbuf) < int(n) {
-		ir.strbuf = make([]byte, n)
+	// Grow the buffer chunk by chunk, proving each chunk's bytes exist
+	// before committing to the next allocation. A header claiming a
+	// megabyte backed by an empty stream therefore fails after one 64 KiB
+	// chunk instead of allocating the full claim up front.
+	buf := ir.strbuf[:0]
+	for remaining := int(n); remaining > 0; {
+		step := remaining
+		if step > readStringChunk {
+			step = readStringChunk
+		}
+		start := len(buf)
+		if need := start + step; cap(buf) < need {
+			if grow := 2 * cap(buf); grow > need {
+				need = grow
+			}
+			grown := make([]byte, start+step, need)
+			copy(grown, buf)
+			buf = grown
+		} else {
+			buf = buf[:start+step]
+		}
+		if _, err := io.ReadFull(ir.r, buf[start:]); err != nil {
+			return "", truncated(err)
+		}
+		remaining -= step
 	}
-	buf := ir.strbuf[:n]
-	if _, err := io.ReadFull(ir.r, buf); err != nil {
-		return "", truncated(err)
-	}
+	ir.strbuf = buf
 	return string(buf), nil
 }

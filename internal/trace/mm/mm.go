@@ -1,0 +1,89 @@
+// Package mm provides a minimal read-only memory-mapping of files, with a
+// plain-read fallback for platforms (or files) that cannot be mapped. It
+// exists so the columnar trace format (WCT3, internal/trace) can be
+// replayed as a zero-copy view over the page cache: the kernel pages the
+// trace in on demand, several replay goroutines share one physical copy,
+// and traces larger than RAM never have to be materialized.
+//
+// The package is deliberately tiny: Open maps when the platform supports
+// it and silently degrades to reading the whole file, ReadFile forces the
+// copying path (useful for tests and for writable scratch copies), and a
+// Mapping reports which path it took. Callers must keep the Mapping open
+// for as long as they hold slices into Data.
+package mm
+
+import (
+	"fmt"
+	"os"
+)
+
+// Mapping is a read-only view of a file's contents, either memory-mapped
+// or read into an ordinary allocation.
+type Mapping struct {
+	data   []byte
+	mapped bool
+}
+
+// Data returns the file contents. For a mapped file the slice aliases the
+// page cache and must not be written to or used after Close.
+func (m *Mapping) Data() []byte { return m.data }
+
+// Mapped reports whether the contents are memory-mapped (true) or a plain
+// in-heap copy (false).
+func (m *Mapping) Mapped() bool { return m.mapped }
+
+// Close releases the mapping. Slices obtained from Data are invalid
+// afterwards. Close is idempotent.
+func (m *Mapping) Close() error {
+	if m.data == nil {
+		return nil
+	}
+	data, mapped := m.data, m.mapped
+	m.data, m.mapped = nil, false
+	if !mapped {
+		return nil
+	}
+	if err := unmap(data); err != nil {
+		return fmt.Errorf("mm: unmap: %w", err)
+	}
+	return nil
+}
+
+// Open maps path read-only, falling back to reading the whole file when
+// the platform has no mmap or the mapping fails (empty files always take
+// the fallback: a zero-length mapping is an error on most systems).
+func Open(path string) (*Mapping, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("mm: %w", err)
+	}
+	defer func() {
+		// The mapping (or the fallback copy) outlives the descriptor; a
+		// close failure on a read-only fd has nothing left to lose.
+		_ = f.Close()
+	}()
+	st, err := f.Stat()
+	if err != nil {
+		return nil, fmt.Errorf("mm: stat %s: %w", path, err)
+	}
+	if size := st.Size(); size > 0 {
+		if data, err := mapFile(f, size); err == nil {
+			return &Mapping{data: data, mapped: true}, nil
+		}
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("mm: read %s: %w", path, err)
+	}
+	return &Mapping{data: data}, nil
+}
+
+// ReadFile loads path through the copying fallback unconditionally — the
+// exact view Open degrades to when mapping is unavailable.
+func ReadFile(path string) (*Mapping, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("mm: read %s: %w", path, err)
+	}
+	return &Mapping{data: data}, nil
+}

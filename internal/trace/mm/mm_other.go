@@ -1,0 +1,16 @@
+//go:build !unix
+
+package mm
+
+import (
+	"errors"
+	"os"
+)
+
+// errNoMmap makes Open take the read-whole-file fallback on platforms
+// without a memory-mapping syscall surface in the stdlib.
+var errNoMmap = errors.New("mm: memory mapping unsupported on this platform")
+
+func mapFile(*os.File, int64) ([]byte, error) { return nil, errNoMmap }
+
+func unmap([]byte) error { return nil }

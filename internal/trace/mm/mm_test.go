@@ -1,0 +1,93 @@
+package mm
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"runtime"
+	"testing"
+)
+
+func writeTemp(t *testing.T, content []byte) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "data.bin")
+	if err := os.WriteFile(path, content, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestOpenMapsAndReadsBack(t *testing.T) {
+	content := bytes.Repeat([]byte("webcache"), 1024)
+	m, err := Open(writeTemp(t, content))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if err := m.Close(); err != nil {
+			t.Error(err)
+		}
+	}()
+	if !bytes.Equal(m.Data(), content) {
+		t.Fatalf("Data() = %d bytes, want %d matching bytes", len(m.Data()), len(content))
+	}
+	// Unix platforms must take the mmap path for a non-empty file.
+	if runtime.GOOS == "linux" && !m.Mapped() {
+		t.Error("Mapped() = false on linux, want a real mapping")
+	}
+}
+
+func TestReadFileForcesCopy(t *testing.T) {
+	content := []byte("fallback path")
+	m, err := ReadFile(writeTemp(t, content))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Mapped() {
+		t.Error("ReadFile produced a mapping, want a plain copy")
+	}
+	if !bytes.Equal(m.Data(), content) {
+		t.Errorf("Data() = %q, want %q", m.Data(), content)
+	}
+	if err := m.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOpenEmptyFileFallsBack(t *testing.T) {
+	m, err := Open(writeTemp(t, nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = m.Close() }()
+	if m.Mapped() {
+		t.Error("empty file reported as mapped")
+	}
+	if len(m.Data()) != 0 {
+		t.Errorf("Data() = %d bytes, want 0", len(m.Data()))
+	}
+}
+
+func TestCloseIdempotent(t *testing.T) {
+	m, err := Open(writeTemp(t, []byte("close me twice")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if err := m.Close(); err != nil {
+			t.Fatalf("Close #%d: %v", i+1, err)
+		}
+	}
+	if m.Data() != nil {
+		t.Error("Data() non-nil after Close")
+	}
+}
+
+func TestOpenMissingFile(t *testing.T) {
+	if _, err := Open(filepath.Join(t.TempDir(), "nope.bin")); err == nil {
+		t.Fatal("expected error for missing file")
+	}
+	if _, err := ReadFile(filepath.Join(t.TempDir(), "nope.bin")); err == nil {
+		t.Fatal("expected error for missing file")
+	}
+}

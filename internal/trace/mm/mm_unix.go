@@ -1,0 +1,21 @@
+//go:build unix
+
+package mm
+
+import (
+	"os"
+	"syscall"
+)
+
+// mapFile maps size bytes of f read-only and shared (the kernel keeps one
+// physical copy per file regardless of how many processes replay it).
+func mapFile(f *os.File, size int64) ([]byte, error) {
+	if size > int64(maxInt) {
+		return nil, syscall.ENOMEM
+	}
+	return syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_SHARED)
+}
+
+func unmap(data []byte) error { return syscall.Munmap(data) }
+
+const maxInt = int(^uint(0) >> 1)

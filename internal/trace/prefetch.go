@@ -1,0 +1,119 @@
+package trace
+
+import (
+	"io"
+	"sync"
+)
+
+// Read-ahead for the file read path. Decoding a record stream alternates
+// between CPU work (uvarint decode, interning) and blocking reads; a
+// prefetchReader moves the reads onto their own goroutine with a small
+// queue of pooled buffers, so the disk fills the next chunks while the
+// decoder chews on the current one. Buffers are recycled through a
+// sync.Pool shared by every open trace file.
+
+const (
+	// prefetchChunk is the size of one read-ahead buffer.
+	prefetchChunk = 256 * 1024
+	// prefetchDepth is how many filled chunks may sit queued ahead of the
+	// consumer (the goroutine fills one more while the queue is full, so
+	// effective read-ahead is prefetchDepth+1 chunks).
+	prefetchDepth = 3
+)
+
+// prefetchPool recycles chunk buffers across readers (pointer-to-slice, as
+// sync.Pool stores interface values and a bare slice would allocate).
+var prefetchPool = sync.Pool{
+	New: func() any {
+		b := make([]byte, prefetchChunk)
+		return &b
+	},
+}
+
+// prefetchChunkMsg is one filled buffer handed from the reading goroutine
+// to the consumer; err (if any) applies after the n bytes.
+type prefetchChunkMsg struct {
+	buf *[]byte
+	n   int
+	err error
+}
+
+// prefetchReader pulls from an underlying reader on a background
+// goroutine. It is not safe for concurrent Read calls (none of the trace
+// decoders issue them). Close stops the goroutine and recycles every
+// in-flight buffer; it must be called before the underlying source is
+// closed, and waits for the goroutine to exit.
+type prefetchReader struct {
+	ch   chan prefetchChunkMsg
+	stop chan struct{}
+
+	cur    []byte   // unread remainder of the current chunk
+	curBuf *[]byte  // backing buffer of cur, returned to the pool when drained
+	err    error    // sticky error delivered after all buffered bytes
+	closed sync.Once
+}
+
+// newPrefetchReader starts reading ahead from r immediately.
+func newPrefetchReader(r io.Reader) *prefetchReader {
+	p := &prefetchReader{
+		ch:   make(chan prefetchChunkMsg, prefetchDepth),
+		stop: make(chan struct{}),
+	}
+	go func() {
+		defer close(p.ch)
+		for {
+			buf := prefetchPool.Get().(*[]byte)
+			n, err := r.Read(*buf)
+			select {
+			case p.ch <- prefetchChunkMsg{buf: buf, n: n, err: err}:
+			case <-p.stop:
+				prefetchPool.Put(buf)
+				return
+			}
+			if err != nil {
+				return
+			}
+		}
+	}()
+	return p
+}
+
+func (p *prefetchReader) Read(b []byte) (int, error) {
+	for len(p.cur) == 0 {
+		if p.curBuf != nil {
+			prefetchPool.Put(p.curBuf)
+			p.curBuf = nil
+		}
+		if p.err != nil {
+			return 0, p.err
+		}
+		msg, ok := <-p.ch
+		if !ok {
+			return 0, io.EOF // channel closed after Close drained it
+		}
+		p.cur, p.curBuf, p.err = (*msg.buf)[:msg.n], msg.buf, msg.err
+	}
+	n := copy(b, p.cur)
+	p.cur = p.cur[n:]
+	return n, nil
+}
+
+// Close stops the read-ahead goroutine and returns every buffer to the
+// pool. Safe to call multiple times; always returns nil.
+func (p *prefetchReader) Close() error {
+	p.closed.Do(func() {
+		close(p.stop)
+		// Draining until the goroutine closes the channel both recycles
+		// queued buffers and acts as the join: after the range returns, the
+		// goroutine has exited and the underlying reader is quiescent.
+		for msg := range p.ch {
+			prefetchPool.Put(msg.buf)
+		}
+		if p.curBuf != nil {
+			prefetchPool.Put(p.curBuf)
+			p.curBuf = nil
+		}
+		p.cur, p.err = nil, io.EOF
+	})
+	return nil
+}

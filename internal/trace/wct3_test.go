@@ -1,0 +1,228 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"math"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"webcachesim/internal/doctype"
+)
+
+// sampleColumnar builds a small, fully populated workload image.
+func sampleColumnar() *Columnar {
+	c := &Columnar{
+		Millis:        []int64{10, 20, 30, 40, 50},
+		DocID:         []int32{0, 1, 0, 2, 1},
+		Class:         []doctype.Class{0, 1, 0, 2, 1},
+		Modified:      []bool{false, false, true, false, true},
+		DocSize:       []int64{100, 2000, 120, 9000, 2100},
+		Transfer:      []int64{100, 2000, 120, 9000, 2100},
+		DocClass:      []doctype.Class{0, 1, 2},
+		FinalSize:     []int64{120, 2100, 9000},
+		TotalBytes:    13320,
+		DistinctBytes: 11220,
+		MaxDocSize:    9000,
+		SizeRecharge:  true,
+		Threshold:     0.05,
+	}
+	c.SetKeys([]string{"http://a/x.gif", "http://a/y.html", "http://b/z.mp3"})
+	return c
+}
+
+func encodeColumnar(t *testing.T, c *Columnar) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := EncodeColumnar(&buf, c); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func TestColumnarRoundTrip(t *testing.T) {
+	c := sampleColumnar()
+	got, err := DecodeColumnar(encodeColumnar(t, c))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got.Millis, c.Millis) || !reflect.DeepEqual(got.DocID, c.DocID) ||
+		!reflect.DeepEqual(got.Class, c.Class) || !reflect.DeepEqual(got.Modified, c.Modified) ||
+		!reflect.DeepEqual(got.DocSize, c.DocSize) || !reflect.DeepEqual(got.Transfer, c.Transfer) ||
+		!reflect.DeepEqual(got.DocClass, c.DocClass) || !reflect.DeepEqual(got.FinalSize, c.FinalSize) {
+		t.Errorf("columns do not round-trip:\n got %+v\nwant %+v", got, c)
+	}
+	if got.TotalBytes != c.TotalBytes || got.DistinctBytes != c.DistinctBytes ||
+		got.MaxDocSize != c.MaxDocSize || got.SizeRecharge != c.SizeRecharge ||
+		got.SizeShrink != c.SizeShrink || got.Threshold != c.Threshold {
+		t.Errorf("header stats do not round-trip: %+v", got)
+	}
+	if !reflect.DeepEqual(got.Keys(), c.Keys()) {
+		t.Errorf("Keys() = %v, want %v", got.Keys(), c.Keys())
+	}
+	if got.NumRequests() != 5 || got.NumDocs() != 3 {
+		t.Errorf("counts = %d/%d, want 5/3", got.NumRequests(), got.NumDocs())
+	}
+}
+
+func TestColumnarRoundTripEmpty(t *testing.T) {
+	c := &Columnar{Threshold: 0.05}
+	c.SetKeys(nil)
+	got, err := DecodeColumnar(encodeColumnar(t, c))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NumRequests() != 0 || got.NumDocs() != 0 {
+		t.Errorf("counts = %d/%d, want 0/0", got.NumRequests(), got.NumDocs())
+	}
+}
+
+func TestEncodeColumnarRejectsInconsistentColumns(t *testing.T) {
+	c := sampleColumnar()
+	c.Millis = c.Millis[:3] // shorter than DocID
+	if err := EncodeColumnar(&bytes.Buffer{}, c); err == nil {
+		t.Fatal("expected error for inconsistent column lengths")
+	}
+}
+
+// TestDecodeColumnarCorruption attacks the decoder with targeted header
+// and column mutations; every one must be rejected, and none may panic.
+func TestDecodeColumnarCorruption(t *testing.T) {
+	base := encodeColumnar(t, sampleColumnar())
+	le := binary.LittleEndian
+	sectionOff := func(b []byte, i int) uint64 { return le.Uint64(b[64+i*16:]) }
+
+	tests := []struct {
+		name   string
+		mutate func(b []byte) []byte
+		want   string // substring of the error; empty means any error
+	}{
+		{"bad magic", func(b []byte) []byte {
+			b[0] = 'X'
+			return b
+		}, "not a WCT3"},
+		{"truncated header", func(b []byte) []byte {
+			return b[:100]
+		}, "truncated header"},
+		{"truncated body", func(b []byte) []byte {
+			return b[:len(b)-16]
+		}, "outside"},
+		{"future version", func(b []byte) []byte {
+			le.PutUint32(b[4:], 2)
+			return b
+		}, "version 2 not supported"},
+		{"inflated request count", func(b []byte) []byte {
+			le.PutUint64(b[8:], 1<<60)
+			return b
+		}, "exceed"},
+		{"unknown flags", func(b []byte) []byte {
+			le.PutUint64(b[48:], 1<<7)
+			return b
+		}, "unknown flags"},
+		{"NaN threshold", func(b []byte) []byte {
+			le.PutUint64(b[56:], math.Float64bits(math.NaN()))
+			return b
+		}, "threshold"},
+		{"wrong section length", func(b []byte) []byte {
+			le.PutUint64(b[64+8:], le.Uint64(b[64+8:])+8)
+			return b
+		}, "length"},
+		{"misaligned section offset", func(b []byte) []byte {
+			le.PutUint64(b[64:], sectionOff(b, 0)+4)
+			return b
+		}, "outside"},
+		{"section offset inside header", func(b []byte) []byte {
+			le.PutUint64(b[64:], 8)
+			return b
+		}, "outside"},
+		{"section past end of file", func(b []byte) []byte {
+			le.PutUint64(b[64:], uint64(len(b)+8)&^7)
+			return b
+		}, "outside"},
+		{"modified byte out of range", func(b []byte) []byte {
+			b[sectionOff(b, 3)] = 2
+			return b
+		}, "modified byte"},
+		{"request class out of range", func(b []byte) []byte {
+			b[sectionOff(b, 2)] = byte(doctype.NumClasses + 1)
+			return b
+		}, "class byte"},
+		{"document class out of range", func(b []byte) []byte {
+			b[sectionOff(b, 6)] = 0xff
+			return b
+		}, "class byte"},
+		{"document ID out of range", func(b []byte) []byte {
+			le.PutUint32(b[sectionOff(b, 1):], 99)
+			return b
+		}, "document ID"},
+		{"negative document ID", func(b []byte) []byte {
+			le.PutUint32(b[sectionOff(b, 1):], 1<<31)
+			return b
+		}, "document ID"},
+		{"URL offsets out of order", func(b []byte) []byte {
+			le.PutUint64(b[sectionOff(b, 8)+8:], 1<<40)
+			return b
+		}, "URL offset"},
+		{"URL offsets do not cover blob", func(b []byte) []byte {
+			off := sectionOff(b, 8)
+			// last offset (numDocs+1 entries, entry index 3)
+			le.PutUint64(b[off+3*8:], le.Uint64(b[off+3*8:])-1)
+			return b
+		}, "cover the blob"},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			b := tt.mutate(bytes.Clone(base))
+			c, err := DecodeColumnar(b)
+			if err == nil {
+				t.Fatalf("decode accepted corrupt input: %+v", c)
+			}
+			if tt.want != "" && !strings.Contains(err.Error(), tt.want) {
+				t.Errorf("error %q does not mention %q", err, tt.want)
+			}
+		})
+	}
+
+	// The untouched base must still decode (the table above clones it).
+	if _, err := DecodeColumnar(base); err != nil {
+		t.Fatalf("pristine image no longer decodes: %v", err)
+	}
+}
+
+func TestDecodeColumnarNotColumnar(t *testing.T) {
+	for _, b := range [][]byte{nil, []byte("WC"), []byte("WCT2xxxx"), []byte("plain text")} {
+		if _, err := DecodeColumnar(b); !errors.Is(err, ErrNotColumnar) {
+			t.Errorf("%q: err = %v, want ErrNotColumnar", b, err)
+		}
+	}
+}
+
+func TestOpenColumnarMapsFile(t *testing.T) {
+	c := sampleColumnar()
+	path := filepath.Join(t.TempDir(), "w.wci3")
+	if err := os.WriteFile(path, encodeColumnar(t, c), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, mapping, err := OpenColumnar(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = mapping.Close() }()
+	if !reflect.DeepEqual(got.Millis, c.Millis) || got.URL(2) != "http://b/z.mp3" {
+		t.Errorf("mapped decode mismatch: %+v", got)
+	}
+}
+
+func TestOpenColumnarWrongFormat(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "w.wci")
+	if err := os.WriteFile(path, []byte("not columnar at all"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := OpenColumnar(path); !errors.Is(err, ErrNotColumnar) {
+		t.Fatalf("err = %v, want ErrNotColumnar", err)
+	}
+}
