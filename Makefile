@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build vet wcvet vet-json test race bench fuzz-smoke journal-smoke admission-smoke partition-smoke check
+.PHONY: build vet wcvet vet-json test race bench alloc-smoke fuzz-smoke journal-smoke admission-smoke partition-smoke check
 
 build:
 	$(GO) build ./...
@@ -58,11 +58,22 @@ bench:
 		$(GO) run ./cmd/wcbench -baseline SweepGridPerCell -new SweepGridFast \
 		-o BENCH_mrc.json
 	@cat BENCH_mrc.json
-	$(GO) test -run '^$$' -bench '^BenchmarkProxy(SingleLock|Sharded)$$' \
-		-count 3 ./internal/proxy | \
+	$(GO) test -run '^$$' -bench '^BenchmarkProxy(SingleLock|Sharded|Hit|HitLegacy)$$' \
+		-benchmem -count 3 ./internal/proxy | \
 		$(GO) run ./cmd/wcbench -baseline ProxySingleLock/c8 -new ProxySharded/c8 \
+		-derive ProxyHitLegacy=ProxyHit \
 		-o BENCH_proxy.json
 	@cat BENCH_proxy.json
+
+# The zero-allocation gate for the steady-state hit path, two ways: the
+# AllocsPerRun regression test (exact, compiler-visible) and the ProxyHit
+# benchmark piped through wcbench -assert-zero (the same number CI and
+# BENCH_proxy.json report). Either one failing means an allocation crept
+# back into the serving path. See docs/PROXY.md (Memory management).
+alloc-smoke:
+	$(GO) test -run '^TestHitPathZeroAlloc$$' -v ./internal/proxy
+	$(GO) test -run '^$$' -bench '^BenchmarkProxyHit$$' -benchmem -count 1 ./internal/proxy | \
+		$(GO) run ./cmd/wcbench -assert-zero ProxyHit
 
 # Short fuzz budget per trace-decoder target; CI runs the same loop.
 fuzz-smoke:

@@ -2,7 +2,10 @@
 // It reads the benchmark text from stdin, averages repeated runs of the
 // same benchmark (-count), and — for every -derive Base=New pair —
 // derives the speedup and allocation reduction between the two named
-// benchmarks. -baseline/-new remain as sugar for a single pair. The
+// benchmarks. -baseline/-new remain as sugar for a single pair, and
+// -assert-zero <bench> turns the report into a gate: the run fails
+// unless the named benchmark recorded exactly 0 allocs/op (the
+// repository's `make alloc-smoke` pins the proxy hit path with it). The
 // repository's `make bench` target uses it to record the interned replay
 // path and the partitioned-replay scaling curve in BENCH_ingest.json.
 //
@@ -74,9 +77,10 @@ func run(args []string, in io.Reader, out io.Writer) error {
 	var derives deriveFlags
 	fs.Var(&derives, "derive", "Base=New benchmark pair to compare; repeatable, and accepts comma-separated pairs")
 	var (
-		baseline = fs.String("baseline", "", "benchmark name treated as the before side of the comparison (sugar for one -derive pair)")
-		newName  = fs.String("new", "", "benchmark name treated as the after side of the comparison")
-		output   = fs.String("o", "", "write the JSON report to this path instead of stdout")
+		baseline   = fs.String("baseline", "", "benchmark name treated as the before side of the comparison (sugar for one -derive pair)")
+		newName    = fs.String("new", "", "benchmark name treated as the after side of the comparison")
+		output     = fs.String("o", "", "write the JSON report to this path instead of stdout")
+		assertZero = fs.String("assert-zero", "", "fail unless the named benchmark reports exactly 0 allocs/op (requires -benchmem input)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -126,6 +130,18 @@ func run(args []string, in io.Reader, out io.Writer) error {
 			return err
 		}
 		rep.Derived = append(rep.Derived, d)
+	}
+	if *assertZero != "" {
+		b, ok := rep.Benchmarks[*assertZero]
+		if !ok {
+			return fmt.Errorf("-assert-zero benchmark %q not in input (have %s)", *assertZero, names(rep.Benchmarks))
+		}
+		if b.AllocsPerOp == nil {
+			return fmt.Errorf("-assert-zero %s: no allocs/op in input (run the benchmark with -benchmem)", *assertZero)
+		}
+		if *b.AllocsPerOp != 0 {
+			return fmt.Errorf("-assert-zero %s: %.1f allocs/op, want exactly 0", *assertZero, *b.AllocsPerOp)
+		}
 	}
 
 	w := out

@@ -104,6 +104,38 @@ func TestRunWritesFile(t *testing.T) {
 	}
 }
 
+func TestAssertZero(t *testing.T) {
+	// ReplayInterned averages to exactly 0 allocs/op: the gate passes.
+	var sb strings.Builder
+	if err := run([]string{"-assert-zero", "ReplayInterned"},
+		strings.NewReader(sampleInput), &sb); err != nil {
+		t.Fatalf("assert-zero on a zero-alloc benchmark: %v", err)
+	}
+
+	// ReplayStringKeyed allocates: the gate must fail.
+	sb.Reset()
+	err := run([]string{"-assert-zero", "ReplayStringKeyed"},
+		strings.NewReader(sampleInput), &sb)
+	if err == nil || !strings.Contains(err.Error(), "1.0 allocs/op") {
+		t.Fatalf("assert-zero on an allocating benchmark: err = %v, want allocs/op failure", err)
+	}
+
+	// A benchmark without -benchmem columns cannot be asserted on.
+	noMem := "BenchmarkLean-8 \t 100\t 10.0 ns/op\n"
+	sb.Reset()
+	err = run([]string{"-assert-zero", "Lean"}, strings.NewReader(noMem), &sb)
+	if err == nil || !strings.Contains(err.Error(), "-benchmem") {
+		t.Fatalf("assert-zero without mem stats: err = %v, want -benchmem hint", err)
+	}
+
+	// An unknown benchmark name is a usage error, not a silent pass.
+	sb.Reset()
+	if err := run([]string{"-assert-zero", "Nope"},
+		strings.NewReader(sampleInput), &sb); err == nil {
+		t.Fatal("assert-zero on an unknown benchmark: expected error")
+	}
+}
+
 func TestRunErrors(t *testing.T) {
 	tests := []struct {
 		name  string

@@ -28,7 +28,6 @@ import (
 	"math/bits"
 	"sync"
 	"sync/atomic"
-	"time"
 
 	"webcachesim/internal/policy"
 	"webcachesim/internal/trace"
@@ -42,22 +41,6 @@ const DefaultShards = 16
 // maxShards bounds the shard count; beyond this the per-shard maps are so
 // sparse that sharding only wastes memory.
 const maxShards = 1 << 12
-
-// Entry is one cached object. Body and the header fields are immutable
-// after Set — concurrent readers serve them without copying. Doc carries
-// the policy-facing identity (key, dense ID, size, class).
-type Entry struct {
-	Doc         *policy.Doc
-	Body        []byte
-	ContentType string
-	Status      int
-	// Expires, when non-zero, is the instant the entry becomes stale.
-	// The cache itself does not expire entries — a stale entry stays
-	// resident until evicted — the caller decides what staleness means
-	// (the proxy revalidates, and serves stale only when the origin is
-	// down).
-	Expires time.Time
-}
 
 // Config parameterizes a Cache.
 type Config struct {
@@ -78,6 +61,11 @@ type Config struct {
 	// byte budget and keyed by that shard's interned IDs. The zero value
 	// admits everything. Requires the policy to implement policy.Peeker.
 	Admission policy.AdmitterFactory
+	// InternRetain bounds each shard's URL interner: the number of
+	// non-resident URL→ID mappings retained before the oldest are
+	// recycled (DefaultInternRetain when 0, unbounded when negative).
+	// See idTable for the identity trade-off.
+	InternRetain int
 }
 
 // Cache is the sharded store. All methods are safe for concurrent use.
@@ -101,7 +89,7 @@ type shard struct {
 	adm     policy.Admitter // nil when admission is disabled
 	peek    policy.Peeker   // set iff adm is set
 	entries map[string]*Entry
-	ids     *trace.Interner
+	ids     *idTable
 	used    int64
 	index   int // position in Cache.shards, for the eviction sweep
 }
@@ -130,11 +118,15 @@ func New(cfg Config) (*Cache, error) {
 		mask:     uint64(n - 1),
 		shards:   make([]shard, n),
 	}
+	retain := cfg.InternRetain
+	if retain == 0 {
+		retain = DefaultInternRetain
+	}
 	for i := range c.shards {
 		c.shards[i] = shard{
 			pol:     cfg.Policy.New(),
 			entries: make(map[string]*Entry, 64),
-			ids:     trace.NewInterner(),
+			ids:     newIDTable(retain),
 			index:   i,
 		}
 		if cfg.Admission.New != nil {
@@ -159,6 +151,12 @@ func (c *Cache) shardFor(key string) *shard {
 }
 
 // Get returns the entry for key, recording a policy hit when resident.
+// The entry is returned with a reference acquired on the caller's
+// behalf: the caller must Release it when done with the body (see
+// Entry's refcount contract). Acquiring under the shard lock is what
+// makes evict-while-serving safe — eviction also runs under this lock,
+// so the cache's own reference is still live at the moment the reader's
+// is taken.
 func (c *Cache) Get(key string) (*Entry, bool) {
 	sh := c.shardFor(key)
 	sh.mu.Lock()
@@ -168,6 +166,25 @@ func (c *Cache) Get(key string) (*Entry, bool) {
 			sh.adm.Touch(e.Doc)
 		}
 		sh.pol.Hit(e.Doc)
+		e.Acquire()
+	}
+	sh.mu.Unlock()
+	return e, ok
+}
+
+// GetBytes is Get for a key assembled in a byte buffer. It hashes and
+// looks up without converting the key to a string, so a cache hit
+// performs no allocation — the zero-allocation serving path's lookup.
+func (c *Cache) GetBytes(key []byte) (*Entry, bool) {
+	sh := &c.shards[trace.Hash64Bytes(key)&c.mask]
+	sh.mu.Lock()
+	e, ok := sh.entries[string(key)] // compiler-optimized: no conversion alloc
+	if ok {
+		if sh.adm != nil {
+			sh.adm.Touch(e.Doc)
+		}
+		sh.pol.Hit(e.Doc)
+		e.Acquire()
 	}
 	sh.mu.Unlock()
 	return e, ok
@@ -235,6 +252,16 @@ func (c *Cache) Insert(key string, e *Entry) SetOutcome {
 	}
 
 	if !c.reserve(size, home) {
+		if home.adm != nil {
+			// admit pinned the candidate's ID; retire it again — unless a
+			// concurrent insert made the key resident, in which case the
+			// pin belongs to that entry.
+			home.mu.Lock()
+			if _, resident := home.entries[key]; !resident {
+				home.ids.unpin(e.Doc.ID)
+			}
+			home.mu.Unlock()
+		}
 		c.rejects.Add(1)
 		return SetRejectedBudget
 	}
@@ -244,8 +271,14 @@ func (c *Cache) Insert(key string, e *Entry) SetOutcome {
 		home.pol.Remove(old.Doc)
 		home.used -= old.Doc.Size
 		c.used.Add(-old.Doc.Size)
+		// The key stays pinned (the new version inherits the ID); only the
+		// cache's reference on the superseded body is dropped.
+		old.Release()
 	}
-	e.Doc.ID = home.ids.Intern(key)
+	e.Doc.ID = home.ids.pin(key)
+	// The cache's own reference: held while resident, released after the
+	// entry leaves (eviction, removal, replacement).
+	e.Acquire()
 	home.entries[key] = e
 	home.used += size
 	home.pol.Insert(e.Doc)
@@ -268,18 +301,26 @@ func (c *Cache) Insert(key string, e *Entry) SetOutcome {
 func (c *Cache) admit(home *shard, key string, e *Entry) bool {
 	home.mu.Lock()
 	defer home.mu.Unlock()
-	e.Doc.ID = home.ids.Intern(key)
+	e.Doc.ID = home.ids.pin(key)
 	home.adm.Touch(e.Doc)
-	if c.used.Load()+e.Doc.Size <= c.capacity {
-		return true
+	admitted := true
+	if c.used.Load()+e.Doc.Size > c.capacity {
+		if victim, ok := home.peek.Peek(); ok {
+			admitted = home.adm.Admit(e.Doc, victim)
+		}
+		// else: the home shard has nothing to evict; the bytes will come
+		// from other shards, whose victims this shard's filter cannot
+		// judge — admit unconditionally.
 	}
-	victim, ok := home.peek.Peek()
-	if !ok {
-		// The home shard has nothing to evict; the bytes will come from
-		// other shards, whose victims this shard's filter cannot judge.
-		return true
+	if !admitted {
+		// Retire the candidate's pin — unless the key is resident (a
+		// concurrent insert won the race), in which case the pin belongs
+		// to the resident entry.
+		if _, resident := home.entries[key]; !resident {
+			home.ids.unpin(e.Doc.ID)
+		}
 	}
-	return home.adm.Admit(e.Doc, victim)
+	return admitted
 }
 
 // reserve claims size bytes of the global budget, evicting until the
@@ -339,12 +380,17 @@ func (sh *shard) evictVictim(c *Cache) bool {
 	sh.used -= victim.Size
 	c.used.Add(-victim.Size)
 	c.evictions.Add(1)
+	sh.ids.unpin(victim.ID)
 	if sh.adm != nil {
 		sh.adm.Evicted(victim)
 	}
 	if c.onEvict != nil {
 		c.onEvict(e)
 	}
+	// Drop the cache's reference last, after the OnEvict observer has run:
+	// readers that acquired under this shard's lock keep the body alive,
+	// and the pooled buffer returns only when the final one releases.
+	e.Release()
 	return true
 }
 
@@ -364,6 +410,8 @@ func (c *Cache) removeFrom(sh *shard, key string) bool {
 	delete(sh.entries, key)
 	sh.used -= e.Doc.Size
 	c.used.Add(-e.Doc.Size)
+	sh.ids.unpin(e.Doc.ID)
+	e.Release()
 	return true
 }
 
@@ -402,6 +450,20 @@ func (c *Cache) AdmissionCounts() policy.AdmissionCounts {
 
 // Shards returns the shard count.
 func (c *Cache) Shards() int { return len(c.shards) }
+
+// InternedKeys returns the number of live URL→ID mappings across all
+// shard interners (resident keys plus the retained non-resident tail) —
+// the quantity the bounded-interner tests pin.
+func (c *Cache) InternedKeys() int {
+	n := 0
+	for i := range c.shards {
+		sh := &c.shards[i]
+		sh.mu.Lock()
+		n += sh.ids.len()
+		sh.mu.Unlock()
+	}
+	return n
+}
 
 // Len returns the number of resident entries across all shards.
 func (c *Cache) Len() int {

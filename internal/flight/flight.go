@@ -19,9 +19,10 @@ import (
 
 // call is one in-flight (or just-completed) execution of fn for a key.
 type call struct {
-	wg  sync.WaitGroup
-	val any
-	err error
+	wg   sync.WaitGroup
+	val  any
+	err  error
+	dups int // waiters that joined while the call was in flight
 }
 
 // Group coalesces duplicate concurrent calls by key. The zero value is
@@ -43,11 +44,27 @@ type Group struct {
 // waiters receive an error — they cannot be unwound through a foreign
 // stack, but they must not hang.
 func (g *Group) Do(key string, fn func() (any, error)) (v any, err error, shared bool) {
+	return g.DoShared(key, fn, nil)
+}
+
+// DoShared is Do with a lifetime hook: after fn completes — and before
+// any waiter can observe the result — prepare is called exactly once with
+// the value, the error, and the total number of callers that will receive
+// them (the executing caller plus every coalesced waiter). The window is
+// race-free by construction: waiters can only join while the call is in
+// the in-flight map, prepare runs after the call has been retired from
+// the map, and the waiters are still blocked when it runs. The proxy uses
+// it to acquire one reference on a pooled response body per consumer, so
+// no consumer can see the body recycled under it. prepare must be fast
+// and must not call back into the Group; a nil prepare makes DoShared
+// identical to Do.
+func (g *Group) DoShared(key string, fn func() (any, error), prepare func(v any, err error, consumers int)) (v any, err error, shared bool) {
 	g.mu.Lock()
 	if g.m == nil {
 		g.m = make(map[string]*call)
 	}
 	if c, ok := g.m[key]; ok {
+		c.dups++
 		g.mu.Unlock()
 		c.wg.Wait()
 		return c.val, c.err, true
@@ -63,21 +80,26 @@ func (g *Group) Do(key string, fn func() (any, error)) (v any, err error, shared
 			// Reached only when fn panicked: release the waiters with an
 			// error before the panic unwinds through this frame.
 			c.err = fmt.Errorf("flight: call for %q panicked", key)
-			g.finish(key, c)
+			g.finish(key, c, prepare)
 		}
 	}()
 	c.val, c.err = fn()
 	panicked = false
-	g.finish(key, c)
+	g.finish(key, c, prepare)
 	return c.val, c.err, false
 }
 
-// finish publishes the call's result and retires it from the in-flight
-// map, releasing every waiter.
-func (g *Group) finish(key string, c *call) {
+// finish retires the call from the in-flight map (fixing the consumer
+// count — later callers start a fresh flight), runs the prepare hook, and
+// only then publishes the result to the waiters.
+func (g *Group) finish(key string, c *call, prepare func(v any, err error, consumers int)) {
 	g.mu.Lock()
 	delete(g.m, key)
+	dups := c.dups
 	g.mu.Unlock()
+	if prepare != nil {
+		prepare(c.val, c.err, dups+1)
+	}
 	c.wg.Done()
 }
 

@@ -138,3 +138,100 @@ func TestDoPanicReleasesWaiters(t *testing.T) {
 		t.Fatal("waiter hung after leader panicked")
 	}
 }
+
+func TestDoSharedCountsConsumers(t *testing.T) {
+	var g Group
+	const waiters = 7
+	release := make(chan struct{})
+	joined := make(chan struct{}, waiters)
+
+	var consumers atomic.Int64
+	var prepared atomic.Int64
+	leaderDone := make(chan struct{})
+	go func() {
+		defer close(leaderDone)
+		v, err, shared := g.DoShared("k", func() (any, error) {
+			for i := 0; i < waiters; i++ {
+				<-joined // hold the call open until every waiter is in
+			}
+			<-release
+			return 42, nil
+		}, func(v any, err error, n int) {
+			prepared.Add(1)
+			consumers.Store(int64(n))
+		})
+		if v != 42 || err != nil || shared {
+			panic("leader got wrong result")
+		}
+	}()
+
+	var wg sync.WaitGroup
+	for i := 0; i < waiters; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				g.mu.Lock()
+				_, inFlight := g.m["k"]
+				g.mu.Unlock()
+				if inFlight {
+					break
+				}
+				time.Sleep(time.Millisecond)
+			}
+			joined <- struct{}{}
+			v, err, shared := g.DoShared("k", func() (any, error) {
+				t.Error("waiter executed fn; should have coalesced")
+				return nil, nil
+			}, nil)
+			if v != 42 || err != nil || !shared {
+				t.Errorf("waiter got (%v, %v, %v), want (42, nil, true)", v, err, shared)
+			}
+		}()
+	}
+
+	close(release)
+	<-leaderDone
+	wg.Wait()
+	if got := consumers.Load(); got != waiters+1 {
+		t.Errorf("prepare saw %d consumers, want %d", got, waiters+1)
+	}
+	if got := prepared.Load(); got != 1 {
+		t.Errorf("prepare ran %d times, want exactly 1", got)
+	}
+}
+
+// prepare must observe the result before ANY consumer: the hook
+// increments a guard the consumers assert on.
+func TestDoSharedPrepareHappensBeforeConsumption(t *testing.T) {
+	var g Group
+	var ready atomic.Bool
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			v, err, _ := g.DoShared("k", func() (any, error) {
+				time.Sleep(2 * time.Millisecond)
+				return "v", nil
+			}, func(any, error, int) { ready.Store(true) })
+			if err == nil && v == "v" && !ready.Load() {
+				t.Error("consumer observed result before prepare ran")
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+func TestDoSharedErrorStillPrepares(t *testing.T) {
+	var g Group
+	boom := errors.New("boom")
+	var sawErr error
+	var n int
+	_, err, _ := g.DoShared("k", func() (any, error) { return nil, boom }, func(_ any, e error, c int) {
+		sawErr, n = e, c
+	})
+	if !errors.Is(err, boom) || !errors.Is(sawErr, boom) || n != 1 {
+		t.Errorf("prepare saw (err=%v, n=%d), caller err=%v", sawErr, n, err)
+	}
+}

@@ -27,6 +27,7 @@ import (
 	"sync"
 	"time"
 
+	"webcachesim/internal/pool"
 	"webcachesim/internal/trace"
 )
 
@@ -120,10 +121,26 @@ type Report struct {
 }
 
 // worker accumulates results privately; tallies merge after the run, so
-// the hot loop takes no locks.
+// the hot loop takes no locks. Each worker also owns its request-shaped
+// state — a reusable http.Request, a reusable target URL, and a pooled
+// drain buffer — so the replay loop does not allocate per request beyond
+// what url.Parse and the transport require. A loaded generator that
+// allocates heavily distorts the very latency distribution it measures;
+// keeping the client lean keeps the numbers about the proxy.
 type worker struct {
 	tally     Tally
 	latencies []time.Duration
+
+	client *http.Client
+	mode   Mode
+	// req is reused across the worker's sequential requests (legal: the
+	// previous response body is fully drained and closed before the next
+	// call). reqURL is the Reverse-mode target, retargeted in place.
+	req    *http.Request
+	reqURL url.URL
+	// drainBuf is the pooled body-read buffer, held for the worker's
+	// lifetime and released when the run ends.
+	drainBuf *pool.Buf
 }
 
 // Run replays the configured source against the target and blocks until
@@ -182,15 +199,35 @@ func Run(cfg Config) (*Report, error) {
 	}()
 
 	workers := make([]*worker, conc)
+	perWorker := 0
+	if cfg.Requests > 0 {
+		perWorker = cfg.Requests/conc + 1
+	}
 	start := time.Now()
 	for i := range workers {
-		w := &worker{}
+		w := &worker{
+			client: client,
+			mode:   cfg.Mode,
+			reqURL: *cfg.Target,
+			req: &http.Request{
+				Method:     http.MethodGet,
+				Proto:      "HTTP/1.1",
+				ProtoMajor: 1,
+				ProtoMinor: 1,
+				Header:     make(http.Header),
+			},
+			drainBuf: pool.Default.Get(32 << 10),
+		}
+		if perWorker > 0 {
+			w.latencies = make([]time.Duration, 0, perWorker)
+		}
 		workers[i] = w
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			defer w.drainBuf.Release()
 			for raw := range urls {
-				w.do(client, cfg, raw)
+				w.do(raw)
 			}
 		}()
 	}
@@ -204,20 +241,21 @@ func Run(cfg Config) (*Report, error) {
 }
 
 // do issues one request and tallies its outcome.
-func (w *worker) do(client *http.Client, cfg Config, raw string) {
-	target, err := requestURL(cfg, raw)
+func (w *worker) do(raw string) {
+	u, err := url.Parse(raw)
 	if err != nil {
 		w.tally.Errors++
 		return
 	}
+	w.setTarget(u)
 	begin := time.Now()
-	resp, err := client.Get(target)
+	resp, err := w.client.Do(w.req)
 	if err != nil {
 		w.tally.Errors++
 		return
 	}
-	n, _ := io.Copy(io.Discard, resp.Body) // a short read only skews this sample's byte count
-	_ = resp.Body.Close()                  // best-effort: the request already succeeded
+	n := w.drain(resp.Body)
+	_ = resp.Body.Close() // best-effort: the request already succeeded
 	w.latencies = append(w.latencies, time.Since(begin))
 
 	w.tally.Requests++
@@ -239,19 +277,34 @@ func (w *worker) do(client *http.Client, cfg Config, raw string) {
 	}
 }
 
-// requestURL maps a trace URL onto the target per the addressing mode.
-func requestURL(cfg Config, raw string) (string, error) {
-	if cfg.Mode == Forward {
-		return raw, nil
+// setTarget points the worker's reusable request at the parsed trace
+// URL: verbatim in Forward mode, or — in Reverse mode — by grafting the
+// trace URL's path and query onto the reusable target URL, the same
+// mapping the old String()+re-parse produced without materializing the
+// intermediate string.
+func (w *worker) setTarget(u *url.URL) {
+	if w.mode == Forward {
+		w.req.URL = u
+		return
 	}
-	u, err := url.Parse(raw)
-	if err != nil {
-		return "", err
+	w.reqURL.Path = u.Path
+	w.reqURL.RawPath = u.RawPath
+	w.reqURL.RawQuery = u.RawQuery
+	w.req.URL = &w.reqURL
+}
+
+// drain reads the response body to completion through the worker's
+// pooled buffer, returning the bytes received. Read errors end the drain
+// early — a short read only skews this sample's byte count.
+func (w *worker) drain(body io.Reader) int64 {
+	var n int64
+	for {
+		m, err := body.Read(w.drainBuf.B)
+		n += int64(m)
+		if err != nil {
+			return n
+		}
 	}
-	mapped := *cfg.Target
-	mapped.Path = u.Path
-	mapped.RawQuery = u.RawQuery
-	return mapped.String(), nil
 }
 
 // assemble merges the workers' private tallies into the final report.

@@ -1,6 +1,7 @@
 package load
 
 import (
+	"net/http"
 	"net/url"
 	"testing"
 	"time"
@@ -18,27 +19,30 @@ func TestParseMode(t *testing.T) {
 	}
 }
 
-func TestRequestURLReverse(t *testing.T) {
+func TestSetTargetReverse(t *testing.T) {
 	target, _ := url.Parse("http://127.0.0.1:9999")
-	got, err := requestURL(Config{Target: target, Mode: Reverse},
-		"http://dfn.synth.example/html/d42?x=1")
+	w := &worker{mode: Reverse, reqURL: *target, req: &http.Request{}}
+	u, err := url.Parse("http://dfn.synth.example/html/d42?x=1")
 	if err != nil {
 		t.Fatal(err)
 	}
-	if want := "http://127.0.0.1:9999/html/d42?x=1"; got != want {
-		t.Errorf("requestURL = %q, want %q", got, want)
+	w.setTarget(u)
+	if got, want := w.req.URL.String(), "http://127.0.0.1:9999/html/d42?x=1"; got != want {
+		t.Errorf("mapped URL = %q, want %q", got, want)
 	}
 }
 
-func TestRequestURLForward(t *testing.T) {
+func TestSetTargetForward(t *testing.T) {
 	target, _ := url.Parse("http://127.0.0.1:9999")
 	raw := "http://dfn.synth.example/html/d42"
-	got, err := requestURL(Config{Target: target, Mode: Forward}, raw)
+	w := &worker{mode: Forward, reqURL: *target, req: &http.Request{}}
+	u, err := url.Parse(raw)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if got != raw {
-		t.Errorf("requestURL = %q, want original URL %q", got, raw)
+	w.setTarget(u)
+	if got := w.req.URL.String(); got != raw {
+		t.Errorf("mapped URL = %q, want original URL %q", got, raw)
 	}
 }
 

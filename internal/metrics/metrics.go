@@ -269,11 +269,20 @@ func (g *gaugeFunc) snapshot() any { return g.fn() }
 // label (e.g. requests by document class). Children are created on first
 // use and live for the registry's lifetime, so label values must come
 // from a small, bounded set — never from request URLs or client input.
+//
+// Lookup of an existing child is lock-free: the child map is an immutable
+// snapshot behind an atomic pointer, replaced copy-on-write under a mutex
+// only when a new label value first appears. With on a warm child is
+// therefore one atomic load and a map read — safe on serving paths even
+// without caching the child (though pre-resolving children, as the proxy
+// does, is still cheaper).
 type CounterVec struct {
 	desc
-	label    string
-	mu       sync.Mutex
-	children map[string]*Counter
+	label string
+	// children is the immutable current snapshot; writers replace it
+	// whole under mu, readers load it without synchronization.
+	children atomic.Pointer[map[string]*Counter]
+	mu       sync.Mutex // serializes snapshot replacement only
 }
 
 // NewCounterVec creates and registers a labeled counter family.
@@ -282,33 +291,41 @@ func (r *Registry) NewCounterVec(name, help, label string) *CounterVec {
 		panic(fmt.Sprintf("metrics: invalid label name %q", label))
 	}
 	v := &CounterVec{
-		desc:     desc{name: name, help: help},
-		label:    label,
-		children: make(map[string]*Counter),
+		desc:  desc{name: name, help: help},
+		label: label,
 	}
+	v.children.Store(&map[string]*Counter{})
 	r.register(v)
 	return v
 }
 
 // With returns the child counter for the given label value, creating it
-// on first use. Callers on hot paths should cache the child.
+// on first use.
 func (v *CounterVec) With(value string) *Counter {
+	if c, ok := (*v.children.Load())[value]; ok {
+		return c
+	}
 	v.mu.Lock()
 	defer v.mu.Unlock()
-	c, ok := v.children[value]
-	if !ok {
-		c = &Counter{desc: desc{name: v.name, help: v.help}}
-		v.children[value] = c
+	cur := *v.children.Load()
+	if c, ok := cur[value]; ok {
+		return c // another creator won the race
 	}
+	c := &Counter{desc: desc{name: v.name, help: v.help}}
+	next := make(map[string]*Counter, len(cur)+1)
+	for k, ch := range cur {
+		next[k] = ch
+	}
+	next[value] = c
+	v.children.Store(&next)
 	return c
 }
 
 // values returns the label values in sorted order.
 func (v *CounterVec) values() []string {
-	v.mu.Lock()
-	defer v.mu.Unlock()
-	out := make([]string, 0, len(v.children))
-	for val := range v.children {
+	cur := *v.children.Load()
+	out := make([]string, 0, len(cur))
+	for val := range cur {
 		out = append(out, val)
 	}
 	sort.Strings(out)
@@ -319,12 +336,10 @@ func (v *CounterVec) writeText(w io.Writer) error {
 	if err := v.header(w, "counter"); err != nil {
 		return err
 	}
+	cur := *v.children.Load()
 	for _, val := range v.values() {
-		v.mu.Lock()
-		c := v.children[val]
-		v.mu.Unlock()
 		if _, err := fmt.Fprintf(w, "%s{%s=\"%s\"} %d\n",
-			v.name, v.label, escapeLabelValue(val), c.Value()); err != nil {
+			v.name, v.label, escapeLabelValue(val), cur[val].Value()); err != nil {
 			return err
 		}
 	}
@@ -332,11 +347,9 @@ func (v *CounterVec) writeText(w io.Writer) error {
 }
 
 func (v *CounterVec) snapshot() any {
-	out := make(map[string]int64)
-	for _, val := range v.values() {
-		v.mu.Lock()
-		c := v.children[val]
-		v.mu.Unlock()
+	cur := *v.children.Load()
+	out := make(map[string]int64, len(cur))
+	for val, c := range cur {
 		out[val] = c.Value()
 	}
 	return out

@@ -3,6 +3,7 @@ package metrics_test
 import (
 	"encoding/json"
 	"expvar"
+	"fmt"
 	"io"
 	"math"
 	"net/http/httptest"
@@ -251,5 +252,39 @@ func TestConcurrentUpdates(t *testing.T) {
 	}
 	if got := h.Sum(); math.Abs(got-2000) > 1e-6 {
 		t.Fatalf("histogram Sum = %v, want 2000", got)
+	}
+}
+
+// TestCounterVecConcurrentCreation races 8 goroutines creating and
+// incrementing distinct AND shared label values: with the copy-on-write
+// child map, every creation must land (no lost children) and every
+// increment must go to the one true child for its value.
+func TestCounterVecConcurrentCreation(t *testing.T) {
+	r := metrics.NewRegistry()
+	v := r.NewCounterVec("test_cow_vec_total", "x", "k")
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		g := g
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				v.With(fmt.Sprintf("own-%d-%d", g, i)).Inc() // fresh value: exercises creation
+				v.With(fmt.Sprintf("shared-%d", i)).Inc()    // contended value: exercises the race check
+			}
+		}()
+	}
+	wg.Wait()
+	for i := 0; i < 200; i++ {
+		if got := v.With(fmt.Sprintf("shared-%d", i)).Value(); got != 8 {
+			t.Fatalf("shared-%d = %d, want 8", i, got)
+		}
+	}
+	for g := 0; g < 8; g++ {
+		for i := 0; i < 200; i++ {
+			if got := v.With(fmt.Sprintf("own-%d-%d", g, i)).Value(); got != 1 {
+				t.Fatalf("own-%d-%d = %d, want 1 (lost creation)", g, i, got)
+			}
+		}
 	}
 }

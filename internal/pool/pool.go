@@ -1,0 +1,198 @@
+// Package pool implements the size-classed buffer pool the serving path
+// runs on: power-of-two byte-slice classes recycled through sync.Pool, so
+// the proxy's steady state performs no allocator work at all — origin
+// bodies are read into pooled buffers, cached entries hand those buffers
+// back on their last release, and per-request scratch (key assembly, body
+// drains) cycles through the same classes.
+//
+// A Pool hands out *Buf handles rather than raw slices: the handle pins
+// the buffer's class so Release can return it to the right sync.Pool
+// without recomputing anything, and the handle itself is recycled along
+// with its buffer, so a Get/Release pair allocates nothing once the class
+// is warm. Requests larger than the biggest class are served by a plain
+// heap allocation ("bypass" buffers) whose Release is a no-op — the
+// garbage collector owns them, and Stats counts them separately.
+//
+// Accounting is exact and monotonic: every Get increments the class's
+// acquire counter, every Release of a pooled buffer its release counter,
+// and every fresh allocation its news counter. Outstanding() — acquires
+// minus releases — therefore counts live pooled buffers, which is the
+// invariant the proxy's pool-balance test pins: after the server drains,
+// outstanding equals exactly the buffers still held by resident cache
+// entries. sync.Pool may drop idle buffers under GC pressure; that shows
+// up as extra news, never as an accounting imbalance.
+package pool
+
+import (
+	"math/bits"
+	"sync"
+	"sync/atomic"
+)
+
+const (
+	// minShift/maxShift bound the size classes: 512 B up to 16 MiB, which
+	// covers everything the proxy caches (DefaultMaxObjectBytes is 8 MiB,
+	// and the oversize probe reads one byte past it).
+	minShift = 9
+	maxShift = 24
+	// NumClasses is the number of power-of-two size classes.
+	NumClasses = maxShift - minShift + 1
+
+	// MinClassBytes and MaxClassBytes are the smallest and largest pooled
+	// buffer sizes; requests above MaxClassBytes bypass the pool.
+	MinClassBytes = 1 << minShift
+	MaxClassBytes = 1 << maxShift
+)
+
+// Buf is a pooled buffer handle. B is the usable slice, sized exactly to
+// the class (or to the requested length for a bypass buffer); callers may
+// reslice B freely but must keep the handle to Release it. A Buf must be
+// released exactly once and not used afterwards.
+type Buf struct {
+	B     []byte
+	pool  *Pool
+	class int8 // -1 for bypass buffers the GC owns
+}
+
+// Release returns the buffer to its pool. Releasing a bypass buffer is a
+// no-op (the garbage collector reclaims it). The caller must not touch
+// the handle or its bytes afterwards.
+func (b *Buf) Release() {
+	p := b.pool
+	if p == nil {
+		return
+	}
+	b.B = b.B[:cap(b.B)]
+	p.stats[b.class].releases.Add(1)
+	p.classes[b.class].Put(b)
+}
+
+// Len returns the buffer's class size in bytes (or the bypass buffer's
+// allocated length).
+func (b *Buf) Len() int { return cap(b.B) }
+
+// classStats is one class's acquire/release/new accounting.
+type classStats struct {
+	acquires atomic.Int64
+	releases atomic.Int64
+	news     atomic.Int64
+}
+
+// Pool is a set of power-of-two buffer classes. The zero value is not
+// usable; call New. All methods are safe for concurrent use.
+type Pool struct {
+	classes [NumClasses]sync.Pool
+	stats   [NumClasses]classStats
+	bypass  atomic.Int64 // Get calls larger than MaxClassBytes
+}
+
+// New creates an empty pool.
+func New() *Pool {
+	p := &Pool{}
+	for c := range p.classes {
+		size := 1 << (minShift + c)
+		cls := int8(c)
+		st := &p.stats[c]
+		p.classes[c].New = func() any {
+			st.news.Add(1)
+			return &Buf{B: make([]byte, size), pool: p, class: cls}
+		}
+	}
+	return p
+}
+
+// Default is the process-wide shared pool. Components that want isolated
+// accounting (tests, benchmarks) create their own with New.
+var Default = New()
+
+// classFor returns the class index for a request of n bytes, or -1 when n
+// exceeds the largest class.
+func classFor(n int) int {
+	if n > MaxClassBytes {
+		return -1
+	}
+	if n <= MinClassBytes {
+		return 0
+	}
+	return bits.Len(uint(n-1)) - minShift
+}
+
+// Get returns a buffer with at least n usable bytes: the smallest class
+// that fits, with B sliced to the full class size. Requests larger than
+// MaxClassBytes bypass the pool entirely and come straight from the heap
+// (their Release is a no-op).
+func (p *Pool) Get(n int) *Buf {
+	c := classFor(n)
+	if c < 0 {
+		p.bypass.Add(1)
+		return &Buf{B: make([]byte, n), class: -1}
+	}
+	p.stats[c].acquires.Add(1)
+	return p.classes[c].Get().(*Buf)
+}
+
+// Grow returns a buffer of at least n bytes carrying b's first len bytes,
+// releasing b. It is the pooled replacement for append-style growth: the
+// copy runs once per class step, so reading an unknown-length stream
+// costs O(total bytes) copying overall, like append, but recycles every
+// intermediate buffer.
+func (p *Pool) Grow(b *Buf, used, n int) *Buf {
+	if n <= cap(b.B) {
+		return b
+	}
+	nb := p.Get(n)
+	copy(nb.B, b.B[:used])
+	b.Release()
+	return nb
+}
+
+// Stats is a point-in-time aggregate of the pool's accounting.
+type Stats struct {
+	// Acquires and Releases count Get and Release calls on pooled
+	// classes; News counts buffers allocated because the class was empty.
+	Acquires int64
+	Releases int64
+	News     int64
+	// Bypass counts Get calls too large for any class, served unpooled.
+	Bypass int64
+}
+
+// Outstanding returns the number of pooled buffers currently held by
+// callers (acquired and not yet released).
+func (s Stats) Outstanding() int64 { return s.Acquires - s.Releases }
+
+// Stats aggregates the per-class counters.
+func (p *Pool) Stats() Stats {
+	var s Stats
+	for c := range p.stats {
+		st := &p.stats[c]
+		s.Acquires += st.acquires.Load()
+		s.Releases += st.releases.Load()
+		s.News += st.news.Load()
+	}
+	s.Bypass = p.bypass.Load()
+	return s
+}
+
+// ClassStat is one size class's accounting, for introspection and gauges.
+type ClassStat struct {
+	Size     int
+	Acquires int64
+	Releases int64
+	News     int64
+}
+
+// ClassStats returns every class's counters in size order.
+func (p *Pool) ClassStats() []ClassStat {
+	out := make([]ClassStat, NumClasses)
+	for c := range p.stats {
+		st := &p.stats[c]
+		out[c] = ClassStat{
+			Size:     1 << (minShift + c),
+			Acquires: st.acquires.Load(),
+			Releases: st.releases.Load(),
+			News:     st.news.Load(),
+		}
+	}
+	return out
+}

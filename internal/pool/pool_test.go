@@ -1,0 +1,177 @@
+package pool
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestClassFor(t *testing.T) {
+	cases := []struct {
+		n    int
+		want int
+	}{
+		{0, 0},
+		{1, 0},
+		{MinClassBytes, 0},
+		{MinClassBytes + 1, 1},
+		{1024, 1},
+		{1025, 2},
+		{MaxClassBytes, NumClasses - 1},
+		{MaxClassBytes + 1, -1},
+	}
+	for _, c := range cases {
+		if got := classFor(c.n); got != c.want {
+			t.Errorf("classFor(%d) = %d, want %d", c.n, got, c.want)
+		}
+	}
+}
+
+func TestGetSizes(t *testing.T) {
+	p := New()
+	for _, n := range []int{0, 1, 100, 512, 513, 4096, 1 << 20} {
+		b := p.Get(n)
+		if len(b.B) < n {
+			t.Errorf("Get(%d): len %d < requested", n, len(b.B))
+		}
+		if len(b.B)&(len(b.B)-1) != 0 {
+			t.Errorf("Get(%d): class size %d not a power of two", n, len(b.B))
+		}
+		b.Release()
+	}
+}
+
+func TestBypassOversize(t *testing.T) {
+	p := New()
+	n := MaxClassBytes + 1
+	b := p.Get(n)
+	if len(b.B) != n {
+		t.Fatalf("bypass Get(%d): len %d", n, len(b.B))
+	}
+	if b.pool != nil || b.class != -1 {
+		t.Fatalf("bypass buffer should not belong to the pool")
+	}
+	b.Release() // must be a no-op, not a panic
+	st := p.Stats()
+	if st.Bypass != 1 {
+		t.Errorf("Bypass = %d, want 1", st.Bypass)
+	}
+	if st.Acquires != 0 || st.Releases != 0 {
+		t.Errorf("bypass must not touch class counters: %+v", st)
+	}
+}
+
+func TestReuseSameBuffer(t *testing.T) {
+	p := New()
+	b := p.Get(1000)
+	ptr := &b.B[0]
+	b.Release()
+	b2 := p.Get(900) // same class
+	if &b2.B[0] != ptr {
+		t.Errorf("sequential Get after Release did not reuse the buffer")
+	}
+	if got := p.Stats().News; got != 1 {
+		t.Errorf("News = %d, want 1 (one allocation, reused)", got)
+	}
+	b2.Release()
+}
+
+func TestReleaseRestoresFullClass(t *testing.T) {
+	p := New()
+	b := p.Get(600)
+	b.B = b.B[:10] // caller resliced
+	b.Release()
+	b2 := p.Get(600)
+	if len(b2.B) != 1024 {
+		t.Errorf("reacquired buffer len %d, want full class 1024", len(b2.B))
+	}
+	b2.Release()
+}
+
+func TestGrow(t *testing.T) {
+	p := New()
+	b := p.Get(512)
+	for i := range b.B {
+		b.B[i] = byte(i)
+	}
+	g := p.Grow(b, 512, 2000)
+	if cap(g.B) < 2000 {
+		t.Fatalf("Grow cap %d < 2000", cap(g.B))
+	}
+	for i := 0; i < 512; i++ {
+		if g.B[i] != byte(i) {
+			t.Fatalf("Grow lost byte %d", i)
+		}
+	}
+	// Growing within capacity returns the same handle.
+	if g2 := p.Grow(g, 2000, 100); g2 != g {
+		t.Errorf("Grow within capacity must be a no-op")
+	}
+	g.Release()
+	if out := p.Stats().Outstanding(); out != 0 {
+		t.Errorf("Outstanding = %d after release, want 0", out)
+	}
+}
+
+func TestStatsBalance(t *testing.T) {
+	p := New()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(seed int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				b := p.Get((seed+1)*700 + i)
+				b.B[0] = byte(i)
+				b.Release()
+			}
+		}(g)
+	}
+	wg.Wait()
+	st := p.Stats()
+	if st.Acquires != 8*500 {
+		t.Errorf("Acquires = %d, want %d", st.Acquires, 8*500)
+	}
+	if st.Outstanding() != 0 {
+		t.Errorf("Outstanding = %d after drain, want 0", st.Outstanding())
+	}
+}
+
+func TestClassStats(t *testing.T) {
+	p := New()
+	b := p.Get(300) // class 0 (512 B)
+	cs := p.ClassStats()
+	if len(cs) != NumClasses {
+		t.Fatalf("ClassStats len %d, want %d", len(cs), NumClasses)
+	}
+	if cs[0].Size != MinClassBytes || cs[0].Acquires != 1 || cs[0].News != 1 {
+		t.Errorf("class 0 stats = %+v", cs[0])
+	}
+	b.Release()
+}
+
+// The pool's whole point: a warm Get/Release cycle performs no allocator
+// work.
+func TestGetReleaseZeroAlloc(t *testing.T) {
+	p := New()
+	p.Get(4096).Release() // warm the class
+	avg := testing.AllocsPerRun(1000, func() {
+		b := p.Get(4096)
+		b.B[0] = 1
+		b.Release()
+	})
+	if avg != 0 {
+		t.Errorf("warm Get/Release allocates %.2f per op, want 0", avg)
+	}
+}
+
+func BenchmarkGetRelease(b *testing.B) {
+	p := New()
+	b.ReportAllocs()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			buf := p.Get(32 << 10)
+			buf.B[0] = 1
+			buf.Release()
+		}
+	})
+}

@@ -132,4 +132,13 @@ func (s *Server) registerGauges(reg *metrics.Registry) {
 			"Admissions granted because the candidate was in a ghost directory of recent evictions.",
 			func() float64 { return float64(s.store.AdmissionCounts().GhostHits) })
 	}
+	reg.NewGaugeFunc("wcproxy_pool_buffers_outstanding",
+		"Pooled buffers currently held (cached bodies, in-flight reads and scratch).",
+		func() float64 { return float64(s.buffers.Stats().Outstanding()) })
+	reg.NewGaugeFunc("wcproxy_pool_buffer_allocs",
+		"Buffers allocated because a size class was empty (monotonic except for GC-dropped idle buffers being re-allocated).",
+		func() float64 { return float64(s.buffers.Stats().News) })
+	reg.NewGaugeFunc("wcproxy_pool_bypass",
+		"Buffer requests larger than the biggest pool class, served straight from the heap.",
+		func() float64 { return float64(s.buffers.Stats().Bypass) })
 }

@@ -1,0 +1,228 @@
+package proxy
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"math/rand/v2"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"sync"
+	"testing"
+
+	"webcachesim/internal/cache"
+	"webcachesim/internal/pool"
+	"webcachesim/internal/trace"
+)
+
+// patternOrigin is an in-process origin whose bodies are a deterministic
+// pure function of the path — every byte checkable by the client. That is
+// what makes the evict-while-serving test sharper than -race alone:
+// sync.Pool reuse establishes happens-before edges, so a buffer recycled
+// too early would not necessarily trip the race detector, but it WOULD
+// corrupt the checksummed body a reader is writing out.
+type patternOrigin struct {
+	size int
+}
+
+func patternBody(path string, size int) []byte {
+	b := make([]byte, size)
+	x := trace.Hash64(path)
+	for i := range b {
+		x ^= x << 13
+		x ^= x >> 7
+		x ^= x << 17
+		b[i] = byte(x)
+	}
+	return b
+}
+
+func (o patternOrigin) RoundTrip(req *http.Request) (*http.Response, error) {
+	body := patternBody(req.URL.Path, o.size)
+	h := make(http.Header)
+	h.Set("Content-Type", "image/gif")
+	return &http.Response{
+		StatusCode:    http.StatusOK,
+		Header:        h,
+		Body:          io.NopCloser(bytes.NewReader(body)),
+		ContentLength: int64(len(body)),
+	}, nil
+}
+
+// nopWriter is a ResponseWriter that discards everything — the
+// AllocsPerRun harness for the serving path itself, with net/http's own
+// response machinery out of the measurement.
+type nopWriter struct {
+	h http.Header
+}
+
+func (n *nopWriter) Header() http.Header         { return n.h }
+func (n *nopWriter) WriteHeader(int)             {}
+func (n *nopWriter) Write(b []byte) (int, error) { return len(b), nil }
+
+// reverseProxy builds a reverse-mode server over an in-process origin
+// with a private buffer pool.
+func reverseProxy(t testing.TB, cfg Config, rt http.RoundTripper) (*Server, *pool.Pool) {
+	t.Helper()
+	origin, err := url.Parse("http://origin.example")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := pool.New()
+	cfg.Origin = origin
+	cfg.Transport = rt
+	cfg.Buffers = p
+	if cfg.Capacity == 0 {
+		cfg.Capacity = 1 << 20
+	}
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s, p
+}
+
+// TestHitPathZeroAlloc is the PR's headline invariant: once an object is
+// resident and the pool is warm, serving a cache hit performs zero heap
+// allocations — key assembly, lookup, refcounting, metrics and header
+// writes included.
+func TestHitPathZeroAlloc(t *testing.T) {
+	s, _ := reverseProxy(t, Config{}, patternOrigin{size: 4 << 10})
+	warm := httptest.NewRecorder()
+	s.ServeHTTP(warm, httptest.NewRequest(http.MethodGet, "/steady.gif", nil))
+	if got := warm.Header().Get("X-Cache"); got != "MISS" {
+		t.Fatalf("warmup X-Cache = %q, want MISS", got)
+	}
+
+	req := httptest.NewRequest(http.MethodGet, "/steady.gif", nil)
+	w := &nopWriter{h: make(http.Header)}
+	allocs := testing.AllocsPerRun(200, func() {
+		s.ServeHTTP(w, req)
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state hit path allocates %.1f allocs/op, want 0", allocs)
+	}
+	st := s.Stats()
+	if st.Hits == 0 || st.Hits != st.Requests-1 {
+		t.Fatalf("accounting drifted: %d hits of %d requests", st.Hits, st.Requests)
+	}
+}
+
+// TestFastKeyFallback pins that requests the fast key path cannot
+// represent byte-identically (escaped path bytes) fall back to the
+// general path and still hit the same cache namespace.
+func TestFastKeyFallback(t *testing.T) {
+	s, _ := reverseProxy(t, Config{}, patternOrigin{size: 512})
+	// "/a b.gif" arrives with RawPath "/a%20b.gif" — not fast-keyable.
+	req := httptest.NewRequest(http.MethodGet, "http://origin.example/a%20b.gif", nil)
+	want := patternBody("/a b.gif", 512)
+
+	first := httptest.NewRecorder()
+	s.ServeHTTP(first, req)
+	if first.Header().Get("X-Cache") != "MISS" || !bytes.Equal(first.Body.Bytes(), want) {
+		t.Fatalf("first: X-Cache=%q bodyOK=%v", first.Header().Get("X-Cache"), bytes.Equal(first.Body.Bytes(), want))
+	}
+	second := httptest.NewRecorder()
+	s.ServeHTTP(second, req)
+	if second.Header().Get("X-Cache") != "HIT" || !bytes.Equal(second.Body.Bytes(), want) {
+		t.Fatalf("second: X-Cache=%q bodyOK=%v", second.Header().Get("X-Cache"), bytes.Equal(second.Body.Bytes(), want))
+	}
+}
+
+// TestEvictWhileServingChecksum hammers a key space twice the cache's
+// capacity from many goroutines, so entries are constantly evicted while
+// other goroutines are mid-serve on them. Every response body must be
+// byte-exact: a pooled buffer recycled before its last reader finished
+// would surface here as a corrupted body (and, usually, as a -race
+// report on the body bytes).
+func TestEvictWhileServingChecksum(t *testing.T) {
+	const (
+		bodySize = 2 << 10
+		keys     = 64
+		workers  = 8
+		perW     = 300
+	)
+	// Capacity fits ~half the key space: steady eviction churn.
+	s, p := reverseProxy(t, Config{Capacity: keys / 2 * bodySize, Shards: 4},
+		patternOrigin{size: bodySize})
+
+	var wg sync.WaitGroup
+	errs := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			rng := rand.New(rand.NewPCG(uint64(w), 42))
+			for i := 0; i < perW; i++ {
+				path := fmt.Sprintf("/obj%d.gif", rng.IntN(keys))
+				rr := httptest.NewRecorder()
+				s.ServeHTTP(rr, httptest.NewRequest(http.MethodGet, path, nil))
+				if rr.Code != http.StatusOK {
+					errs <- fmt.Errorf("%s: status %d", path, rr.Code)
+					return
+				}
+				if !bytes.Equal(rr.Body.Bytes(), patternBody(path, bodySize)) {
+					errs <- fmt.Errorf("%s: body corrupted (served %d bytes)", path, rr.Body.Len())
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	if s.store.Used() > s.cfg.Capacity {
+		t.Fatalf("byte budget overshot: %d > %d", s.store.Used(), s.cfg.Capacity)
+	}
+	if p.Stats().Outstanding() < int64(s.store.Len()) {
+		t.Fatalf("outstanding %d < resident %d", p.Stats().Outstanding(), s.store.Len())
+	}
+}
+
+// TestPoolBalanceAfterDrain is the acquire/release ledger check: after
+// traffic that exercises hits, misses, evictions, replacement and the
+// oversize streaming path, removing every resident entry must return
+// every pooled buffer — Outstanding() goes to exactly zero. Any missing
+// Release (leak) or double Release (corruption) breaks the balance.
+func TestPoolBalanceAfterDrain(t *testing.T) {
+	const bodySize = 2 << 10
+	s, p := reverseProxy(t, Config{Capacity: 16 * bodySize, MaxObjectBytes: bodySize, Shards: 2},
+		patternOrigin{size: bodySize})
+
+	for i := 0; i < 64; i++ {
+		path := fmt.Sprintf("/obj%d.gif", i%24) // repeats: hits and refetches
+		rr := httptest.NewRecorder()
+		s.ServeHTTP(rr, httptest.NewRequest(http.MethodGet, path, nil))
+		if rr.Code != http.StatusOK {
+			t.Fatalf("%s: status %d", path, rr.Code)
+		}
+	}
+	// One oversize response: streamed through uncached, its pooled prefix
+	// buffer released by the miss leader.
+	big, bigPool := reverseProxy(t, Config{Capacity: 16 * bodySize, MaxObjectBytes: bodySize / 2},
+		patternOrigin{size: bodySize})
+	rr := httptest.NewRecorder()
+	big.ServeHTTP(rr, httptest.NewRequest(http.MethodGet, "/huge.gif", nil))
+	if rr.Code != http.StatusOK || rr.Body.Len() != bodySize {
+		t.Fatalf("oversize: status %d, %d bytes", rr.Code, rr.Body.Len())
+	}
+	if got := bigPool.Stats().Outstanding(); got != 0 {
+		t.Fatalf("oversize leader leaked %d buffers", got)
+	}
+
+	var keys []string
+	s.store.Each(func(k string, _ *cache.Entry) { keys = append(keys, k) })
+	for _, k := range keys {
+		if !s.store.Remove(k) {
+			t.Fatalf("remove %q: not resident", k)
+		}
+	}
+	if got := p.Stats().Outstanding(); got != 0 {
+		t.Fatalf("pool imbalance after drain: %d buffers outstanding (acquires=%d releases=%d)",
+			got, p.Stats().Acquires, p.Stats().Releases)
+	}
+}

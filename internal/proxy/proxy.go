@@ -40,6 +40,7 @@ import (
 	"webcachesim/internal/flight"
 	"webcachesim/internal/metrics"
 	"webcachesim/internal/policy"
+	"webcachesim/internal/pool"
 	"webcachesim/internal/trace"
 )
 
@@ -102,6 +103,11 @@ type Config struct {
 	RetryBackoff time.Duration
 	// Now supplies timestamps (time.Now when nil); injectable for tests.
 	Now func() time.Time
+	// Buffers is the buffer pool backing the serving path — origin bodies
+	// are read into its buffers and cached entries return them on their
+	// last release (pool.Default when nil). Tests and benchmarks inject a
+	// private pool to get isolated acquire/release accounting.
+	Buffers *pool.Pool
 	// Metrics, when set, receives the proxy's exported instrumentation
 	// (request/hit/eviction counters, origin-fetch latency and object-size
 	// histograms, occupancy gauges — see docs/METRICS.md). When nil the
@@ -173,8 +179,17 @@ type Server struct {
 	transport http.RoundTripper
 	now       func() time.Time
 	store     *cache.Cache
+	buffers   *pool.Pool
 	fetches   flight.Group
 	sleep     func(time.Duration) // retry backoff; injectable for tests
+
+	// originPrefix, when non-nil, is the byte-exact "scheme://host" prefix
+	// every reverse-proxy cache key starts with — the zero-allocation hit
+	// path appends the request's path and query to it in a pooled scratch
+	// buffer instead of building a url.URL and calling String(). nil when
+	// the fast path cannot guarantee byte-identity with targetURL (forward
+	// mode, or an origin URL whose String() is not prefix-shaped).
+	originPrefix []byte
 
 	// mu guards only the cold accounting below — never any part of the
 	// serving or fetching path.
@@ -219,7 +234,27 @@ func New(cfg Config) (*Server, error) {
 		transport: cfg.Transport,
 		now:       cfg.Now,
 		sleep:     time.Sleep,
+		buffers:   cfg.Buffers,
 		metrics:   newServerMetrics(reg, cfg.Admission.New != nil),
+	}
+	if s.buffers == nil {
+		s.buffers = pool.Default
+	}
+	if cfg.Origin != nil {
+		// Probe whether reverse-proxy keys are prefix-shaped: build a key
+		// exactly the way targetURL does and check it ends with the probe
+		// path and query. If it does, the hit path can assemble keys as
+		// prefix+path[+?query] without allocating; if not (userinfo,
+		// ForceQuery, an opaque origin, ...), every request takes the
+		// general path. Byte-identity with targetURL is what makes the
+		// fast key safe: both paths address the same cache namespace.
+		const probePath, probeQuery = "/fastkey-probe", "fastkey=1"
+		u := *cfg.Origin
+		u.Path = probePath
+		u.RawQuery = probeQuery
+		if str := u.String(); strings.HasSuffix(str, probePath+"?"+probeQuery) {
+			s.originPrefix = []byte(strings.TrimSuffix(str, probePath+"?"+probeQuery))
+		}
 	}
 	store, err := cache.New(cache.Config{
 		Capacity:  cfg.Capacity,
@@ -276,6 +311,9 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "proxy caches GET only", http.StatusMethodNotAllowed)
 		return
 	}
+	if s.originPrefix != nil && s.tryFastHit(w, r) {
+		return
+	}
 	target, err := s.targetURL(r)
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusBadRequest)
@@ -295,6 +333,9 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 			s.serve(w, r, key, e, resultStale, false)
 			return
 		}
+		// The refetch superseded the stale copy; drop the reference Get
+		// took on it before serving the fresh result.
+		e.Release()
 		if fetched.oversize {
 			s.serveOversize(w, r, key, target, fetched, res)
 			return
@@ -313,6 +354,145 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.serve(w, r, key, fr.entry, res, fr.admissionRejected)
+}
+
+// keySafe marks the bytes that survive url.URL.String() verbatim in a
+// path: exactly the set net/url's path escaper leaves alone. A path made
+// only of these bytes is its own escaped form, so appending it to
+// originPrefix reproduces targetURL's key byte for byte.
+var keySafe = func() (t [256]bool) {
+	for c := 'a'; c <= 'z'; c++ {
+		t[c] = true
+	}
+	for c := 'A'; c <= 'Z'; c++ {
+		t[c] = true
+	}
+	for c := '0'; c <= '9'; c++ {
+		t[c] = true
+	}
+	for _, c := range []byte("-_.~$&+,/:;=@") {
+		t[c] = true
+	}
+	return
+}()
+
+// fastKeyable reports whether the request path is byte-identical to its
+// escaped form — the precondition for assembling the cache key without
+// url.URL.String(). A RawPath means the wire form differed from the
+// decoded path; any unsafe byte would be re-escaped by String().
+func fastKeyable(u *url.URL) bool {
+	p := u.Path
+	if u.RawPath != "" || len(p) == 0 || p[0] != '/' {
+		return false
+	}
+	for i := 0; i < len(p); i++ {
+		if !keySafe[p[i]] {
+			return false
+		}
+	}
+	return true
+}
+
+// tryFastHit is the zero-allocation serving path: assemble the cache key
+// into a pooled scratch buffer, look it up without a string conversion,
+// and serve a fresh hit with pre-resolved header values. It reports false
+// — having served nothing and counted nothing — when the request needs
+// the general path: key not fast-assemblable, cache miss, or stale entry
+// (the general path repeats the lookup; the only cost is a duplicate
+// policy touch on those rare requests).
+func (s *Server) tryFastHit(w http.ResponseWriter, r *http.Request) bool {
+	if !fastKeyable(r.URL) {
+		return false
+	}
+	kb := s.buffers.Get(len(s.originPrefix) + len(r.URL.Path) + 1 + len(r.URL.RawQuery))
+	n := copy(kb.B, s.originPrefix)
+	n += copy(kb.B[n:], r.URL.Path)
+	if r.URL.RawQuery != "" {
+		kb.B[n] = '?'
+		n++
+		n += copy(kb.B[n:], r.URL.RawQuery)
+	}
+	e, ok := s.store.GetBytes(kb.B[:n])
+	if !ok {
+		kb.Release()
+		return false
+	}
+	if !fresh(e, s.now()) {
+		e.Release()
+		kb.Release()
+		return false
+	}
+	s.serveHit(w, r, kb.B[:n], e)
+	kb.Release()
+	return true
+}
+
+// Pre-resolved response-header value slices: assigning a shared slice
+// into the header map skips the per-request []string{v} allocation that
+// Header().Set performs. They are shared across requests and must never
+// be mutated.
+var (
+	hdrHit       = []string{"HIT"}
+	hdrMiss      = []string{"MISS"}
+	hdrStale     = []string{"STALE"}
+	hdrCoalesced = []string{"1"}
+	hdrAdmReject = []string{"reject"}
+)
+
+// serveHit writes a fresh cache hit and settles accounting — the fast
+// path's tail. keyBytes is the request key in the caller's scratch
+// buffer; it is only materialized to a string when access logging needs
+// it. Consumes the caller's reference on e.
+func (s *Server) serveHit(w http.ResponseWriter, r *http.Request, keyBytes []byte, e *cache.Entry) {
+	size := int64(len(e.Body))
+	cls := e.Doc.Class
+
+	s.metrics.requests.Inc()
+	s.metrics.requestsByClass[cls].Inc()
+	s.metrics.hits.Inc()
+	s.metrics.hitBytes.Add(size)
+	s.metrics.hitsByClass[cls].Inc()
+
+	s.mu.Lock()
+	s.stats.Requests++
+	s.stats.ReqBytes += size
+	s.stats.ByClass[cls].Requests++
+	s.stats.Hits++
+	s.stats.HitBytes += size
+	s.stats.ByClass[cls].Hits++
+	if s.logw != nil {
+		// Access logging is best-effort; a write error must not fail the
+		// request being served.
+		_ = s.logw.Write(&trace.Request{
+			UnixMillis:   s.now().UnixMilli(),
+			URL:          string(keyBytes),
+			Status:       e.Status,
+			TransferSize: size,
+			ContentType:  e.ContentType,
+			Client:       clientAddr(r),
+			Method:       http.MethodGet,
+		})
+		// Access logging is best-effort; a flush error must not fail the
+		// request that was already served.
+		_ = s.logw.Flush()
+	}
+	s.mu.Unlock()
+
+	h := w.Header()
+	ct, cl := e.HeaderSlices()
+	if ct != nil {
+		h["Content-Type"] = ct
+	}
+	if cl != nil {
+		h["Content-Length"] = cl
+	} else {
+		// Entry built without the constructors (no pre-resolved values).
+		h.Set("Content-Length", strconv.FormatInt(size, 10))
+	}
+	h["X-Cache"] = hdrHit
+	w.WriteHeader(e.Status)
+	_, _ = w.Write(e.Body) // client disconnects surface here; nothing to do for them
+	e.Release()
 }
 
 // fresh reports whether the entry is within its freshness lifetime (an
@@ -357,8 +537,12 @@ type fetchResult struct {
 	entry             *cache.Entry
 	admissionRejected bool
 
-	oversize    bool
-	prefix      []byte
+	oversize bool
+	prefix   []byte
+	// prefixBuf is the pooled buffer backing prefix; owned by the miss
+	// leader, who releases it after streaming (coalesced waiters never
+	// touch the prefix — they refetch).
+	prefixBuf   *pool.Buf
 	body        io.ReadCloser
 	release     context.CancelFunc
 	status      int
@@ -371,8 +555,20 @@ type fetchResult struct {
 // trip, and only the caller that actually executed it counts as the miss
 // leader.
 func (s *Server) fetchShared(target *url.URL, hdr http.Header) (*fetchResult, serveResult, error) {
-	v, err, shared := s.fetches.Do(target.String(), func() (any, error) {
+	v, err, shared := s.fetches.DoShared(target.String(), func() (any, error) {
 		return s.fetchWithRetry(target, hdr)
+	}, func(v any, err error, consumers int) {
+		// Runs once, after the fetch and before any waiter wakes: grant
+		// one body reference per consumer. The entry arrives holding the
+		// creator's reference, which becomes the miss leader's; each
+		// coalesced waiter gets its own, so no consumer can observe the
+		// pooled body recycled under it, however late it runs.
+		if err != nil {
+			return
+		}
+		if fr := v.(*fetchResult); fr.entry != nil {
+			fr.entry.AcquireN(int32(consumers - 1))
+		}
 	})
 	res := resultMiss
 	if shared {
@@ -436,19 +632,20 @@ func (s *Server) fetchOnce(target *url.URL, hdr http.Header) (*fetchResult, erro
 		s.metrics.originErrors.Inc()
 		return nil, err
 	}
-	body, err := io.ReadAll(io.LimitReader(resp.Body, s.cfg.MaxObjectBytes+1))
-	if err != nil {
+	buf, n, readErr := s.readBody(resp)
+	if readErr != nil {
+		buf.Release()
 		// The read already failed; a close failure has nothing to add.
 		_ = resp.Body.Close()
 		cancel()
 		s.metrics.originErrors.Inc()
-		return nil, err
+		return nil, readErr
 	}
 	now := s.now()
 	s.metrics.originSeconds.Observe(now.Sub(fetchStart).Seconds())
-	s.metrics.originBytes.Add(int64(len(body)))
+	s.metrics.originBytes.Add(int64(n))
 	key := target.String()
-	if int64(len(body)) > s.cfg.MaxObjectBytes {
+	if int64(n) > s.cfg.MaxObjectBytes {
 		// The limited read ran one byte past the cacheable bound: the
 		// document does not fit the cache, but the client must still get
 		// every byte. Ship the prefix plus the open remainder to the miss
@@ -457,7 +654,8 @@ func (s *Server) fetchOnce(target *url.URL, hdr http.Header) (*fetchResult, erro
 		s.metrics.uncacheableOversize.Inc()
 		return &fetchResult{
 			oversize:    true,
-			prefix:      body,
+			prefix:      buf.B[:n],
+			prefixBuf:   buf,
 			body:        resp.Body,
 			release:     cancel,
 			status:      resp.StatusCode,
@@ -469,20 +667,20 @@ func (s *Server) fetchOnce(target *url.URL, hdr http.Header) (*fetchResult, erro
 	// corrupt.
 	_ = resp.Body.Close()
 	cancel()
-	s.metrics.objectBytes.Observe(float64(len(body)))
-	e := &cache.Entry{
-		Doc: &policy.Doc{
+	s.metrics.objectBytes.Observe(float64(n))
+	e := cache.NewPooledEntry(
+		&policy.Doc{
 			Key:   key,
-			Size:  int64(len(body)),
+			Size:  int64(n),
 			Class: doctype.Classify(resp.Header.Get("Content-Type"), key),
 		},
-		Body:        body,
-		ContentType: resp.Header.Get("Content-Type"),
-		Status:      resp.StatusCode,
-		Expires:     expiry(resp.Header, now),
-	}
+		buf, n,
+		resp.Header.Get("Content-Type"),
+		resp.StatusCode,
+		expiry(resp.Header, now),
+	)
 	fr := &fetchResult{entry: e}
-	if s.cacheable(key, resp, int64(len(body))) {
+	if s.cacheable(key, resp, int64(n)) {
 		switch s.store.Insert(key, e) {
 		case cache.SetStored:
 			if s.metrics.admissionAdmitted != nil {
@@ -500,6 +698,44 @@ func (s *Server) fetchOnce(target *url.URL, hdr http.Header) (*fetchResult, erro
 		s.metrics.uncacheableRules.Inc()
 	}
 	return fr, nil
+}
+
+// readBody reads the origin response body into a pooled buffer, up to
+// MaxObjectBytes+1 bytes — one past the cacheable bound, so the caller
+// can distinguish "fits" from "oversize" exactly as the old
+// io.ReadAll(io.LimitReader(...)) did, but without its grow-by-copy
+// garbage: the buffer steps through pool classes (each step recycling
+// its predecessor) and is sized up front when the origin declares a
+// Content-Length. The returned buffer is always non-nil; on a read error
+// the caller releases it.
+func (s *Server) readBody(resp *http.Response) (*pool.Buf, int, error) {
+	limit := int(s.cfg.MaxObjectBytes) + 1
+	want := 32 << 10
+	if cl := resp.ContentLength; cl >= 0 && cl+1 < int64(want) {
+		// +1 leaves room for the EOF-detecting read past the declared
+		// length without a grow step.
+		want = int(cl) + 1
+	}
+	if want > limit {
+		want = limit
+	}
+	buf := s.buffers.Get(want)
+	n := 0
+	for n < limit {
+		if n == len(buf.B) {
+			buf = s.buffers.Grow(buf, n, min(2*n, limit))
+		}
+		end := min(len(buf.B), limit)
+		m, err := resp.Body.Read(buf.B[n:end])
+		n += m
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return buf, n, err
+		}
+	}
+	return buf, n, nil
 }
 
 // expiry derives an entry's freshness deadline from Cache-Control max-age
@@ -581,6 +817,10 @@ func containsToken(header, token string) bool {
 // cacheable response the admission filter refused; it is surfaced as an
 // X-Admission header on miss-leader responses only, so load generators
 // can reconcile header counts with wcproxy_admission_rejected_total.
+// serve consumes the caller's reference on e: every path that reaches it
+// holds exactly one (Get/GetBytes acquired it, or the singleflight
+// prepare hook granted it), and serve releases it after the body is
+// written.
 func (s *Server) serve(w http.ResponseWriter, r *http.Request, key string, e *cache.Entry, res serveResult, admRejected bool) {
 	size := int64(len(e.Body))
 	cls := e.Doc.Class
@@ -635,26 +875,35 @@ func (s *Server) serve(w http.ResponseWriter, r *http.Request, key string, e *ca
 	}
 	s.mu.Unlock()
 
-	if e.ContentType != "" {
-		w.Header().Set("Content-Type", e.ContentType)
+	h := w.Header()
+	ct, cl := e.HeaderSlices()
+	if ct != nil {
+		h["Content-Type"] = ct
+	} else if e.ContentType != "" {
+		h.Set("Content-Type", e.ContentType)
 	}
-	w.Header().Set("Content-Length", strconv.FormatInt(size, 10))
+	if cl != nil {
+		h["Content-Length"] = cl
+	} else {
+		h.Set("Content-Length", strconv.FormatInt(size, 10))
+	}
 	switch res {
 	case resultHit:
-		w.Header().Set("X-Cache", "HIT")
+		h["X-Cache"] = hdrHit
 	case resultStale:
-		w.Header().Set("X-Cache", "STALE")
+		h["X-Cache"] = hdrStale
 	case resultCoalesced:
-		w.Header().Set("X-Cache", "MISS")
-		w.Header().Set("X-Coalesced", "1")
+		h["X-Cache"] = hdrMiss
+		h["X-Coalesced"] = hdrCoalesced
 	default:
-		w.Header().Set("X-Cache", "MISS")
+		h["X-Cache"] = hdrMiss
 	}
 	if admRejected && res == resultMiss {
-		w.Header().Set("X-Admission", "reject")
+		h["X-Admission"] = hdrAdmReject
 	}
 	w.WriteHeader(e.Status)
 	_, _ = w.Write(e.Body) // client disconnects surface here; nothing to do for them
+	e.Release()
 }
 
 // serveOversize answers a request whose origin body exceeded
@@ -712,9 +961,12 @@ func (s *Server) serveOversize(w http.ResponseWriter, r *http.Request, key strin
 func (s *Server) streamOversizeBody(w http.ResponseWriter, fr *fetchResult) int64 {
 	defer func() {
 		// Whatever the copy below managed, the remainder's ownership ends
-		// here: close the origin stream, then release its timeout context.
+		// here: close the origin stream, release its timeout context, and
+		// return the prefix's pooled buffer.
 		_ = fr.body.Close()
 		fr.release()
+		fr.prefix = nil
+		fr.prefixBuf.Release()
 	}()
 	if fr.contentType != "" {
 		w.Header().Set("Content-Type", fr.contentType)

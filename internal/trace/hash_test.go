@@ -44,3 +44,11 @@ func TestSampledInEdges(t *testing.T) {
 		t.Error("rate <= 0 must keep nothing")
 	}
 }
+
+func TestHash64BytesMatchesHash64(t *testing.T) {
+	for _, s := range []string{"", "a", "http://example.com/x.gif?q=1", "\x00\xff weird"} {
+		if Hash64Bytes([]byte(s)) != Hash64(s) {
+			t.Errorf("Hash64Bytes(%q) != Hash64(%q)", s, s)
+		}
+	}
+}
