@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build vet wcvet vet-json test race bench alloc-smoke fuzz-smoke journal-smoke admission-smoke partition-smoke check
+.PHONY: build vet wcvet vet-json test race bench alloc-smoke fuzz-smoke journal-smoke admission-smoke partition-smoke cluster-smoke check
 
 build:
 	$(GO) build ./...
@@ -35,7 +35,7 @@ test:
 race:
 	$(GO) test -race ./internal/core/... ./internal/policy/... ./internal/mrc/... \
 		./internal/cache/... ./internal/flight/... ./internal/proxy/... ./internal/load/... \
-		./internal/trace/...
+		./internal/trace/... ./internal/cluster/... ./internal/hierarchy/...
 
 # Replay-path benchmarks (BENCH_ingest.json): the interned columnar
 # workload against the string-keyed baseline, plus the partitioned-replay
@@ -124,5 +124,12 @@ partition-smoke:
 	$(GO) run ./cmd/wcsim -trace $$tmp/tiny.wci3 -partitions 4 -size-pcts 1,4 -csv | tail -n +2 > $$tmp/mmap.csv && \
 	diff -u $$tmp/ram.csv $$tmp/mmap.csv && \
 	rm -rf $$tmp
+
+# Multi-node smoke under the race detector: the 3-node in-process fleet
+# (one origin fetch per unique doc fleet-wide, counters reconciled), the
+# fault paths (peer down / timeout / non-authoritative / mid-run join),
+# and the sim/live parity replay. See docs/CLUSTER.md.
+cluster-smoke:
+	$(GO) test -race -run '^TestCluster' -v ./internal/proxy ./internal/load ./internal/hierarchy
 
 check: build vet wcvet vet-json test race

@@ -18,16 +18,31 @@
 // In reverse mode (default) each trace URL's path and query are sent to
 // the target host, matching a wcproxy started with -origin. In forward
 // mode the absolute trace URL is sent with the target as an HTTP proxy.
+//
+// With -topology the replay drives a whole consistent-hash fleet instead
+// of one proxy: requests are sprayed round-robin across every node in
+// the file, per-node tallies are reported, and -reconcile scrapes each
+// node's admin /metrics to verify the counters account for every request
+// fleet-wide. -sequential pins the replay to one request in flight in
+// strict source order, and -offline replays the identical topology
+// through the hierarchy simulator instead of live HTTP — together they
+// form the sim/live parity harness described in docs/CLUSTER.md:
+//
+//	wcload -topology fleet.json -profile dfn -requests 100000 -reconcile
+//	wcload -topology fleet.json -profile dfn -requests 100000 -offline
 package main
 
 import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"net/url"
 	"os"
 	"time"
 
+	"webcachesim/internal/cluster"
+	"webcachesim/internal/hierarchy"
 	"webcachesim/internal/load"
 	"webcachesim/internal/synth"
 	"webcachesim/internal/trace"
@@ -53,20 +68,16 @@ func run(args []string) error {
 		mode        = fs.String("mode", "reverse", "addressing mode: reverse or forward")
 		timeout     = fs.Duration("timeout", 15*time.Second, "per-request timeout")
 		out         = fs.String("o", "", "report output path (default stdout)")
+		topoPath    = fs.String("topology", "", "cluster topology file: drive every node of the fleet (replaces -target)")
+		sequential  = fs.Bool("sequential", false, "cluster mode: one request in flight fleet-wide, in strict source order")
+		offline     = fs.Bool("offline", false, "replay the -topology through the hierarchy simulator instead of live HTTP")
+		reconcile   = fs.Bool("reconcile", false, "cluster mode: scrape each node's admin /metrics and verify the counters reconcile")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	if *target == "" {
-		return fmt.Errorf("-target is required")
-	}
-	targetURL, err := url.Parse(*target)
-	if err != nil {
-		return fmt.Errorf("bad -target: %w", err)
-	}
-	m, err := load.ParseMode(*mode)
-	if err != nil {
-		return err
+	if *topoPath == "" && *target == "" {
+		return fmt.Errorf("-target (or -topology) is required")
 	}
 
 	var source trace.Reader
@@ -93,16 +104,79 @@ func run(args []string) error {
 		source = gen.Reader()
 	}
 
-	rep, err := load.Run(load.Config{
-		Target:      targetURL,
-		Source:      source,
-		Mode:        m,
-		Concurrency: *concurrency,
-		Requests:    *requests,
-		Timeout:     *timeout,
-	})
-	if err != nil {
-		return err
+	var report any
+	if *topoPath != "" {
+		topo, err := cluster.LoadTopology(*topoPath)
+		if err != nil {
+			return err
+		}
+		if *offline {
+			// The sim half of the parity harness: identical topology,
+			// identical stream, the simulator core instead of sockets.
+			sim, err := hierarchy.NewCluster(topo, 0)
+			if err != nil {
+				return err
+			}
+			if err := sim.Run(capSource(source, *requests)); err != nil {
+				return err
+			}
+			report = sim.Results()
+		} else {
+			// Scrape before the run so reconciliation sees only this run's
+			// traffic — a warm fleet's counters carry whatever it served
+			// before (probes, earlier replays).
+			var before map[string]map[string]float64
+			if *reconcile {
+				var err error
+				if before, err = load.ScrapeTopology(topo); err != nil {
+					return err
+				}
+			}
+			rep, err := load.RunCluster(load.ClusterConfig{
+				Topology:    topo,
+				Source:      source,
+				Concurrency: *concurrency,
+				Requests:    *requests,
+				Timeout:     *timeout,
+				Sequential:  *sequential,
+			})
+			if err != nil {
+				return err
+			}
+			if *reconcile {
+				after, err := load.ScrapeTopology(topo)
+				if err != nil {
+					return err
+				}
+				if err := load.ReconcileCluster(rep, load.DiffMetrics(after, before)); err != nil {
+					return err
+				}
+				fmt.Fprintf(os.Stderr, "wcload: %d nodes reconcile: %d requests = %d hits + %d peer hits + %d misses\n",
+					len(rep.Nodes), rep.Tally.Requests, rep.Tally.Hits, rep.Tally.PeerHits, rep.Tally.Misses)
+			}
+			report = rep
+		}
+	} else {
+		targetURL, err := url.Parse(*target)
+		if err != nil {
+			return fmt.Errorf("bad -target: %w", err)
+		}
+		m, err := load.ParseMode(*mode)
+		if err != nil {
+			return err
+		}
+		rep, err := load.Run(load.Config{
+			Target:      targetURL,
+			Source:      source,
+			Mode:        m,
+			Concurrency: *concurrency,
+			Requests:    *requests,
+			Timeout:     *timeout,
+		})
+		if err != nil {
+			return err
+		}
+		report = rep
 	}
 
 	w := os.Stdout
@@ -116,5 +190,27 @@ func run(args []string) error {
 	}
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
-	return enc.Encode(rep)
+	return enc.Encode(report)
+}
+
+// capSource bounds a reader to n requests (unbounded when n <= 0) — the
+// offline replay's equivalent of the live run's -requests cap.
+func capSource(r trace.Reader, n int) trace.Reader {
+	if n <= 0 {
+		return r
+	}
+	return &cappedReader{r: r, left: n}
+}
+
+type cappedReader struct {
+	r    trace.Reader
+	left int
+}
+
+func (c *cappedReader) Next() (*trace.Request, error) {
+	if c.left <= 0 {
+		return nil, io.EOF
+	}
+	c.left--
+	return c.r.Next()
 }

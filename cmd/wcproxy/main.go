@@ -9,12 +9,22 @@
 // docs/METRICS.md. On SIGINT/SIGTERM the proxy drains in-flight requests,
 // prints a final statistics line and closes the access log cleanly.
 //
+// With -topology (plus -self) or -peers the proxy joins a consistent-hash
+// fleet: documents another node owns are fetched from that sibling before
+// the origin and answered with X-Cache: PEER-HIT — see docs/CLUSTER.md. A
+// topology file also supplies per-node listen address, capacity and
+// policy, so one file configures the whole fleet; explicit flags still
+// win.
+//
 // Usage:
 //
 //	wcproxy -listen :3128 [-origin http://upstream] [-capacity 256MB]
 //	        [-policy gdstar:p] [-admission tinylfu] [-shards 16]
 //	        [-log access.log] [-stats-every 30s] [-admin :9090]
 //	        [-fetch-timeout 15s] [-fetch-retries 2] [-retry-backoff 50ms]
+//	wcproxy -topology fleet.json -self n1 -origin http://upstream
+//	wcproxy -self n1 -peers n2=http://h2:3128,n3=http://h3:3128 \
+//	        -origin http://upstream [-replicas 128] [-peer-timeout 5s]
 package main
 
 import (
@@ -29,6 +39,7 @@ import (
 	"time"
 
 	"webcachesim/internal/admission"
+	"webcachesim/internal/cluster"
 	"webcachesim/internal/metrics"
 	"webcachesim/internal/policy"
 	"webcachesim/internal/proxy"
@@ -58,9 +69,67 @@ func run(args []string) error {
 		fetchTO    = fs.Duration("fetch-timeout", proxy.DefaultFetchTimeout, "per-attempt origin fetch timeout")
 		retries    = fs.Int("fetch-retries", proxy.DefaultFetchRetries, "origin fetch retries after a transport failure (-1 disables)")
 		backoff    = fs.Duration("retry-backoff", proxy.DefaultRetryBackoff, "base retry backoff (doubled per retry, jittered ±50%)")
+		topoPath   = fs.String("topology", "", "cluster topology file; joins the fleet as -self and fills listen/admin/capacity/policy from the node entry unless flagged explicitly")
+		self       = fs.String("self", "", "this node's name on the cluster ring (required with -topology or -peers)")
+		peerList   = fs.String("peers", "", "sibling nodes as name=url,name=url (alternative to -topology)")
+		replicas   = fs.Int("replicas", 0, "virtual nodes per ring member (0 = topology's value, else the library default; all members must agree)")
+		peerTO     = fs.Duration("peer-timeout", proxy.DefaultPeerTimeout, "per peer-fetch timeout (round trip plus body read)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+
+	// Topology-driven configuration defers to explicit flags: Visit only
+	// reports flags the command line actually set.
+	explicit := map[string]bool{}
+	fs.Visit(func(f *flag.Flag) { explicit[f.Name] = true })
+	var clusterCfg *proxy.ClusterConfig
+	switch {
+	case *topoPath != "":
+		if *self == "" {
+			return fmt.Errorf("-topology requires -self")
+		}
+		topo, err := cluster.LoadTopology(*topoPath)
+		if err != nil {
+			return err
+		}
+		peers, err := topo.PeerURLs(*self)
+		if err != nil {
+			return err
+		}
+		node := topo.Node(*self)
+		if !explicit["capacity"] && node.Capacity != "" {
+			*capacity = node.Capacity
+		}
+		if !explicit["policy"] && node.Policy != "" {
+			*policySpec = node.Policy
+		}
+		if !explicit["listen"] {
+			if addr := listenAddr(node.URL); addr != "" {
+				*listen = addr
+			}
+		}
+		if !explicit["admin"] && node.Admin != "" {
+			if addr := listenAddr(node.Admin); addr != "" {
+				*admin = addr
+			}
+		}
+		rep := *replicas
+		if rep == 0 {
+			rep = topo.Replicas
+		}
+		if len(peers) > 0 {
+			clusterCfg = &proxy.ClusterConfig{Self: *self, Peers: peers, Replicas: rep, PeerTimeout: *peerTO}
+		}
+	case *peerList != "":
+		if *self == "" {
+			return fmt.Errorf("-peers requires -self")
+		}
+		peers, err := cluster.FromPeerList(*peerList)
+		if err != nil {
+			return err
+		}
+		clusterCfg = &proxy.ClusterConfig{Self: *self, Peers: peers, Replicas: *replicas, PeerTimeout: *peerTO}
 	}
 
 	spec, err := policy.ParseSpec(*policySpec)
@@ -90,6 +159,7 @@ func run(args []string) error {
 		FetchTimeout: *fetchTO,
 		FetchRetries: *retries,
 		RetryBackoff: *backoff,
+		Cluster:      clusterCfg,
 	}
 	if *origin != "" {
 		u, err := url.Parse(*origin)
@@ -179,6 +249,19 @@ func run(args []string) error {
 			return shutdown(httpServer, adminServer, logFile)
 		}
 	}
+}
+
+// listenAddr derives a listen address (":port") from a topology node URL,
+// or "" when the URL carries no explicit port.
+func listenAddr(rawURL string) string {
+	u, err := url.Parse(rawURL)
+	if err != nil {
+		return ""
+	}
+	if p := u.Port(); p != "" {
+		return ":" + p
+	}
+	return ""
 }
 
 // shutdown drains both listeners and closes the access log, returning the

@@ -1,0 +1,125 @@
+package cluster
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+const sampleTopology = `{
+  "replicas": 64,
+  "nodes": [
+    {"name": "n1", "url": "http://127.0.0.1:8081", "admin": "http://127.0.0.1:9081", "capacity": "64MB", "policy": "lru"},
+    {"name": "n2", "url": "http://127.0.0.1:8082", "admin": "http://127.0.0.1:9082", "capacity": "64MB"},
+    {"name": "n3", "url": "http://127.0.0.1:8083"}
+  ],
+  "parents": [
+    {"name": "parent", "url": "http://127.0.0.1:8090", "capacity": "256MB", "policy": "gdsf"}
+  ]
+}`
+
+func TestParseTopology(t *testing.T) {
+	topo, err := ParseTopology([]byte(sampleTopology))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(topo.Nodes) != 3 || len(topo.Parents) != 1 {
+		t.Fatalf("got %d nodes, %d parents", len(topo.Nodes), len(topo.Parents))
+	}
+	r, err := topo.Ring()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Replicas() != 64 {
+		t.Fatalf("ring replicas = %d, want 64 from the file", r.Replicas())
+	}
+	if n := topo.Node("parent"); n == nil || n.Policy != "gdsf" {
+		t.Fatalf("Node(parent) = %+v", n)
+	}
+	if topo.Node("ghost") != nil {
+		t.Fatal("Node(ghost) should be nil")
+	}
+	cap1, err := topo.Node("n1").CapacityBytes(0)
+	if err != nil || cap1 != 64<<20 {
+		t.Fatalf("n1 capacity = %d, %v", cap1, err)
+	}
+	cap3, err := topo.Node("n3").CapacityBytes(123)
+	if err != nil || cap3 != 123 {
+		t.Fatalf("n3 default capacity = %d, %v", cap3, err)
+	}
+	if _, err := topo.Node("n3").PolicyFactory(); err != nil {
+		t.Fatalf("default policy factory: %v", err)
+	}
+}
+
+func TestTopologyPeerURLs(t *testing.T) {
+	topo, err := ParseTopology([]byte(sampleTopology))
+	if err != nil {
+		t.Fatal(err)
+	}
+	peers, err := topo.PeerURLs("n2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(peers) != 2 {
+		t.Fatalf("got %d peers, want 2", len(peers))
+	}
+	if _, ok := peers["n2"]; ok {
+		t.Fatal("self listed among its own peers")
+	}
+	if peers["n1"].Host != "127.0.0.1:8081" {
+		t.Fatalf("n1 peer URL = %v", peers["n1"])
+	}
+	if _, err := topo.PeerURLs("nope"); err == nil {
+		t.Fatal("unknown self: want error")
+	}
+}
+
+func TestTopologyValidation(t *testing.T) {
+	bad := []string{
+		`{}`,
+		`{"nodes":[]}`,
+		`{"nodes":[{"name":"","url":"http://x"}]}`,
+		`{"nodes":[{"name":"a","url":"http://x"},{"name":"a","url":"http://y"}]}`,
+		`{"nodes":[{"name":"a"}]}`,
+		`{"nodes":[{"name":"a","url":"http://x","capacity":"lots"}]}`,
+		`{"nodes":[{"name":"a","url":"http://x","policy":"magic"}]}`,
+		`{"nodes":[{"name":"a","url":"http://x"}],"parents":[{"name":"a","url":"http://y"}]}`,
+		`{"replicas":-1,"nodes":[{"name":"a","url":"http://x"}]}`,
+		`not json`,
+	}
+	for _, doc := range bad {
+		if _, err := ParseTopology([]byte(doc)); err == nil {
+			t.Errorf("ParseTopology(%s): want error", doc)
+		}
+	}
+}
+
+func TestLoadTopology(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "topo.json")
+	if err := os.WriteFile(path, []byte(sampleTopology), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadTopology(path); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadTopology(filepath.Join(dir, "missing.json")); err == nil {
+		t.Fatal("missing file: want error")
+	}
+}
+
+func TestFromPeerList(t *testing.T) {
+	peers, err := FromPeerList("n1=http://127.0.0.1:8081, n2=http://127.0.0.1:8082")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(peers) != 2 || peers["n2"].Host != "127.0.0.1:8082" {
+		t.Fatalf("peers = %v", peers)
+	}
+	for _, bad := range []string{"", "justaname", "a=", "=http://x", "a=http://x,a=http://y", "a=notaurl"} {
+		if _, err := FromPeerList(bad); err == nil {
+			t.Errorf("FromPeerList(%q): want error", bad)
+		}
+	}
+}

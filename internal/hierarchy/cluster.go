@@ -1,0 +1,173 @@
+package hierarchy
+
+import (
+	"errors"
+	"fmt"
+	"io"
+
+	"webcachesim/internal/cluster"
+	"webcachesim/internal/core"
+	"webcachesim/internal/trace"
+)
+
+// Cluster simulates a consistent-hash cache fleet offline — the
+// internal/cluster topology that cmd/wcproxy serves live, replayed
+// through the simulator core. Each leaf node runs its own simulator and
+// sees exactly the substream the ring routes to it; misses from every
+// leaf merge (in arrival order) into the request stream of the first
+// parent level, whose misses feed the next, ending at the origin. This
+// is the sim half of the sim/live parity harness: with the fleet's
+// concurrency pinned down (sequential replay, one shard, no admission),
+// its per-node hit counts must match this simulation exactly.
+type Cluster struct {
+	ring        *cluster.Ring
+	index       map[string]int // leaf name → nodes slice position
+	names       []string
+	nodes       []*core.StreamSimulator
+	parentNames []string
+	parents     []*core.StreamSimulator
+	tap         func(*trace.Request)
+}
+
+// ClusterOption customizes a cluster simulator.
+type ClusterOption func(*Cluster)
+
+// WithClusterMissTap registers fn to receive every request that misses
+// the whole topology — the origin's view. The callback borrows the
+// request; it must not retain it.
+func WithClusterMissTap(fn func(*trace.Request)) ClusterOption {
+	return func(c *Cluster) { c.tap = fn }
+}
+
+// NewCluster builds the offline twin of a live fleet from its topology
+// file. Every node needs an explicit capacity — the simulator has no
+// flag defaults to fall back on. modifyThreshold follows
+// core.BuildWorkload semantics.
+func NewCluster(topo *cluster.Topology, modifyThreshold float64, opts ...ClusterOption) (*Cluster, error) {
+	if topo == nil {
+		return nil, errors.New("hierarchy: nil topology")
+	}
+	ring, err := topo.Ring()
+	if err != nil {
+		return nil, fmt.Errorf("hierarchy: %w", err)
+	}
+	c := &Cluster{ring: ring, index: make(map[string]int, len(topo.Nodes))}
+	build := func(kind string, n *cluster.Node) (*core.StreamSimulator, error) {
+		capBytes, err := n.CapacityBytes(0)
+		if err != nil {
+			return nil, fmt.Errorf("hierarchy: %s %q: %w", kind, n.Name, err)
+		}
+		if capBytes <= 0 {
+			return nil, fmt.Errorf("hierarchy: %s %q needs an explicit capacity to simulate", kind, n.Name)
+		}
+		factory, err := n.PolicyFactory()
+		if err != nil {
+			return nil, fmt.Errorf("hierarchy: %s %q: %w", kind, n.Name, err)
+		}
+		sim, err := core.NewStreamSimulator(core.Config{
+			Capacity: capBytes,
+			Policy:   factory,
+		}, modifyThreshold)
+		if err != nil {
+			return nil, fmt.Errorf("hierarchy: %s %q: %w", kind, n.Name, err)
+		}
+		return sim, nil
+	}
+	for i := range topo.Nodes {
+		n := &topo.Nodes[i]
+		sim, err := build("node", n)
+		if err != nil {
+			return nil, err
+		}
+		c.index[n.Name] = len(c.nodes)
+		c.names = append(c.names, n.Name)
+		c.nodes = append(c.nodes, sim)
+	}
+	for i := range topo.Parents {
+		n := &topo.Parents[i]
+		sim, err := build("parent", n)
+		if err != nil {
+			return nil, err
+		}
+		c.parentNames = append(c.parentNames, n.Name)
+		c.parents = append(c.parents, sim)
+	}
+	for _, opt := range opts {
+		opt(c)
+	}
+	return c, nil
+}
+
+// Owner returns the leaf node the ring routes the request URL to — the
+// same answer a live fleet member computes, since both hash the same
+// canonical route key through the same ring code.
+func (c *Cluster) Owner(rawURL string) string {
+	return c.ring.Owner(cluster.RouteKey(rawURL))
+}
+
+// Process pushes one request at its owning leaf, forwarding a fleet miss
+// up the parent chain. It reports 0 for a fleet (leaf) hit, 1+i for a
+// hit at parent level i, and -1 when everything missed.
+func (c *Cluster) Process(req *trace.Request) int {
+	if c.nodes[c.index[c.Owner(req.URL)]].Process(req).Hit() {
+		return 0
+	}
+	for i, parent := range c.parents {
+		if parent.Process(req).Hit() {
+			return 1 + i
+		}
+	}
+	if c.tap != nil {
+		c.tap(req)
+	}
+	return -1
+}
+
+// Run consumes a request stream to EOF in arrival order — the sequential
+// replay the parity harness compares against a sequentially driven live
+// fleet.
+func (c *Cluster) Run(r trace.Reader) error {
+	for {
+		req, err := r.Next()
+		if err != nil {
+			if errors.Is(err, io.EOF) {
+				return nil
+			}
+			return fmt.Errorf("hierarchy: cluster run: %w", err)
+		}
+		c.Process(req)
+	}
+}
+
+// ClusterResult reports the per-node and per-parent outcomes of a fleet
+// replay.
+type ClusterResult struct {
+	// Nodes holds one result per leaf, in topology order; each node's
+	// Requests count is the size of the substream the ring routed to it.
+	Nodes []LevelResult `json:"nodes"`
+	// Parents holds the upper levels, nearest the fleet first; each sees
+	// the merged miss stream of the level below.
+	Parents []LevelResult `json:"parents,omitempty"`
+}
+
+// Fleet aggregates the leaves: total requests and hits across the ring —
+// the cluster-wide hit rate the upper levels filter.
+func (r ClusterResult) Fleet() (requests, hits int64) {
+	for _, n := range r.Nodes {
+		requests += n.Result.Overall.Requests
+		hits += n.Result.Overall.Hits
+	}
+	return requests, hits
+}
+
+// Results returns the per-node and per-parent results.
+func (c *Cluster) Results() ClusterResult {
+	var out ClusterResult
+	for i, sim := range c.nodes {
+		out.Nodes = append(out.Nodes, LevelResult{Name: c.names[i], Result: sim.Result()})
+	}
+	for i, sim := range c.parents {
+		out.Parents = append(out.Parents, LevelResult{Name: c.parentNames[i], Result: sim.Result()})
+	}
+	return out
+}

@@ -73,6 +73,8 @@ func TestRealPackagesClean(t *testing.T) {
 		"./internal/proxy",
 		"./internal/load",
 		"./internal/mrc",
+		"./internal/cluster",
+		"./internal/hierarchy",
 	})
 	if err != nil {
 		t.Fatal(err)

@@ -46,6 +46,7 @@ var ErrDrop = &Analyzer{
 var errDropPackages = map[string]bool{
 	"cache": true, "flight": true, "proxy": true,
 	"load": true, "core": true, "mrc": true, "trace": true,
+	"cluster": true, "hierarchy": true,
 }
 
 func runErrDrop(pass *Pass) error {

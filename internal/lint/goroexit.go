@@ -36,6 +36,7 @@ var GoroExit = &Analyzer{
 var goroExitPackages = map[string]bool{
 	"cache": true, "flight": true, "proxy": true,
 	"load": true, "core": true, "mrc": true, "trace": true,
+	"cluster": true, "hierarchy": true,
 }
 
 func runGoroExit(pass *Pass) error {

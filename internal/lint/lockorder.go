@@ -36,7 +36,8 @@ var LockOrder = &Analyzer{
 // lockOrderPackages names the packages (by package name) whose locking
 // discipline the analyzer enforces.
 var lockOrderPackages = map[string]bool{
-	"cache": true,
+	"cache":   true,
+	"cluster": true,
 }
 
 func runLockOrder(pass *Pass) error {

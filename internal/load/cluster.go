@@ -1,0 +1,363 @@
+package load
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"webcachesim/internal/cluster"
+	"webcachesim/internal/pool"
+	"webcachesim/internal/trace"
+)
+
+// ClusterConfig parameterizes a fleet-wide load run: one request stream
+// sprayed round-robin across every node of a topology, the way a load
+// balancer would, so the fleet's peer-fetch path carries ~(N-1)/N of the
+// traffic. Cluster mode is reverse-only — the nodes are reverse proxies,
+// matching the proxy's own constraint that clustering requires an
+// origin.
+type ClusterConfig struct {
+	// Topology names the nodes to drive; required. Node URLs are the
+	// targets; Admin URLs, when present, let ReconcileCluster scrape.
+	Topology *cluster.Topology
+	// Source supplies the requests to replay; required.
+	Source trace.Reader
+	// Concurrency is the number of closed-loop clients per node (1 when
+	// 0). Ignored in Sequential mode.
+	Concurrency int
+	// Requests caps the replay when positive; otherwise the source is
+	// drained.
+	Requests int
+	// Timeout bounds each request (15s when 0).
+	Timeout time.Duration
+	// Transport overrides the HTTP transport, for tests.
+	Transport http.RoundTripper
+	// Sequential, when set, replays the stream with exactly one request
+	// in flight fleet-wide, in strict source order. That pins down every
+	// source of reordering — no coalescing, no cross-node races — which
+	// is what makes the live fleet byte-comparable to the offline
+	// hierarchy.Cluster replay (see docs/CLUSTER.md, Parity).
+	Sequential bool
+}
+
+// NodeReport is one node's slice of a cluster run.
+type NodeReport struct {
+	// Name is the topology node name.
+	Name string `json:"name"`
+	// Tally is the client-side outcome count for requests this run sent
+	// to that node (not requests the node served for its siblings).
+	Tally Tally `json:"tally"`
+}
+
+// ClusterReport is the result of a fleet-wide load run.
+type ClusterReport struct {
+	// Nodes holds the per-node tallies, in topology order.
+	Nodes []NodeReport `json:"nodes"`
+	// Tally sums the per-node tallies.
+	Tally Tally `json:"tally"`
+	// Concurrency is the per-node client count (1 in sequential mode).
+	Concurrency int     `json:"concurrency"`
+	Seconds     float64 `json:"seconds"`
+	Throughput  float64 `json:"throughputRps"`
+	// HitRate is the fleet service rate from cache: (local hits + peer
+	// hits) / requests — a request served by any node's cache counts.
+	HitRate float64 `json:"hitRate"`
+	Latency Latency `json:"latency"`
+}
+
+// RunCluster replays the configured source against every node of the
+// fleet and blocks until the replay completes.
+func RunCluster(cfg ClusterConfig) (*ClusterReport, error) {
+	if cfg.Topology == nil {
+		return nil, errors.New("load: Topology is required")
+	}
+	if cfg.Source == nil {
+		return nil, errors.New("load: Source is required")
+	}
+	targets := make([]*url.URL, len(cfg.Topology.Nodes))
+	for i, n := range cfg.Topology.Nodes {
+		u, err := url.Parse(n.URL)
+		if err != nil {
+			return nil, fmt.Errorf("load: node %q url: %w", n.Name, err)
+		}
+		targets[i] = u
+	}
+	timeout := cfg.Timeout
+	if timeout <= 0 {
+		timeout = 15 * time.Second
+	}
+	transport := cfg.Transport
+	if transport == nil {
+		transport = http.DefaultTransport
+	}
+	client := &http.Client{Transport: transport, Timeout: timeout}
+	conc := cfg.Concurrency
+	if conc <= 0 || cfg.Sequential {
+		conc = 1
+	}
+
+	newWorker := func(i int) *worker {
+		return &worker{
+			client: client,
+			mode:   Reverse,
+			reqURL: *targets[i],
+			req: &http.Request{
+				Method:     http.MethodGet,
+				Proto:      "HTTP/1.1",
+				ProtoMajor: 1,
+				ProtoMinor: 1,
+				Header:     make(http.Header),
+			},
+			drainBuf: pool.Default.Get(32 << 10),
+		}
+	}
+
+	var perNode [][]*worker
+	start := time.Now()
+	var runErr error
+	if cfg.Sequential {
+		// One request in flight fleet-wide: a single loop walks the
+		// source in order, rotating arrival across nodes.
+		perNode = make([][]*worker, len(targets))
+		for i := range targets {
+			perNode[i] = []*worker{newWorker(i)}
+		}
+		sent := 0
+		for cfg.Requests <= 0 || sent < cfg.Requests {
+			req, err := cfg.Source.Next()
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				runErr = fmt.Errorf("load: reading source: %w", err)
+				break
+			}
+			perNode[sent%len(targets)][0].do(req.URL)
+			sent++
+		}
+		for _, ws := range perNode {
+			ws[0].drainBuf.Release()
+		}
+	} else {
+		// Concurrent mode: a feeder sprays the stream round-robin into
+		// per-node queues; each node has its own closed-loop client pool.
+		chans := make([]chan string, len(targets))
+		for i := range chans {
+			chans[i] = make(chan string, conc)
+		}
+		feedErr := make(chan error, 1)
+		var wg sync.WaitGroup
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer func() {
+				for _, ch := range chans {
+					close(ch)
+				}
+			}()
+			sent := 0
+			for cfg.Requests <= 0 || sent < cfg.Requests {
+				req, err := cfg.Source.Next()
+				if err == io.EOF {
+					feedErr <- nil
+					return
+				}
+				if err != nil {
+					feedErr <- fmt.Errorf("load: reading source: %w", err)
+					return
+				}
+				chans[sent%len(targets)] <- req.URL
+				sent++
+			}
+			feedErr <- nil
+		}()
+		perNode = make([][]*worker, len(targets))
+		for i := range targets {
+			for c := 0; c < conc; c++ {
+				w := newWorker(i)
+				perNode[i] = append(perNode[i], w)
+				ch := chans[i]
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					defer w.drainBuf.Release()
+					for raw := range ch {
+						w.do(raw)
+					}
+				}()
+			}
+		}
+		wg.Wait()
+		runErr = <-feedErr
+	}
+	elapsed := time.Since(start)
+	if runErr != nil {
+		return nil, runErr
+	}
+
+	rep := &ClusterReport{Concurrency: conc, Seconds: elapsed.Seconds()}
+	var all []time.Duration
+	for i, ws := range perNode {
+		nr := NodeReport{Name: cfg.Topology.Nodes[i].Name}
+		for _, w := range ws {
+			nr.Tally = addTally(nr.Tally, w.tally)
+			all = append(all, w.latencies...)
+		}
+		rep.Nodes = append(rep.Nodes, nr)
+		rep.Tally = addTally(rep.Tally, nr.Tally)
+	}
+	if elapsed > 0 {
+		rep.Throughput = float64(rep.Tally.Requests) / elapsed.Seconds()
+	}
+	if rep.Tally.Requests > 0 {
+		rep.HitRate = float64(rep.Tally.Hits+rep.Tally.PeerHits) / float64(rep.Tally.Requests)
+	}
+	rep.Latency = summarize(all)
+	return rep, nil
+}
+
+// addTally sums two tallies field by field.
+func addTally(a, b Tally) Tally {
+	a.Requests += b.Requests
+	a.Hits += b.Hits
+	a.Misses += b.Misses
+	a.PeerHits += b.PeerHits
+	a.Stale += b.Stale
+	a.Coalesced += b.Coalesced
+	a.AdmissionRejects += b.AdmissionRejects
+	a.Errors += b.Errors
+	a.Bytes += b.Bytes
+	return a
+}
+
+// ScrapeMetrics fetches a /metrics exposition and returns its samples as
+// name → value. Labeled series are keyed by their full text form, e.g.
+// `wcproxy_class_hits_total{class="html"}`.
+func ScrapeMetrics(adminURL string) (map[string]float64, error) {
+	resp, err := http.Get(adminURL + "/metrics")
+	if err != nil {
+		return nil, fmt.Errorf("load: scraping %s: %w", adminURL, err)
+	}
+	defer func() {
+		// The scan below drains the body; closing can add nothing.
+		_ = resp.Body.Close()
+	}()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("load: scraping %s: status %d", adminURL, resp.StatusCode)
+	}
+	out := map[string]float64{}
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		line := sc.Text()
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		// name[{labels}] value — histograms emit the same shape with
+		// suffixed names, so they parse like any other series.
+		i := strings.LastIndexByte(line, ' ')
+		if i < 0 {
+			continue
+		}
+		v, err := strconv.ParseFloat(strings.TrimSpace(line[i+1:]), 64)
+		if err != nil {
+			continue
+		}
+		out[strings.TrimSpace(line[:i])] = v
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("load: scraping %s: %w", adminURL, err)
+	}
+	return out, nil
+}
+
+// ScrapeTopology scrapes every node of the topology that declares an
+// admin URL, returning node name → metrics. Nodes without an admin URL
+// are skipped.
+func ScrapeTopology(topo *cluster.Topology) (map[string]map[string]float64, error) {
+	out := make(map[string]map[string]float64)
+	for _, n := range topo.Nodes {
+		if n.Admin == "" {
+			continue
+		}
+		m, err := ScrapeMetrics(n.Admin)
+		if err != nil {
+			return nil, fmt.Errorf("load: node %q: %w", n.Name, err)
+		}
+		out[n.Name] = m
+	}
+	return out, nil
+}
+
+// DiffMetrics subtracts one per-node scrape from another, series by
+// series: the counter traffic between two ScrapeTopology calls. Series
+// or nodes absent from before count from zero. Reconciliation needs
+// this on any fleet that served traffic before the measured run —
+// warm-up requests, health probes, a previous replay — because the
+// identities relate one run's client tallies to the counters that run
+// added, not to process-lifetime totals.
+func DiffMetrics(after, before map[string]map[string]float64) map[string]map[string]float64 {
+	out := make(map[string]map[string]float64, len(after))
+	for node, m := range after {
+		prev := before[node]
+		d := make(map[string]float64, len(m))
+		for k, v := range m {
+			d[k] = v - prev[k]
+		}
+		out[node] = d
+	}
+	return out
+}
+
+// ReconcileCluster checks a fleet load report against the per-node
+// /metrics scrapes, counter for counter, and returns the first broken
+// identity. The scrapes must reflect exactly the report's traffic: on a
+// fleet that has served anything else, scrape before and after the run
+// and pass the DiffMetrics of the two. The identities hold for a stable
+// ring whatever the concurrency:
+//
+//   - each node's client tally partitions: requests = hits + peer hits +
+//     misses;
+//   - each node's server counters partition the same way;
+//   - each node served wcload exactly the peer hits wcload observed
+//     (only client-facing responses carry PEER-HIT — forwarded requests
+//     are loop-guarded to local service);
+//   - fleet-wide, the servers' request total exceeds the clients' by
+//     exactly the successful peer fetches: every forwarded request was
+//     served once at its owner, and failed peer fetches never arrived.
+func ReconcileCluster(rep *ClusterReport, perNode map[string]map[string]float64) error {
+	var sumServerReqs, sumClientReqs, sumPeerFetches, sumPeerErrors float64
+	for _, nr := range rep.Nodes {
+		t := nr.Tally
+		if t.Requests != t.Hits+t.PeerHits+t.Misses {
+			return fmt.Errorf("load: node %s client tally does not partition: %+v", nr.Name, t)
+		}
+		m, ok := perNode[nr.Name]
+		if !ok {
+			return fmt.Errorf("load: node %s has no scraped metrics", nr.Name)
+		}
+		if m["wcproxy_requests_total"] != m["wcproxy_hits_total"]+m["wcproxy_peer_hits_total"]+m["wcproxy_misses_total"] {
+			return fmt.Errorf("load: node %s server counters do not partition: requests=%v hits=%v peerHits=%v misses=%v",
+				nr.Name, m["wcproxy_requests_total"], m["wcproxy_hits_total"],
+				m["wcproxy_peer_hits_total"], m["wcproxy_misses_total"])
+		}
+		if got, want := m["wcproxy_peer_hits_total"], float64(t.PeerHits); got != want {
+			return fmt.Errorf("load: node %s wcproxy_peer_hits_total = %v, client counted %v", nr.Name, got, want)
+		}
+		sumServerReqs += m["wcproxy_requests_total"]
+		sumClientReqs += float64(t.Requests)
+		sumPeerFetches += m["wcproxy_peer_fetches_total"]
+		sumPeerErrors += m["wcproxy_peer_errors_total"]
+	}
+	if got, want := sumServerReqs, sumClientReqs+sumPeerFetches-sumPeerErrors; got != want {
+		return fmt.Errorf("load: fleet requests do not reconcile: servers saw %v, clients sent %v + %v peer fetches - %v peer errors = %v",
+			got, sumClientReqs, sumPeerFetches, sumPeerErrors, want)
+	}
+	return nil
+}

@@ -76,13 +76,17 @@ type Config struct {
 }
 
 // Tally is the client-side view of cache outcomes, derived from response
-// headers: Hits+Misses == Requests, and Stale and Coalesced are subsets
-// of Misses. Reconciling these against the proxy's own counters is the
-// end-to-end correctness check.
+// headers: Hits+PeerHits+Misses == Requests, and Stale and Coalesced are
+// subsets of Misses. Reconciling these against the proxy's own counters
+// is the end-to-end correctness check.
 type Tally struct {
-	Requests  int64 `json:"requests"`
-	Hits      int64 `json:"hits"`
-	Misses    int64 `json:"misses"`
+	Requests int64 `json:"requests"`
+	Hits     int64 `json:"hits"`
+	Misses   int64 `json:"misses"`
+	// PeerHits counts responses a clustered proxy answered from a
+	// sibling node's cache (X-Cache: PEER-HIT) — neither a local hit nor
+	// a miss. Always zero against an unclustered proxy.
+	PeerHits  int64 `json:"peerHits,omitempty"`
 	Stale     int64 `json:"stale"`
 	Coalesced int64 `json:"coalesced"`
 	// AdmissionRejects counts miss-leader responses whose cacheable body
@@ -263,6 +267,8 @@ func (w *worker) do(raw string) {
 	switch resp.Header.Get("X-Cache") {
 	case "HIT":
 		w.tally.Hits++
+	case "PEER-HIT":
+		w.tally.PeerHits++
 	case "STALE":
 		w.tally.Misses++
 		w.tally.Stale++
@@ -315,6 +321,7 @@ func assemble(workers []*worker, conc int, elapsed time.Duration) *Report {
 		rep.Tally.Requests += w.tally.Requests
 		rep.Tally.Hits += w.tally.Hits
 		rep.Tally.Misses += w.tally.Misses
+		rep.Tally.PeerHits += w.tally.PeerHits
 		rep.Tally.Stale += w.tally.Stale
 		rep.Tally.Coalesced += w.tally.Coalesced
 		rep.Tally.AdmissionRejects += w.tally.AdmissionRejects

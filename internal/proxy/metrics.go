@@ -39,6 +39,17 @@ type serverMetrics struct {
 	admissionAdmitted *metrics.Counter
 	admissionRejected *metrics.Counter
 
+	// The cluster trio, nil — unregistered — on an unclustered proxy.
+	// peerHits counts requests answered from a sibling's cache (disjoint
+	// from hits and misses: requests = hits + peerHits + misses);
+	// peerFetches counts fetch attempts sent to siblings (fetch-centric,
+	// so coalesced followers of one peer fetch do not add to it);
+	// peerErrors counts peer fetches that failed — down, timed out, or a
+	// non-authoritative answer — and fell back to the origin.
+	peerHits    *metrics.Counter
+	peerFetches *metrics.Counter
+	peerErrors  *metrics.Counter
+
 	// hitBytes is the traffic served from cache — the bytes the origin
 	// did not have to send; originBytes is what was fetched upstream.
 	hitBytes    *metrics.Counter
@@ -58,7 +69,7 @@ type serverMetrics struct {
 // gauges are registered by the caller once the Server exists; the
 // admission counters are only registered when an admission filter is
 // configured.
-func newServerMetrics(reg *metrics.Registry, admission bool) *serverMetrics {
+func newServerMetrics(reg *metrics.Registry, admission, clustered bool) *serverMetrics {
 	m := &serverMetrics{
 		requests: reg.NewCounter("wcproxy_requests_total",
 			"GET requests handled (hits + misses)."),
@@ -95,6 +106,14 @@ func newServerMetrics(reg *metrics.Registry, admission bool) *serverMetrics {
 		m.admissionRejected = reg.NewCounter("wcproxy_admission_rejected_total",
 			"Cacheable responses the admission filter refused.")
 	}
+	if clustered {
+		m.peerHits = reg.NewCounter("wcproxy_peer_hits_total",
+			"Requests answered from a sibling node's cache (disjoint from hits and misses).")
+		m.peerFetches = reg.NewCounter("wcproxy_peer_fetches_total",
+			"Fetch attempts sent to the owning sibling (one per miss group, not per request).")
+		m.peerErrors = reg.NewCounter("wcproxy_peer_errors_total",
+			"Peer fetches that failed (down, timeout, non-authoritative answer) and fell back to the origin.")
+	}
 	uncacheableVec := reg.NewCounterVec("wcproxy_uncacheable_total",
 		"Fetched responses not stored, by reason: rules (status, URL heuristics, size or Cache-Control) or oversize (body exceeded the object limit and was streamed through uncached).",
 		"reason")
@@ -127,6 +146,11 @@ func (s *Server) registerGauges(reg *metrics.Registry) {
 	reg.NewGaugeFunc("wcproxy_cache_shards",
 		"Cache shard count (per-shard locks and policy instances).",
 		func() float64 { return float64(s.store.Shards()) })
+	if s.cfg.Cluster != nil {
+		reg.NewGaugeFunc("wcproxy_cluster_peers",
+			"Fleet size this node currently routes across (self included).",
+			func() float64 { return float64(s.cluster.Load().ring.Len()) })
+	}
 	if s.cfg.Admission.New != nil {
 		reg.NewGaugeFunc("wcproxy_admission_ghost_hits",
 			"Admissions granted because the candidate was in a ghost directory of recent evictions.",

@@ -33,6 +33,7 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"webcachesim/internal/cache"
@@ -80,6 +81,12 @@ type Config struct {
 	// proxy — Squid's cache_peer parent relationship. Chaining two
 	// Servers this way forms a live two-level cache hierarchy.
 	Parent *url.URL
+	// Cluster, when set, makes this proxy one node of a consistent-hash
+	// fleet: a local miss on a document another node owns consults that
+	// sibling before the origin (Squid's cache_peer sibling relationship,
+	// with hash routing instead of ICP). Requires Origin (reverse mode).
+	// See ClusterConfig and docs/CLUSTER.md.
+	Cluster *ClusterConfig
 	// Transport performs upstream fetches; http.DefaultTransport when
 	// nil. Ignored when Parent is set.
 	Transport http.RoundTripper
@@ -138,6 +145,10 @@ type Stats struct {
 	// AdmissionRejects counts cacheable responses the admission filter
 	// refused to store; always zero without a configured filter.
 	AdmissionRejects int64 `json:"admissionRejects,omitempty"`
+	// PeerHits counts requests answered from a sibling node's cache —
+	// neither a local hit nor a miss: Requests = Hits + PeerHits + Misses
+	// on a clustered proxy. Always zero without a cluster.
+	PeerHits int64 `json:"peerHits,omitempty"`
 	// ByClass breaks requests and hits down by document class.
 	ByClass [doctype.NumClasses + 1]struct {
 		Requests int64 `json:"requests"`
@@ -162,8 +173,8 @@ func (s Stats) ByteHitRate() float64 {
 }
 
 // serveResult classifies how a request was answered, for headers and
-// accounting. Requests = hits + misses; coalesced and stale-served are
-// sub-categories of miss.
+// accounting. Requests = hits + peer hits + misses; coalesced and
+// stale-served are sub-categories of miss.
 type serveResult int
 
 const (
@@ -171,6 +182,7 @@ const (
 	resultMiss                         // fetched from the origin by this request
 	resultCoalesced                    // shared another request's origin fetch
 	resultStale                        // origin down; expired copy served
+	resultPeerHit                      // served from the owning sibling's cache
 )
 
 // Server is the caching proxy; it implements http.Handler.
@@ -182,6 +194,15 @@ type Server struct {
 	buffers   *pool.Pool
 	fetches   flight.Group
 	sleep     func(time.Duration) // retry backoff; injectable for tests
+
+	// cluster is the fleet-routing view, nil on an unclustered proxy;
+	// UpdateCluster swaps it atomically on membership changes. Peer
+	// fetches use their own transport and timeout: Parent rewires
+	// s.transport through the parent proxy, but sibling traffic must go
+	// direct.
+	cluster       atomic.Pointer[clusterState]
+	peerTransport http.RoundTripper
+	peerTimeout   time.Duration
 
 	// originPrefix, when non-nil, is the byte-exact "scheme://host" prefix
 	// every reverse-proxy cache key starts with — the zero-allocation hit
@@ -225,6 +246,9 @@ func New(cfg Config) (*Server, error) {
 	if cfg.RetryBackoff <= 0 {
 		cfg.RetryBackoff = DefaultRetryBackoff
 	}
+	if cfg.Cluster != nil && cfg.Origin == nil {
+		return nil, fmt.Errorf("proxy: clustering requires reverse mode (Origin); fleet members must key their caches identically")
+	}
 	reg := cfg.Metrics
 	if reg == nil {
 		reg = metrics.NewRegistry()
@@ -235,7 +259,22 @@ func New(cfg Config) (*Server, error) {
 		now:       cfg.Now,
 		sleep:     time.Sleep,
 		buffers:   cfg.Buffers,
-		metrics:   newServerMetrics(reg, cfg.Admission.New != nil),
+		metrics:   newServerMetrics(reg, cfg.Admission.New != nil, cfg.Cluster != nil),
+	}
+	if cfg.Cluster != nil {
+		cs, err := buildClusterState(*cfg.Cluster)
+		if err != nil {
+			return nil, err
+		}
+		s.cluster.Store(cs)
+		s.peerTransport = cfg.Cluster.Transport
+		if s.peerTransport == nil {
+			s.peerTransport = http.DefaultTransport
+		}
+		s.peerTimeout = cfg.Cluster.PeerTimeout
+		if s.peerTimeout <= 0 {
+			s.peerTimeout = DefaultPeerTimeout
+		}
 	}
 	if s.buffers == nil {
 		s.buffers = pool.Default
@@ -328,7 +367,7 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		}
 		// Expired: revalidate by refetching (coalesced like any miss);
 		// if the origin is down, fall back to the stale copy.
-		fetched, res, ferr := s.fetchShared(target, r.Header)
+		fetched, res, ferr := s.fetchRouted(target, r)
 		if ferr != nil {
 			s.serve(w, r, key, e, resultStale, false)
 			return
@@ -344,7 +383,7 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	fr, res, err := s.fetchShared(target, r.Header)
+	fr, res, err := s.fetchRouted(target, r)
 	if err != nil {
 		http.Error(w, fmt.Sprintf("upstream: %v", err), http.StatusBadGateway)
 		return
@@ -435,6 +474,7 @@ var (
 	hdrHit       = []string{"HIT"}
 	hdrMiss      = []string{"MISS"}
 	hdrStale     = []string{"STALE"}
+	hdrPeerHit   = []string{"PEER-HIT"}
 	hdrCoalesced = []string{"1"}
 	hdrAdmReject = []string{"reject"}
 )
@@ -537,6 +577,11 @@ type fetchResult struct {
 	entry             *cache.Entry
 	admissionRejected bool
 
+	// peerHit marks a body that came out of the owning sibling's cache
+	// (its response said X-Cache: HIT); consumers serve it as PEER-HIT
+	// rather than a miss.
+	peerHit bool
+
 	oversize bool
 	prefix   []byte
 	// prefixBuf is the pooled buffer backing prefix; owned by the miss
@@ -550,13 +595,14 @@ type fetchResult struct {
 	contentLen  int64 // origin Content-Length; -1 when unknown
 }
 
-// fetchShared funnels the fetch for one URL through the singleflight
-// group: concurrent misses on the same key share a single origin round
-// trip, and only the caller that actually executed it counts as the miss
-// leader.
-func (s *Server) fetchShared(target *url.URL, hdr http.Header) (*fetchResult, serveResult, error) {
-	v, err, shared := s.fetches.DoShared(target.String(), func() (any, error) {
-		return s.fetchWithRetry(target, hdr)
+// doShared funnels one fetch function through the singleflight group:
+// concurrent misses on the same key share a single upstream round trip
+// — whether it targets the origin or a cluster sibling, since both use
+// the URL as the key — and only the caller that actually executed it is
+// the miss leader (shared == false).
+func (s *Server) doShared(key string, fn func() (*fetchResult, error)) (*fetchResult, bool, error) {
+	v, err, shared := s.fetches.DoShared(key, func() (any, error) {
+		return fn()
 	}, func(v any, err error, consumers int) {
 		// Runs once, after the fetch and before any waiter wakes: grant
 		// one body reference per consumer. The entry arrives holding the
@@ -570,14 +616,35 @@ func (s *Server) fetchShared(target *url.URL, hdr http.Header) (*fetchResult, se
 			fr.entry.AcquireN(int32(consumers - 1))
 		}
 	})
-	res := resultMiss
-	if shared {
-		res = resultCoalesced
-	}
 	if err != nil {
+		return nil, shared, err
+	}
+	return v.(*fetchResult), shared, nil
+}
+
+// fetchShared is the plain origin-fetch path through the singleflight
+// group. A follower can find itself sharing a *peer* fetch that was
+// already in flight on the same key (a membership change re-routed the
+// document mid-run); the result's peerHit flag keeps its label truthful.
+func (s *Server) fetchShared(target *url.URL, hdr http.Header) (*fetchResult, serveResult, error) {
+	fr, shared, err := s.doShared(target.String(), func() (*fetchResult, error) {
+		return s.fetchWithRetry(target, hdr)
+	})
+	if err != nil {
+		res := resultMiss
+		if shared {
+			res = resultCoalesced
+		}
 		return nil, res, err
 	}
-	return v.(*fetchResult), res, nil
+	res := resultMiss
+	switch {
+	case fr.peerHit:
+		res = resultPeerHit
+	case shared:
+		res = resultCoalesced
+	}
+	return fr, res, nil
 }
 
 // fetchWithRetry performs the origin fetch with bounded retries and
@@ -668,17 +735,7 @@ func (s *Server) fetchOnce(target *url.URL, hdr http.Header) (*fetchResult, erro
 	_ = resp.Body.Close()
 	cancel()
 	s.metrics.objectBytes.Observe(float64(n))
-	e := cache.NewPooledEntry(
-		&policy.Doc{
-			Key:   key,
-			Size:  int64(n),
-			Class: doctype.Classify(resp.Header.Get("Content-Type"), key),
-		},
-		buf, n,
-		resp.Header.Get("Content-Type"),
-		resp.StatusCode,
-		expiry(resp.Header, now),
-	)
+	e := newBodyEntry(s, key, buf, n, resp, now)
 	fr := &fetchResult{entry: e}
 	if s.cacheable(key, resp, int64(n)) {
 		switch s.store.Insert(key, e) {
@@ -698,6 +755,24 @@ func (s *Server) fetchOnce(target *url.URL, hdr http.Header) (*fetchResult, erro
 		s.metrics.uncacheableRules.Inc()
 	}
 	return fr, nil
+}
+
+// newBodyEntry materializes an upstream response body as a pooled,
+// refcounted cache entry — the shared tail of the origin and peer fetch
+// paths. Inserting it into the store (or not: peer-fetched bodies are
+// served but never stored) is the caller's decision.
+func newBodyEntry(s *Server, key string, buf *pool.Buf, n int, resp *http.Response, now time.Time) *cache.Entry {
+	return cache.NewPooledEntry(
+		&policy.Doc{
+			Key:   key,
+			Size:  int64(n),
+			Class: doctype.Classify(resp.Header.Get("Content-Type"), key),
+		},
+		buf, n,
+		resp.Header.Get("Content-Type"),
+		resp.StatusCode,
+		expiry(resp.Header, now),
+	)
 }
 
 // readBody reads the origin response body into a pooled buffer, up to
@@ -832,6 +907,12 @@ func (s *Server) serve(w http.ResponseWriter, r *http.Request, key string, e *ca
 		s.metrics.hits.Inc()
 		s.metrics.hitBytes.Add(size)
 		s.metrics.hitsByClass[cls].Inc()
+	case resultPeerHit:
+		// Neither a local hit (the bytes are a sibling's) nor a miss (no
+		// origin traffic): requests = hits + peer hits + misses. Class
+		// hits stay local-only — they are what the sim/live parity
+		// harness reconciles against each node's own cache.
+		s.metrics.peerHits.Inc()
 	case resultCoalesced:
 		s.metrics.misses.Inc()
 		s.metrics.coalesced.Inc()
@@ -851,6 +932,8 @@ func (s *Server) serve(w http.ResponseWriter, r *http.Request, key string, e *ca
 		s.stats.Hits++
 		s.stats.HitBytes += size
 		s.stats.ByClass[cls].Hits++
+	case resultPeerHit:
+		s.stats.PeerHits++
 	case resultCoalesced:
 		s.stats.Coalesced++
 	case resultStale:
@@ -890,6 +973,8 @@ func (s *Server) serve(w http.ResponseWriter, r *http.Request, key string, e *ca
 	switch res {
 	case resultHit:
 		h["X-Cache"] = hdrHit
+	case resultPeerHit:
+		h["X-Cache"] = hdrPeerHit
 	case resultStale:
 		h["X-Cache"] = hdrStale
 	case resultCoalesced:
